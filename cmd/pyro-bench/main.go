@@ -1,0 +1,49 @@
+// Command pyro-bench reproduces the paper's evaluation tables and figures
+// on the simulated engine.
+//
+// Usage:
+//
+//	pyro-bench [-exp all|example1|a1|a2|a3|a4|b1|b2|b3|scalability|refine] [-scale f]
+//
+// -scale multiplies dataset sizes (1.0 ≈ seconds per experiment).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"pyro/internal/harness"
+)
+
+func main() {
+	var names []string
+	for n := range harness.Experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	exp := flag.String("exp", "all", "experiment to run: all or one of "+strings.Join(names, ", "))
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	flag.Parse()
+
+	s := harness.Scale{Factor: *scale}
+	if *exp == "all" {
+		if err := harness.RunAll(os.Stdout, s); err != nil {
+			fmt.Fprintln(os.Stderr, "pyro-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fn, ok := harness.Experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pyro-bench: unknown experiment %q (have: %s)\n", *exp, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+	if err := fn(os.Stdout, s); err != nil {
+		fmt.Fprintln(os.Stderr, "pyro-bench:", err)
+		os.Exit(1)
+	}
+}

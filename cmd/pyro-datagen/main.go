@@ -1,0 +1,78 @@
+// Command pyro-datagen generates the paper's workload datasets and prints a
+// catalog summary (row counts, block counts, clustering orders, indices) —
+// useful for sanity-checking experiment scales before running pyro-bench.
+//
+// Usage:
+//
+//	pyro-datagen [-workload tpch|outerjoin|tran|basket|example1|segments] [-scale f]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pyro/internal/catalog"
+	"pyro/internal/storage"
+	"pyro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "tpch", "workload: tpch, outerjoin, tran, basket, example1, segments")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	flag.Parse()
+
+	rows := func(base int64) int64 {
+		n := int64(float64(base) * *scale)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	disk := storage.NewDisk(0)
+	cat := catalog.New(disk)
+	var err error
+	switch *wl {
+	case "tpch":
+		cfg := workload.DefaultTPCH()
+		cfg.Suppliers = rows(100)
+		cfg.PartsPerSupplier = rows(80)
+		err = workload.BuildTPCH(cat, cfg)
+	case "outerjoin":
+		err = workload.BuildOuterJoinTables(cat, rows(30_000), 5)
+	case "tran":
+		_, err = workload.BuildTran(cat, rows(40_000), 9)
+	case "basket":
+		err = workload.BuildBasketAnalytics(cat, rows(50_000), rows(40_000), 13)
+	case "example1":
+		err = workload.BuildExample1(cat, rows(40_000), 3)
+	case "segments":
+		for i := int64(1); i <= rows(100_000); i *= 10 {
+			if _, err = workload.BuildSegmentTable(cat, fmt.Sprintf("seg%d", i), rows(100_000), i, 11); err != nil {
+				break
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "pyro-datagen: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyro-datagen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-12s %10s %8s  %-28s %s\n", "table", "rows", "blocks", "clustered on", "indices")
+	for _, name := range cat.TableNames() {
+		tb := cat.MustTable(name)
+		idx := ""
+		for i, ix := range tb.Indices {
+			if i > 0 {
+				idx += ", "
+			}
+			idx += fmt.Sprintf("%s%v", ix.Name, ix.KeyOrder)
+		}
+		fmt.Printf("%-12s %10d %8d  %-28s %s\n",
+			tb.Name, tb.Stats.NumRows, tb.NumBlocks(), tb.ClusterOrder.String(), idx)
+	}
+	fmt.Printf("total pages on disk: %d\n", disk.TotalPages())
+}

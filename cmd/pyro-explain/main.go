@@ -1,0 +1,97 @@
+// Command pyro-explain optimizes one of the paper's workload queries under
+// every heuristic and prints the chosen plans side by side, the fastest way
+// to see how interesting-order selection changes plan shape.
+//
+// Usage:
+//
+//	pyro-explain [-query q3|q4|q5|q6|q1|q2|example1] [-scale f]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pyro/internal/catalog"
+	"pyro/internal/core"
+	"pyro/internal/harness"
+	"pyro/internal/logical"
+	"pyro/internal/storage"
+	"pyro/internal/workload"
+)
+
+func buildQuery(name string, scale harness.Scale) (logical.Node, error) {
+	disk := storage.NewDisk(0)
+	cat := catalog.New(disk)
+	rows := func(base int64) int64 {
+		n := int64(float64(base) * scale.Factor)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	switch name {
+	case "q1", "q2", "q3":
+		cfg := workload.DefaultTPCH()
+		cfg.Suppliers = rows(100)
+		cfg.PartsPerSupplier = rows(80)
+		if err := workload.BuildTPCH(cat, cfg); err != nil {
+			return nil, err
+		}
+		switch name {
+		case "q1":
+			return workload.Query1(cat)
+		case "q2":
+			return workload.Query2(cat)
+		default:
+			return workload.Query3(cat)
+		}
+	case "q4":
+		if err := workload.BuildOuterJoinTables(cat, rows(30_000), 5); err != nil {
+			return nil, err
+		}
+		return workload.Query4(cat)
+	case "q5":
+		if _, err := workload.BuildTran(cat, rows(40_000), 9); err != nil {
+			return nil, err
+		}
+		return workload.Query5(cat)
+	case "q6":
+		if err := workload.BuildBasketAnalytics(cat, rows(50_000), rows(40_000), 13); err != nil {
+			return nil, err
+		}
+		return workload.Query6(cat)
+	case "example1":
+		if err := workload.BuildExample1(cat, rows(40_000), 3); err != nil {
+			return nil, err
+		}
+		return workload.Example1Query(cat)
+	default:
+		return nil, fmt.Errorf("unknown query %q", name)
+	}
+}
+
+func main() {
+	query := flag.String("query", "q3", "query: q1, q2, q3, q4, q5, q6, example1")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	flag.Parse()
+
+	node, err := buildQuery(*query, harness.Scale{Factor: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyro-explain:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Logical plan:\n%s\n", logical.Format(node))
+	for _, h := range []core.Heuristic{
+		core.HeuristicArbitrary, core.HeuristicFavorableExact, core.HeuristicPostgres,
+		core.HeuristicFavorable, core.HeuristicExhaustive,
+	} {
+		res, err := core.Optimize(node, core.DefaultOptions(h))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pyro-explain: %v: %v\n", h, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %v (estimated cost %.0f, %d goals, %d orders tried)\n%s\n",
+			h, res.Plan.Cost, res.Stats.GoalsExplored, res.Stats.OrdersTried, res.Plan.Format())
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: load a table, build a query, inspect the optimized plan and
+// run it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pyro"
+)
+
+func main() {
+	db := pyro.Open(pyro.Config{SortMemoryBlocks: 128})
+
+	// A small "events" table, clustered on (day) — the clustering order is
+	// a favorable order the optimizer can exploit.
+	var rows [][]any
+	for day := 0; day < 30; day++ {
+		for e := 0; e < 200; e++ {
+			rows = append(rows, []any{
+				int64(day), int64(e % 12), float64(e%50) + 0.25, "event",
+			})
+		}
+	}
+	if err := db.CreateTable("events", []pyro.Column{
+		{Name: "day", Type: pyro.Int64},
+		{Name: "kind", Type: pyro.Int64},
+		{Name: "amount", Type: pyro.Float64},
+		{Name: "note", Type: pyro.String, Width: 12},
+	}, pyro.ClusterOn("day"), rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// ORDER BY (day, kind): the input is already sorted on (day), so the
+	// optimizer plans a *partial* sort — each day's events are sorted
+	// independently, fully pipelined, no run I/O.
+	q := db.Scan("events").
+		Filter(pyro.Gt(pyro.Col("amount"), pyro.Float(10))).
+		OrderBy("day", "kind")
+
+	plan, err := db.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Plan:")
+	fmt.Println(plan.Explain())
+
+	db.ResetIOStats()
+	res, err := db.Execute(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rows: %d, first: %v\n", len(res.Data), res.Data[0])
+	io := db.IOStats()
+	fmt.Printf("I/O: %d page reads, %d run-file transfers (partial sort => expect 0)\n",
+		io.PageReads, io.RunTotal())
+}

@@ -1,0 +1,86 @@
+// Trading reproduces the paper's Query 5 through the public API: a
+// five-attribute self-join of a transaction table ("total value executed
+// for a given order"). With five join attributes there are 5! = 120
+// possible sort orders; favorable orders cut the search to the handful the
+// clustering can supply.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pyro"
+)
+
+func main() {
+	db := pyro.Open(pyro.Config{SortMemoryBlocks: 64})
+	rng := rand.New(rand.NewSource(11))
+
+	var rows [][]any
+	for i := 0; i < 20_000; i++ {
+		user, basket := int64(rng.Intn(20)), int64(rng.Intn(50))
+		wave, child := int64(rng.Intn(4)), int64(rng.Intn(8))
+		qty, price := int64(rng.Intn(100)+1), int64(rng.Intn(500)+1)
+		rows = append(rows, []any{user, basket, int64(i), wave, child, "New", qty, price})
+		for e := 0; e <= rng.Intn(3); e++ {
+			rows = append(rows, []any{user, basket, int64(i), wave, child, "Executed",
+				int64(rng.Intn(int(qty)) + 1), price})
+		}
+	}
+	if err := db.CreateTable("tran", []pyro.Column{
+		{Name: "UserId", Type: pyro.Int64},
+		{Name: "BasketId", Type: pyro.Int64},
+		{Name: "ParentOrderId", Type: pyro.Int64},
+		{Name: "WaveId", Type: pyro.Int64},
+		{Name: "ChildOrderId", Type: pyro.Int64},
+		{Name: "TranType", Type: pyro.String, Width: 8},
+		{Name: "Quantity", Type: pyro.Int64},
+		{Name: "Price", Type: pyro.Int64},
+	}, pyro.ClusterOn("UserId", "ParentOrderId", "BasketId", "WaveId", "ChildOrderId"), rows); err != nil {
+		log.Fatal(err)
+	}
+
+	t1 := db.Scan("tran").As("t1_").Filter(pyro.Eq(pyro.Col("t1_TranType"), pyro.Str("New")))
+	t2 := db.Scan("tran").As("t2_").Filter(pyro.Eq(pyro.Col("t2_TranType"), pyro.Str("Executed")))
+	q := t1.Join(t2, pyro.And(
+		pyro.Eq(pyro.Col("t1_UserId"), pyro.Col("t2_UserId")),
+		pyro.Eq(pyro.Col("t1_ParentOrderId"), pyro.Col("t2_ParentOrderId")),
+		pyro.Eq(pyro.Col("t1_BasketId"), pyro.Col("t2_BasketId")),
+		pyro.Eq(pyro.Col("t1_WaveId"), pyro.Col("t2_WaveId")),
+		pyro.Eq(pyro.Col("t1_ChildOrderId"), pyro.Col("t2_ChildOrderId")),
+	)).Project(
+		pyro.Proj{Name: "UserId", Expr: pyro.Col("t1_UserId")},
+		pyro.Proj{Name: "ParentOrderId", Expr: pyro.Col("t1_ParentOrderId")},
+		pyro.Proj{Name: "OrderValue", Expr: pyro.Mul(pyro.Col("t1_Quantity"), pyro.Col("t1_Price"))},
+		pyro.Proj{Name: "ExecValue", Expr: pyro.Mul(pyro.Col("t2_Quantity"), pyro.Col("t2_Price"))},
+	).GroupBy([]string{"UserId", "ParentOrderId", "OrderValue"},
+		pyro.Agg{Name: "ExecutedValue", Func: pyro.Sum, Arg: pyro.Col("ExecValue")},
+	).OrderBy("UserId", "ParentOrderId")
+
+	for _, v := range []struct {
+		name string
+		h    pyro.Heuristic
+	}{
+		{"PYRO-P (per-attribute heuristic)", pyro.PYROP},
+		{"PYRO-O (favorable orders)", pyro.PYROO},
+	} {
+		plan, err := db.Optimize(q, pyro.WithHeuristic(v.h), pyro.WithoutHashJoin(), pyro.WithoutHashAgg())
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := plan.OptimizerStats()
+		fmt.Printf("--- %s: estimated cost %.0f (%d interesting orders tried)\n",
+			v.name, plan.EstimatedCost(), stats.OrdersTried)
+	}
+
+	plan, err := db.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Execute(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexecuted-value rows: %d, sample: %v\n", len(res.Data), res.Data[0])
+}

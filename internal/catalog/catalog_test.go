@@ -1,0 +1,197 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"pyro/internal/sortord"
+	"pyro/internal/storage"
+	"pyro/internal/types"
+)
+
+func testSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "a", Kind: types.KindInt},
+		types.Column{Name: "b", Kind: types.KindInt},
+		types.Column{Name: "c", Kind: types.KindString},
+	)
+}
+
+func testRows(n int) []types.Tuple {
+	rows := make([]types.Tuple, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.NewTuple(
+			types.NewInt(int64(n-i)),                 // descending so clustering must re-sort
+			types.NewInt(int64(i%10)),                // 10 distinct values
+			types.NewString(fmt.Sprintf("s%d", i%3)), // 3 distinct values
+		)
+	}
+	return rows
+}
+
+func TestCreateTableClustersAndCounts(t *testing.T) {
+	c := New(storage.NewDisk(512))
+	tb, err := c.CreateTable("t", testSchema(), sortord.New("a"), testRows(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Stats.NumRows != 100 {
+		t.Fatalf("NumRows = %d", tb.Stats.NumRows)
+	}
+	if tb.Stats.Distinct["a"] != 100 || tb.Stats.Distinct["b"] != 10 || tb.Stats.Distinct["c"] != 3 {
+		t.Fatalf("Distinct = %v", tb.Stats.Distinct)
+	}
+	// Loading must not charge I/O (checked before our own reads below).
+	if c.Disk().Stats().Total() != 0 {
+		t.Fatalf("load charged I/O: %v", c.Disk().Stats())
+	}
+	rows, err := storage.ReadAll(tb.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].Int() > rows[i][0].Int() {
+			t.Fatal("heap not clustered on a")
+		}
+	}
+	if tb.NumBlocks() <= 0 {
+		t.Fatal("table should occupy blocks")
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	c := New(storage.NewDisk(512))
+	if _, err := c.CreateTable("t", testSchema(), sortord.New("zz"), nil); err == nil {
+		t.Fatal("bad cluster order should error")
+	}
+	if _, err := c.CreateTable("t", testSchema(), sortord.Empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("t", testSchema(), sortord.Empty, nil); err == nil {
+		t.Fatal("duplicate table should error")
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	c := New(storage.NewDisk(512))
+	c.CreateTable("x", testSchema(), sortord.Empty, testRows(5))
+	c.CreateTable("y", testSchema(), sortord.Empty, nil)
+	if _, err := c.Table("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("zz"); err == nil {
+		t.Fatal("missing table should error")
+	}
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	if c.MustTable("x").Name != "x" {
+		t.Fatal("MustTable broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTable on missing table should panic")
+		}
+	}()
+	c.MustTable("zz")
+}
+
+func TestCreateIndexSortedAndCovering(t *testing.T) {
+	c := New(storage.NewDisk(512))
+	tb, _ := c.CreateTable("t", testSchema(), sortord.New("a"), testRows(50))
+	ix, err := c.CreateIndex("t_b", tb, sortord.New("b"), []string{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Schema().Names(); len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("index schema = %v", got)
+	}
+	rows, err := storage.ReadAll(ix.File())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 50 {
+		t.Fatalf("index rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].Int() > rows[i][0].Int() {
+			t.Fatal("index not sorted on key")
+		}
+	}
+	if !ix.Covers(sortord.NewAttrSet("b", "c")) {
+		t.Fatal("index should cover {b,c}")
+	}
+	if ix.Covers(sortord.NewAttrSet("a", "b")) {
+		t.Fatal("index should not cover {a,b}")
+	}
+	if tb.Index("t_b") != ix || tb.Index("nope") != nil {
+		t.Fatal("Index lookup broken")
+	}
+	if ix.NumBlocks() <= 0 {
+		t.Fatal("index should occupy blocks")
+	}
+}
+
+func TestCreateIndexKeyDedupWithIncluded(t *testing.T) {
+	c := New(storage.NewDisk(512))
+	tb, _ := c.CreateTable("t", testSchema(), sortord.Empty, testRows(10))
+	// Included column repeats a key column: stored once.
+	ix, err := c.CreateIndex("i", tb, sortord.New("b"), []string{"b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Schema().Names(); len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("index schema = %v", got)
+	}
+}
+
+func TestCreateIndexValidation(t *testing.T) {
+	c := New(storage.NewDisk(512))
+	tb, _ := c.CreateTable("t", testSchema(), sortord.Empty, testRows(10))
+	if _, err := c.CreateIndex("i", tb, sortord.New("zz"), nil); err != nil {
+		// good
+	} else {
+		t.Fatal("bad key should error")
+	}
+	if _, err := c.CreateIndex("i", tb, sortord.New("a"), []string{"zz"}); err == nil {
+		t.Fatal("bad include should error")
+	}
+	if _, err := c.CreateIndex("i", tb, sortord.New("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("i", tb, sortord.New("b"), nil); err == nil {
+		t.Fatal("duplicate index name should error")
+	}
+}
+
+func TestDistinctOn(t *testing.T) {
+	st := Stats{NumRows: 1000, Distinct: map[string]int64{"a": 10, "b": 20, "c": 1000}}
+	cases := []struct {
+		attrs []string
+		want  int64
+	}{
+		{[]string{"a"}, 10},
+		{[]string{"a", "b"}, 200},
+		{[]string{"a", "b", "c"}, 1000}, // capped at NumRows
+		{[]string{"c"}, 1000},
+		{[]string{"zz"}, 1000}, // unknown column: conservative
+		{nil, 1},
+	}
+	for _, c := range cases {
+		if got := st.DistinctOn(c.attrs); got != c.want {
+			t.Errorf("DistinctOn(%v) = %d, want %d", c.attrs, got, c.want)
+		}
+	}
+	empty := Stats{NumRows: 0}
+	if empty.DistinctOn([]string{"a"}) != 0 {
+		t.Fatal("empty relation has 0 distinct values")
+	}
+}
+
+func TestDistinctOnOverflowSafety(t *testing.T) {
+	st := Stats{NumRows: 1 << 40, Distinct: map[string]int64{"a": 1 << 35, "b": 1 << 35, "c": 1 << 35}}
+	if got := st.DistinctOn([]string{"a", "b", "c"}); got != 1<<40 {
+		t.Fatalf("overflow guard failed: %d", got)
+	}
+}

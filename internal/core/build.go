@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"pyro/internal/exec"
+	"pyro/internal/storage"
+	"pyro/internal/xsort"
+)
+
+// BuildConfig carries the execution resources for compiling a plan.
+type BuildConfig struct {
+	Disk *storage.Disk
+	// SortMemoryBlocks is the per-sort memory budget (M).
+	SortMemoryBlocks int
+}
+
+// Build compiles a physical plan into an executable operator tree.
+func Build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
+	if cfg.Disk == nil {
+		return nil, fmt.Errorf("core: BuildConfig.Disk is nil")
+	}
+	if cfg.SortMemoryBlocks <= 0 {
+		cfg.SortMemoryBlocks = 1000
+	}
+	return build(p, cfg)
+}
+
+func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
+	children := make([]exec.Operator, len(p.Children))
+	for i, c := range p.Children {
+		op, err := build(c, cfg)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = op
+	}
+	xcfg := xsort.Config{Disk: cfg.Disk, MemoryBlocks: cfg.SortMemoryBlocks}
+
+	switch p.Kind {
+	case OpTableScan:
+		return exec.NewTableScan(p.Table), nil
+	case OpIndexScan:
+		return exec.NewIndexScan(p.Index), nil
+	case OpFilter:
+		return exec.NewFilter(children[0], p.Pred)
+	case OpProject:
+		cols := make([]exec.ProjCol, len(p.Cols))
+		for i, c := range p.Cols {
+			cols[i] = exec.ProjCol{Name: c.Name, Expr: c.Expr}
+		}
+		return exec.NewProject(children[0], cols)
+	case OpSort:
+		if p.SortGiven.IsEmpty() {
+			return exec.NewSortSRS(children[0], p.SortTarget, xcfg)
+		}
+		return exec.NewSortMRS(children[0], p.SortTarget, p.SortGiven, xcfg)
+	case OpMergeJoin:
+		return exec.NewMergeJoin(children[0], children[1], p.LeftKey, p.RightKey, p.JoinType)
+	case OpHashJoin:
+		return exec.NewHashJoin(children[0], children[1], p.LeftKeys, p.RightKeys, p.JoinType)
+	case OpNLJoin:
+		return exec.NewNLJoin(children[0], children[1], p.Pred, p.JoinType, cfg.Disk, cfg.SortMemoryBlocks)
+	case OpGroupAgg:
+		return exec.NewGroupAggregate(children[0], p.GroupCols, p.Aggs)
+	case OpHashAgg:
+		return exec.NewHashAggregate(children[0], p.GroupCols, p.Aggs)
+	case OpMergeUnion:
+		return exec.NewMergeUnion(children[0], children[1], p.UnionOrder, p.DedupRows)
+	case OpUnionAll:
+		return exec.NewUnionAll(children[0], children[1])
+	case OpDedup:
+		return exec.NewDedup(children[0]), nil
+	case OpLimit:
+		return exec.NewLimit(children[0], p.LimitK)
+	case OpFetch:
+		return exec.NewFetch(children[0], p.Table, p.FetchKeys)
+	default:
+		return nil, fmt.Errorf("core: cannot build operator for %v", p.Kind)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"pyro/internal/catalog"
+	"pyro/internal/expr"
+	"pyro/internal/logical"
+	"pyro/internal/sortord"
+	"pyro/internal/types"
+)
+
+// buildFetchWorld: a wide clustered table with a narrow non-covering
+// secondary index on a highly selective column.
+func buildFetchWorld(t *testing.T, f *fixture, rows int64) *catalog.Table {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "tag", Kind: types.KindInt},
+		types.Column{Name: "payload", Kind: types.KindString, Width: 120},
+		types.Column{Name: "extra", Kind: types.KindString, Width: 120},
+	)
+	data := make([]types.Tuple, rows)
+	for i := int64(0); i < rows; i++ {
+		data[i] = types.NewTuple(
+			types.NewInt(i),
+			types.NewInt(i%1000), // selective tag: ~rows/1000 per value
+			types.NewString("payload-payload-payload-payload-payload-payload"),
+			types.NewString("extra-extra-extra-extra-extra-extra-extra-extra"),
+		)
+	}
+	tb, err := f.cat.CreateTable("wide", schema, sortord.New("id"), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-covering index: stores tag + the clustering key, not the payloads.
+	if _, err := f.cat.CreateIndex("wide_tag", tb, sortord.New("tag"), []string{"id"}); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestDeferredFetchChosenForSelectivePredicate(t *testing.T) {
+	f := newFixture(t)
+	tb := buildFetchWorld(t, f, 20_000)
+	sel := logical.NewSelect(logical.NewScan(tb), expr.Eq(expr.Col("tag"), expr.IntLit(7)))
+	root := logical.NewOrderBy(sel, sortord.New("id"))
+	res := mustOptimize(t, root, DefaultOptions(HeuristicFavorable))
+	if res.Plan.CountKind(OpFetch) == 0 {
+		t.Fatalf("selective predicate should use deferred fetch:\n%s", res.Plan.Format())
+	}
+	rows := execPlan(t, f, res.Plan)
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+	idOrd := res.Plan.Schema.MustOrdinal("id")
+	tagOrd := res.Plan.Schema.MustOrdinal("tag")
+	for i, r := range rows {
+		if r[tagOrd].Int() != 7 {
+			t.Fatalf("row %d has tag %v", i, r[tagOrd])
+		}
+		if i > 0 && rows[i-1][idOrd].Int() > r[idOrd].Int() {
+			t.Fatal("ORDER BY id violated")
+		}
+		if r.MemSize() < 100 {
+			t.Fatal("fetched rows must carry the full payload")
+		}
+	}
+	// The deferred-fetch plan must be cheaper than even the bare heap scan
+	// the table-scan alternative would start from.
+	if res.Plan.Cost >= float64(tb.NumBlocks()) {
+		t.Fatalf("deferred fetch (%f) should beat a full scan (%d blocks)", res.Plan.Cost, tb.NumBlocks())
+	}
+}
+
+func TestDeferredFetchNotUsedForUnselectivePredicate(t *testing.T) {
+	f := newFixture(t)
+	tb := buildFetchWorld(t, f, 20_000)
+	// tag >= 0 keeps everything: fetching every row one page at a time
+	// must lose to a sequential scan.
+	sel := logical.NewSelect(logical.NewScan(tb), expr.Compare(expr.GE, expr.Col("tag"), expr.IntLit(0)))
+	res := mustOptimize(t, sel, DefaultOptions(HeuristicFavorable))
+	if res.Plan.CountKind(OpFetch) != 0 {
+		t.Fatalf("unselective predicate must not fetch row by row:\n%s", res.Plan.Format())
+	}
+}
+
+func TestDeferredFetchSuppliesSortOrder(t *testing.T) {
+	// §7's other benefit: the non-covering index supplies the (tag) order
+	// cheaply when the query wants it.
+	f := newFixture(t)
+	tb := buildFetchWorld(t, f, 20_000)
+	sel := logical.NewSelect(logical.NewScan(tb), expr.Compare(expr.LT, expr.Col("tag"), expr.IntLit(10)))
+	root := logical.NewOrderBy(sel, sortord.New("tag"))
+	res := mustOptimize(t, root, DefaultOptions(HeuristicFavorable))
+	rows := execPlan(t, f, res.Plan)
+	tagOrd := res.Plan.Schema.MustOrdinal("tag")
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][tagOrd].Compare(rows[i][tagOrd]) > 0 {
+			t.Fatal("ORDER BY tag violated")
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestFetchMatchesTableScanResults(t *testing.T) {
+	f := newFixture(t)
+	tb := buildFetchWorld(t, f, 5_000)
+	for tag := int64(0); tag < 5; tag++ {
+		sel := logical.NewSelect(logical.NewScan(tb), expr.Eq(expr.Col("tag"), expr.IntLit(tag)))
+		withFetch := mustOptimize(t, sel, DefaultOptions(HeuristicFavorable))
+		got := canonicalize(execPlan(t, f, withFetch.Plan))
+
+		// Reference: scan everything, filter in the test.
+		scanAll := mustOptimize(t, logical.NewScan(tb), DefaultOptions(HeuristicArbitrary))
+		var want []string
+		for _, r := range execPlan(t, f, scanAll.Plan) {
+			if !r[1].IsNull() && r[1].Int() == tag {
+				want = append(want, string(r.Encode(nil)))
+			}
+		}
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Fatalf("tag %d: fetch plan %d rows, reference %d\n%s",
+				tag, len(got), len(want), withFetch.Plan.Format())
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("tag %d: row %d differs", tag, i)
+			}
+		}
+	}
+}
+
+func TestDeferredFetchRequiresUniqueClusteringKey(t *testing.T) {
+	// With a non-unique clustering key, fetching by key would return
+	// sibling rows the index-side filter never approved — the optimizer
+	// must not generate the fetch plan.
+	f := newFixture(t)
+	schema := types.NewSchema(
+		types.Column{Name: "k", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindInt},
+		types.Column{Name: "pad", Kind: types.KindString, Width: 200},
+	)
+	var data []types.Tuple
+	for k := int64(0); k < 20; k++ {
+		for d := int64(0); d < 50; d++ {
+			data = append(data, types.NewTuple(types.NewInt(k), types.NewInt(d),
+				types.NewString("pad-pad-pad-pad-pad-pad-pad-pad-pad-pad-pad-pad")))
+		}
+	}
+	tb, err := f.cat.CreateTable("dups", schema, sortord.New("k"), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.cat.CreateIndex("dups_v", tb, sortord.New("v"), []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	sel := logical.NewSelect(logical.NewScan(tb), expr.Eq(expr.Col("v"), expr.IntLit(3)))
+	res := mustOptimize(t, sel, DefaultOptions(HeuristicFavorable))
+	if res.Plan.CountKind(OpFetch) != 0 {
+		t.Fatalf("non-unique clustering key must disable deferred fetch:\n%s", res.Plan.Format())
+	}
+	rows := execPlan(t, f, res.Plan)
+	vOrd := res.Plan.Schema.MustOrdinal("v")
+	for _, r := range rows {
+		if r[vOrd].Int() != 3 {
+			t.Fatalf("non-matching row: %v", r)
+		}
+	}
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+}

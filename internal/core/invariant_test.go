@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pyro/internal/ford"
+	"pyro/internal/logical"
+	"pyro/internal/sortord"
+)
+
+// TestOptimizerDeterministic: optimizing the same query twice produces the
+// same cost and plan shape (maps are iterated in sorted order everywhere
+// it matters).
+func TestOptimizerDeterministic(t *testing.T) {
+	f := newFixture(t)
+	f.buildQ3World(t, 50, 8)
+	root := f.q3(t)
+	for _, h := range []Heuristic{HeuristicFavorable, HeuristicPostgres, HeuristicExhaustive} {
+		a := mustOptimize(t, root, DefaultOptions(h))
+		b := mustOptimize(t, root, DefaultOptions(h))
+		if a.Plan.Cost != b.Plan.Cost {
+			t.Fatalf("%v: cost varies across runs: %f vs %f", h, a.Plan.Cost, b.Plan.Cost)
+		}
+		if a.Plan.Signature() != b.Plan.Signature() {
+			t.Fatalf("%v: plan shape varies across runs:\n%s\nvs\n%s",
+				h, a.Plan.Format(), b.Plan.Format())
+		}
+	}
+}
+
+// TestMoreOptionsNeverHurt: adding a covering index can only lower (or
+// keep) the estimated cost of the best plan — the memo must never be
+// poisoned by extra alternatives.
+func TestMoreOptionsNeverHurt(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		parts := 40 + int64(rng.Intn(40))
+		supps := 4 + int64(rng.Intn(6))
+		fa := newFixture(t)
+		fa.buildQ3WorldNoIndices(t, parts, supps)
+		costNoIx := mustOptimize(t, fa.q3(t), DefaultOptions(HeuristicFavorable)).Plan.Cost
+		fb := newFixture(t)
+		fb.buildQ3World(t, parts, supps)
+		costIx := mustOptimize(t, fb.q3(t), DefaultOptions(HeuristicFavorable)).Plan.Cost
+		if costIx > costNoIx+1e-9 {
+			t.Fatalf("trial %d: adding covering indices raised the best cost: %f -> %f",
+				trial, costNoIx, costIx)
+		}
+	}
+}
+
+// buildQ3WorldNoIndices mirrors buildQ3World without secondary indices.
+func (f *fixture) buildQ3WorldNoIndices(t *testing.T, parts, supps int64) {
+	t.Helper()
+	f.buildQ3World(t, parts, supps)
+	// Strip the indices from both tables (fixture builds them).
+	f.cat.MustTable("partsupp").Indices = nil
+	f.cat.MustTable("lineitem").Indices = nil
+}
+
+// TestRequiredOrderAlwaysInMemoKey: two different requirements on the same
+// node must never share a memoized plan.
+func TestRequiredOrderAlwaysInMemoKey(t *testing.T) {
+	f := newFixture(t)
+	f.buildQ3World(t, 30, 5)
+	ps := logical.NewScan(f.cat.MustTable("partsupp"))
+	opt := &Optimizer{
+		opts:   DefaultOptions(HeuristicFavorable),
+		fc:     ford.NewComputer(ps),
+		memo:   map[logical.Node]map[string]*Plan{},
+		forced: map[*logical.Join]sortord.Order{},
+	}
+	a, err := opt.bestPlan(ps, sortord.New("ps_suppkey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := opt.bestPlan(ps, sortord.New("ps_partkey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OutOrder.Attrs().Contains("ps_suppkey") {
+		t.Fatalf("plan a order = %v", a.OutOrder)
+	}
+	if !b.OutOrder.Attrs().Contains("ps_partkey") {
+		t.Fatalf("plan b order = %v", b.OutOrder)
+	}
+	if a == b {
+		t.Fatal("distinct requirements must not share a memo entry")
+	}
+}
+
+// TestEnforceIdempotent: a plan that already satisfies the requirement is
+// returned unchanged (no gratuitous sorts).
+func TestEnforceIdempotent(t *testing.T) {
+	f := newFixture(t)
+	f.buildQ3World(t, 30, 5)
+	root := logical.NewOrderBy(
+		logical.NewScan(f.cat.MustTable("partsupp")),
+		sortord.New("ps_partkey", "ps_suppkey")) // the clustering order
+	res := mustOptimize(t, root, DefaultOptions(HeuristicFavorable))
+	if res.Plan.CountKind(OpSort) != 0 {
+		t.Fatalf("clustering order satisfied: no sort expected\n%s", res.Plan.Format())
+	}
+}

@@ -1,0 +1,866 @@
+package core
+
+import (
+	"fmt"
+
+	"pyro/internal/cost"
+	"pyro/internal/exec"
+	"pyro/internal/expr"
+	"pyro/internal/ford"
+	"pyro/internal/logical"
+	"pyro/internal/sortord"
+)
+
+// Heuristic selects the interesting-order strategy for operators with
+// flexible order requirements (merge join, sort aggregate, merge union,
+// duplicate elimination). Names follow the paper's §6.2/§6.3 variants.
+type Heuristic uint8
+
+const (
+	// HeuristicArbitrary is PYRO: one arbitrary permutation per operator,
+	// no partial-sort exploitation — a baseline Volcano optimizer.
+	HeuristicArbitrary Heuristic = iota
+	// HeuristicFavorableExact is PYRO-O⁻: favorable orders drive the
+	// choice but only exact matches count (no partial-sort enforcers).
+	HeuristicFavorableExact
+	// HeuristicPostgres is PYRO-P: for each of the n attributes, one order
+	// beginning with that attribute (rest arbitrary); partial sort enabled.
+	HeuristicPostgres
+	// HeuristicFavorable is PYRO-O: the paper's proposal — interesting
+	// orders from approximate minimal favorable orders, partial sort
+	// enabled, phase-2 refinement.
+	HeuristicFavorable
+	// HeuristicExhaustive is PYRO-E: all n! permutations.
+	HeuristicExhaustive
+)
+
+func (h Heuristic) String() string {
+	switch h {
+	case HeuristicArbitrary:
+		return "PYRO"
+	case HeuristicFavorableExact:
+		return "PYRO-O-"
+	case HeuristicPostgres:
+		return "PYRO-P"
+	case HeuristicFavorable:
+		return "PYRO-O"
+	case HeuristicExhaustive:
+		return "PYRO-E"
+	}
+	return fmt.Sprintf("Heuristic(%d)", uint8(h))
+}
+
+// Options configures an optimization run.
+type Options struct {
+	Heuristic Heuristic
+	Model     cost.Model
+	// DisablePartialSort turns off partial-sort enforcers (set by default
+	// for PYRO and PYRO-O⁻).
+	DisablePartialSort bool
+	// DisablePhase2 skips the §5.2.2 plan refinement.
+	DisablePhase2 bool
+	// DisableHashJoin / DisableMergeJoin / DisableHashAgg restrict the
+	// physical algebra; used to force specific plan shapes when
+	// reproducing the paper's comparison plans.
+	DisableHashJoin  bool
+	DisableMergeJoin bool
+	DisableHashAgg   bool
+}
+
+// DefaultOptions returns the canonical configuration for a heuristic.
+func DefaultOptions(h Heuristic) Options {
+	o := Options{Heuristic: h, Model: cost.DefaultModel()}
+	if h == HeuristicArbitrary || h == HeuristicFavorableExact {
+		o.DisablePartialSort = true
+	}
+	if h != HeuristicFavorable {
+		o.DisablePhase2 = true
+	}
+	return o
+}
+
+// Stats reports optimizer work for the scalability experiment (Fig 16).
+type Stats struct {
+	GoalsExplored   int
+	PlansCosted     int
+	OrdersTried     int
+	Phase2Applied   bool
+	Phase2Improved  bool
+	Phase2FreeAttrs int
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	Plan  *Plan
+	Stats Stats
+}
+
+// Optimizer carries the state of one optimization run.
+type Optimizer struct {
+	opts   Options
+	fc     *ford.Computer
+	memo   map[logical.Node]map[string]*Plan
+	forced map[*logical.Join]sortord.Order
+	stats  Stats
+}
+
+// Optimize plans the query rooted at root under the given options. A root
+// OrderBy node becomes the required output order.
+func Optimize(root logical.Node, opts Options) (*Result, error) {
+	if opts.Model.PageSize == 0 {
+		opts.Model = cost.DefaultModel()
+	}
+	opt := &Optimizer{
+		opts:   opts,
+		fc:     ford.NewComputer(root),
+		memo:   make(map[logical.Node]map[string]*Plan),
+		forced: make(map[*logical.Join]sortord.Order),
+	}
+	node, required := root, sortord.Empty
+	if ob, ok := root.(*logical.OrderBy); ok {
+		node, required = ob.Child, ob.Order
+	}
+	plan, err := opt.bestPlan(node, required)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.DisablePhase2 {
+		refined, err := opt.refine(node, required, plan)
+		if err != nil {
+			return nil, err
+		}
+		opt.stats.Phase2Applied = true
+		if refined != nil && refined.Cost < plan.Cost {
+			opt.stats.Phase2Improved = true
+			plan = refined
+		}
+	}
+	return &Result{Plan: plan, Stats: opt.stats}, nil
+}
+
+// blocksFor estimates B(e) for a plan node's actual schema width.
+func (opt *Optimizer) blocksFor(rows int64, width int) int64 {
+	if rows == 0 {
+		return 0
+	}
+	if width <= 0 {
+		width = 8
+	}
+	per := int64(opt.opts.Model.PageSize) / int64(width)
+	if per <= 0 {
+		per = 1
+	}
+	b := rows / per
+	if rows%per != 0 || b == 0 {
+		b++
+	}
+	return b
+}
+
+// bestPlan returns the cheapest plan for (n, required); memoized.
+func (opt *Optimizer) bestPlan(n logical.Node, required sortord.Order) (*Plan, error) {
+	key := required.Key()
+	if m, ok := opt.memo[n]; ok {
+		if p, hit := m[key]; hit {
+			return p, nil
+		}
+	} else {
+		opt.memo[n] = make(map[string]*Plan)
+	}
+	opt.stats.GoalsExplored++
+
+	var candidates []*Plan
+	var canon func(sortord.Order) sortord.Order
+	var err error
+	switch t := n.(type) {
+	case *logical.Scan:
+		candidates, err = opt.scanCandidates(t)
+	case *logical.Select:
+		candidates, err = opt.selectCandidates(t, required)
+	case *logical.Project:
+		candidates, err = opt.projectCandidates(t, required)
+	case *logical.Join:
+		candidates, err = opt.joinCandidates(t, required)
+		canon = t.CanonicalizeOrder
+	case *logical.GroupBy:
+		candidates, err = opt.groupByCandidates(t, required)
+	case *logical.Distinct:
+		candidates, err = opt.distinctCandidates(t, required)
+	case *logical.Union:
+		candidates, err = opt.unionCandidates(t, required)
+	case *logical.Limit:
+		// Limit preserves order; the requirement passes through. The cost
+		// model charges the full child (it prices total work, not
+		// time-to-K), but execution stops the pipeline after K rows — the
+		// Top-K benefit of §3.1/§7 shows up in measured runs.
+		child, cerr := opt.bestPlan(t.Child, required)
+		if cerr != nil {
+			return nil, cerr
+		}
+		rows := t.Props().Rows
+		candidates, err = []*Plan{{
+			Kind:     OpLimit,
+			Children: []*Plan{child},
+			LimitK:   t.K,
+			Schema:   child.Schema,
+			OutOrder: child.OutOrder,
+			Rows:     rows,
+			Blocks:   opt.blocksFor(rows, child.Schema.AvgTupleWidth()),
+			Cost:     child.Cost,
+			Logical:  t,
+		}}, nil
+	case *logical.OrderBy:
+		// Nested order-by: optimize the child for the combined order.
+		child, cerr := opt.bestPlan(t.Child, t.Order)
+		if cerr != nil {
+			return nil, cerr
+		}
+		candidates, err = []*Plan{child}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown logical node %T", n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: no physical plan for %T", n)
+	}
+
+	var best *Plan
+	props := n.Props()
+	for _, cand := range candidates {
+		opt.stats.PlansCosted++
+		final := opt.enforce(cand, required, props, canon)
+		if best == nil || final.Cost < best.Cost {
+			best = final
+		}
+	}
+	opt.memo[n][key] = best
+	return best, nil
+}
+
+// enforce adds a (partial) sort on top of plan if it does not already
+// guarantee required. canon, when non-nil, maps equivalent column names
+// (both sides of an equijoin) to a canonical spelling before comparison.
+func (opt *Optimizer) enforce(plan *Plan, required sortord.Order, props logical.Props, canon func(sortord.Order) sortord.Order) *Plan {
+	if required.IsEmpty() {
+		return plan
+	}
+	reqC, provC := required, plan.OutOrder
+	if canon != nil {
+		reqC, provC = canon(required), canon(plan.OutOrder)
+	}
+	if reqC.PrefixOf(provC) {
+		return plan
+	}
+	prefix := sortord.LCP(reqC, provC)
+	if opt.opts.DisablePartialSort {
+		prefix = sortord.Empty
+	}
+	segments := int64(1)
+	if !prefix.IsEmpty() {
+		segments = props.DistinctOn(prefix)
+		if segments < 1 {
+			segments = 1
+		}
+	}
+	sortCost := opt.opts.Model.PartialSort(plan.Rows, plan.Blocks, segments, required.Len()-prefix.Len())
+	given := required[:prefix.Len()].Clone()
+	return &Plan{
+		Kind:       OpSort,
+		Children:   []*Plan{plan},
+		SortTarget: required.Clone(),
+		SortGiven:  given,
+		Schema:     plan.Schema,
+		OutOrder:   required.Clone(),
+		Rows:       plan.Rows,
+		Blocks:     plan.Blocks,
+		Cost:       plan.Cost + sortCost,
+	}
+}
+
+func (opt *Optimizer) scanCandidates(s *logical.Scan) ([]*Plan, error) {
+	t := s.Table
+	plans := []*Plan{{
+		Kind:     OpTableScan,
+		Table:    t,
+		Schema:   t.Schema,
+		OutOrder: t.ClusterOrder.Clone(),
+		Rows:     t.Stats.NumRows,
+		Blocks:   t.NumBlocks(),
+		Cost:     opt.opts.Model.ScanIO(t.NumBlocks()),
+		Logical:  s,
+	}}
+	need := opt.fc.NeededAttrs(t)
+	for _, ix := range t.Indices {
+		if !ix.Covers(need) {
+			continue
+		}
+		plans = append(plans, &Plan{
+			Kind:     OpIndexScan,
+			Index:    ix,
+			Schema:   ix.Schema(),
+			OutOrder: ix.KeyOrder.Clone(),
+			Rows:     t.Stats.NumRows,
+			Blocks:   ix.NumBlocks(),
+			Cost:     opt.opts.Model.ScanIO(ix.NumBlocks()),
+			Logical:  s,
+		})
+	}
+	return plans, nil
+}
+
+func (opt *Optimizer) selectCandidates(s *logical.Select, required sortord.Order) ([]*Plan, error) {
+	props := s.Props()
+	mk := func(child *Plan) *Plan {
+		return &Plan{
+			Kind:     OpFilter,
+			Children: []*Plan{child},
+			Pred:     s.Pred,
+			Schema:   child.Schema,
+			OutOrder: child.OutOrder,
+			Rows:     props.Rows,
+			Blocks:   opt.blocksFor(props.Rows, child.Schema.AvgTupleWidth()),
+			Cost:     child.Cost + opt.opts.Model.FilterCPU(child.Rows),
+			Logical:  s,
+		}
+	}
+	var plans []*Plan
+	// Push the requirement below the filter (order-preserving)…
+	if !required.IsEmpty() && s.Child.Schema().HasAll(required.Attrs()) {
+		child, err := opt.bestPlan(s.Child, required)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, mk(child))
+	}
+	// …or filter first and sort the (smaller) result above.
+	child, err := opt.bestPlan(s.Child, sortord.Empty)
+	if err != nil {
+		return nil, err
+	}
+	plans = append(plans, mk(child))
+
+	// Deferred fetch (§7): filter cheap non-covering index entries first,
+	// then fetch full heap rows only for survivors. Competitive when the
+	// predicate is selective or when the index's key order is wanted.
+	plans = append(plans, opt.deferredFetchCandidates(s, props)...)
+	return plans, nil
+}
+
+// deferredFetchCandidates builds Fetch(Filter(IndexScan)) plans for every
+// non-covering secondary index that stores the predicate columns and the
+// table's clustering key.
+func (opt *Optimizer) deferredFetchCandidates(s *logical.Select, props logical.Props) []*Plan {
+	scan, ok := s.Child.(*logical.Scan)
+	if !ok {
+		return nil
+	}
+	t := scan.Table
+	if t.ClusterOrder.IsEmpty() || !t.HasPageDirectory() {
+		return nil
+	}
+	// The clustering key must be a verified unique key: otherwise a fetch
+	// by key would pull back sibling heap rows the index-side filter never
+	// approved.
+	if len(t.Stats.KeyCols) != t.ClusterOrder.Len() {
+		return nil
+	}
+	needed := opt.fc.NeededAttrs(t)
+	predCols := expr.Columns(s.Pred)
+	keyCols := t.ClusterOrder.Attrs()
+	var plans []*Plan
+	for _, ix := range t.Indices {
+		stored := ix.StoredAttrs()
+		if ix.Covers(needed) {
+			continue // covering index: the plain index-scan path handles it
+		}
+		if !stored.ContainsAll(predCols) || !stored.ContainsAll(keyCols) {
+			continue
+		}
+		iscan := &Plan{
+			Kind:     OpIndexScan,
+			Index:    ix,
+			Schema:   ix.Schema(),
+			OutOrder: ix.KeyOrder.Clone(),
+			Rows:     t.Stats.NumRows,
+			Blocks:   ix.NumBlocks(),
+			Cost:     opt.opts.Model.ScanIO(ix.NumBlocks()),
+			Logical:  scan,
+		}
+		flt := &Plan{
+			Kind:     OpFilter,
+			Children: []*Plan{iscan},
+			Pred:     s.Pred,
+			Schema:   ix.Schema(),
+			OutOrder: iscan.OutOrder,
+			Rows:     props.Rows,
+			Blocks:   opt.blocksFor(props.Rows, ix.Schema().AvgTupleWidth()),
+			Cost:     iscan.Cost + opt.opts.Model.FilterCPU(iscan.Rows),
+			Logical:  s,
+		}
+		// The fetch preserves the child's order only while the looked-up
+		// rows come back in child order — they do, one lookup per tuple.
+		plans = append(plans, &Plan{
+			Kind:      OpFetch,
+			Children:  []*Plan{flt},
+			Table:     t,
+			FetchKeys: append([]string(nil), t.ClusterOrder...),
+			Schema:    t.Schema,
+			OutOrder:  flt.OutOrder,
+			Rows:      props.Rows,
+			Blocks:    opt.blocksFor(props.Rows, t.Schema.AvgTupleWidth()),
+			Cost:      flt.Cost + opt.opts.Model.FetchCost(props.Rows),
+			Logical:   s,
+		})
+	}
+	return plans
+}
+
+func (opt *Optimizer) projectCandidates(p *logical.Project, required sortord.Order) ([]*Plan, error) {
+	props := p.Props()
+	// Output name -> source child column for plain references.
+	toChild := make(map[string]string)
+	fromChild := make(map[string]string)
+	for _, c := range p.Cols {
+		if ref, ok := c.Expr.(expr.ColRef); ok {
+			toChild[c.Name] = ref.Name
+			if _, taken := fromChild[ref.Name]; !taken {
+				fromChild[ref.Name] = c.Name
+			}
+		}
+	}
+	mk := func(child *Plan) *Plan {
+		// Output order: child order mapped through the projection until the
+		// first dropped or computed column.
+		var out sortord.Order
+		for _, a := range child.OutOrder {
+			name, ok := fromChild[a]
+			if !ok {
+				break
+			}
+			out = append(out, name)
+		}
+		return &Plan{
+			Kind:     OpProject,
+			Children: []*Plan{child},
+			Cols:     p.Cols,
+			Schema:   p.Schema(),
+			OutOrder: out,
+			Rows:     props.Rows,
+			Blocks:   opt.blocksFor(props.Rows, p.Schema().AvgTupleWidth()),
+			Cost:     child.Cost + opt.opts.Model.ProjectCPU(child.Rows),
+			Logical:  p,
+		}
+	}
+	var plans []*Plan
+	if !required.IsEmpty() {
+		// Translate the requirement through the projection if possible.
+		translated := make(sortord.Order, 0, len(required))
+		ok := true
+		for _, a := range required {
+			src, found := toChild[a]
+			if !found {
+				ok = false
+				break
+			}
+			translated = append(translated, src)
+		}
+		if ok && p.Child.Schema().HasAll(translated.Attrs()) {
+			child, err := opt.bestPlan(p.Child, translated)
+			if err != nil {
+				return nil, err
+			}
+			plans = append(plans, mk(child))
+		}
+	}
+	child, err := opt.bestPlan(p.Child, sortord.Empty)
+	if err != nil {
+		return nil, err
+	}
+	plans = append(plans, mk(child))
+	return plans, nil
+}
+
+// interestingOrders generates the candidate permutations of attrs for a
+// flexible-order operator under the active heuristic.
+func (opt *Optimizer) interestingOrders(attrs sortord.AttrSet, inputAFMs [][]sortord.Order, reqRestricted sortord.Order) []sortord.Order {
+	var orders []sortord.Order
+	switch opt.opts.Heuristic {
+	case HeuristicArbitrary:
+		orders = []sortord.Order{sortord.APermute(attrs)}
+	case HeuristicPostgres:
+		for _, a := range attrs.Sorted() {
+			rest := attrs.Clone()
+			delete(rest, a)
+			orders = append(orders, sortord.Concat(sortord.New(a), sortord.APermute(rest)))
+		}
+	case HeuristicFavorable, HeuristicFavorableExact:
+		orders = ford.InterestingOrders(inputAFMs, attrs, reqRestricted)
+	case HeuristicExhaustive:
+		orders = sortord.Permutations(attrs)
+	}
+	if len(orders) == 0 {
+		orders = []sortord.Order{sortord.APermute(attrs)}
+	}
+	opt.stats.OrdersTried += len(orders)
+	return orders
+}
+
+func (opt *Optimizer) joinCandidates(j *logical.Join, required sortord.Order) ([]*Plan, error) {
+	props := j.Props()
+	var plans []*Plan
+
+	if len(j.EquiPairs) == 0 {
+		// Non-equijoin: block nested loops only.
+		lp, err := opt.bestPlan(j.Left, sortord.Empty)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := opt.bestPlan(j.Right, sortord.Empty)
+		if err != nil {
+			return nil, err
+		}
+		out := sortord.Empty
+		if lp.Blocks <= opt.opts.Model.MemoryBlocks {
+			out = lp.OutOrder // one outer block: order propagates
+		}
+		return []*Plan{{
+			Kind:     OpNLJoin,
+			Children: []*Plan{lp, rp},
+			Pred:     j.Pred,
+			JoinType: j.Type,
+			Schema:   lp.Schema.Concat(rp.Schema),
+			OutOrder: out,
+			Rows:     props.Rows,
+			Blocks:   opt.blocksFor(props.Rows, lp.Schema.AvgTupleWidth()+rp.Schema.AvgTupleWidth()),
+			Cost:     lp.Cost + rp.Cost + opt.opts.Model.NLJoinCost(lp.Blocks, rp.Blocks),
+			Logical:  j,
+		}}, nil
+	}
+
+	sLeft := j.JoinAttrSetLeft()
+	reqS := j.CanonicalizeOrder(required).LongestPrefixIn(sLeft)
+
+	if !opt.opts.DisableMergeJoin {
+		var perms []sortord.Order
+		if forced, ok := opt.forced[j]; ok {
+			perms = []sortord.Order{forced}
+		} else {
+			afms := [][]sortord.Order{opt.fc.AFM(j.Left), opt.canonAFM(j, opt.fc.AFM(j.Right))}
+			perms = opt.interestingOrders(sLeft, afms, reqS)
+		}
+		for _, p := range perms {
+			mj, err := opt.mergeJoinPlan(j, p, props)
+			if err != nil {
+				return nil, err
+			}
+			plans = append(plans, mj)
+		}
+	}
+
+	if !opt.opts.DisableHashJoin && j.Type != exec.FullOuterJoin {
+		lp, err := opt.bestPlan(j.Left, sortord.Empty)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := opt.bestPlan(j.Right, sortord.Empty)
+		if err != nil {
+			return nil, err
+		}
+		leftKeys := make([]string, len(j.EquiPairs))
+		rightKeys := make([]string, len(j.EquiPairs))
+		for i, pr := range j.EquiPairs {
+			leftKeys[i], rightKeys[i] = pr.Left, pr.Right
+		}
+		hj := &Plan{
+			Kind:      OpHashJoin,
+			Children:  []*Plan{lp, rp},
+			LeftKeys:  leftKeys,
+			RightKeys: rightKeys,
+			JoinType:  j.Type,
+			Schema:    lp.Schema.Concat(rp.Schema),
+			OutOrder:  sortord.Empty,
+			Rows:      props.Rows,
+			Blocks:    opt.blocksFor(props.Rows, lp.Schema.AvgTupleWidth()+rp.Schema.AvgTupleWidth()),
+			Cost: lp.Cost + rp.Cost +
+				opt.opts.Model.HashJoinCost(lp.Rows, rp.Rows, lp.Blocks, rp.Blocks),
+			Logical: j,
+		}
+		plans = append(plans, opt.wrapResidual(j, hj, props))
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("core: join %v has no admissible physical operator", j.Pred)
+	}
+	return plans, nil
+}
+
+// mergeJoinPlan builds one merge-join candidate for permutation p (left
+// names), wrapping residual predicates in a Filter.
+func (opt *Optimizer) mergeJoinPlan(j *logical.Join, p sortord.Order, props logical.Props) (*Plan, error) {
+	rightKey := make(sortord.Order, len(p))
+	for i, a := range p {
+		r, ok := j.RightName(a)
+		if !ok {
+			return nil, fmt.Errorf("core: join permutation %v has non-join attribute %q", p, a)
+		}
+		rightKey[i] = r
+	}
+	lp, err := opt.bestPlan(j.Left, p)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := opt.bestPlan(j.Right, rightKey)
+	if err != nil {
+		return nil, err
+	}
+	mj := &Plan{
+		Kind:     OpMergeJoin,
+		Children: []*Plan{lp, rp},
+		LeftKey:  p.Clone(),
+		RightKey: rightKey,
+		JoinType: j.Type,
+		Schema:   lp.Schema.Concat(rp.Schema),
+		OutOrder: p.Clone(),
+		Rows:     props.Rows,
+		Blocks:   opt.blocksFor(props.Rows, lp.Schema.AvgTupleWidth()+rp.Schema.AvgTupleWidth()),
+		Cost:     lp.Cost + rp.Cost + opt.opts.Model.MergeJoinCPU(lp.Rows, rp.Rows),
+		Logical:  j,
+	}
+	return opt.wrapResidual(j, mj, props), nil
+}
+
+// wrapResidual applies non-equi conjuncts above a join.
+func (opt *Optimizer) wrapResidual(j *logical.Join, plan *Plan, props logical.Props) *Plan {
+	if len(j.Residual) == 0 {
+		return plan
+	}
+	pred := expr.AndOf(j.Residual...)
+	return &Plan{
+		Kind:     OpFilter,
+		Children: []*Plan{plan},
+		Pred:     pred,
+		Schema:   plan.Schema,
+		OutOrder: plan.OutOrder,
+		Rows:     props.Rows,
+		Blocks:   plan.Blocks,
+		Cost:     plan.Cost + opt.opts.Model.FilterCPU(plan.Rows),
+		Logical:  j,
+	}
+}
+
+// canonAFM maps right-input favorable orders into left-side names through
+// the join's equi pairs (non-join attributes pass through).
+func (opt *Optimizer) canonAFM(j *logical.Join, orders []sortord.Order) []sortord.Order {
+	out := make([]sortord.Order, len(orders))
+	for i, o := range orders {
+		out[i] = j.CanonicalizeOrder(o)
+	}
+	return out
+}
+
+// determiningSubset shrinks the grouping column set using the exact
+// functional dependencies carried in the child's properties: a column is
+// redundant if the remaining columns determine it (the paper's Query 3
+// relies on {ps_partkey, ps_suppkey} → ps_availqty to aggregate on a
+// (suppkey, partkey) stream). Only verified FDs participate — estimated
+// distinct counts saturate at the row count and would fabricate false
+// dependencies, splitting groups at execution time.
+func (opt *Optimizer) determiningSubset(child logical.Node, groupCols []string) []string {
+	props := child.Props()
+	kept := append([]string(nil), groupCols...)
+	for i := 0; i < len(kept); {
+		trial := append(append([]string(nil), kept[:i]...), kept[i+1:]...)
+		if len(trial) > 0 &&
+			logical.Determines(sortord.NewAttrSet(trial...), sortord.NewAttrSet(kept[i]), props.FDs) {
+			kept = trial
+			continue
+		}
+		i++
+	}
+	return kept
+}
+
+func (opt *Optimizer) groupByCandidates(g *logical.GroupBy, required sortord.Order) ([]*Plan, error) {
+	props := g.Props()
+	var plans []*Plan
+
+	det := opt.determiningSubset(g.Child, g.GroupCols)
+	attrs := sortord.NewAttrSet(det...)
+	reqRestricted := required.LongestPrefixIn(attrs)
+	afms := [][]sortord.Order{opt.fc.AFM(g.Child)}
+	for _, p := range opt.interestingOrders(attrs, afms, reqRestricted) {
+		child, err := opt.bestPlan(g.Child, p)
+		if err != nil {
+			return nil, err
+		}
+		// Output keeps the group columns, so the input order (over group
+		// columns only) survives aggregation.
+		plans = append(plans, &Plan{
+			Kind:      OpGroupAgg,
+			Children:  []*Plan{child},
+			GroupCols: g.GroupCols,
+			Aggs:      g.Aggs,
+			Schema:    g.Schema(),
+			OutOrder:  p.Clone(),
+			Rows:      props.Rows,
+			Blocks:    opt.blocksFor(props.Rows, g.Schema().AvgTupleWidth()),
+			Cost:      child.Cost + opt.opts.Model.GroupAggCPU(child.Rows),
+			Logical:   g,
+		})
+	}
+
+	if !opt.opts.DisableHashAgg {
+		child, err := opt.bestPlan(g.Child, sortord.Empty)
+		if err != nil {
+			return nil, err
+		}
+		outBlocks := opt.blocksFor(props.Rows, g.Schema().AvgTupleWidth())
+		plans = append(plans, &Plan{
+			Kind:      OpHashAgg,
+			Children:  []*Plan{child},
+			GroupCols: g.GroupCols,
+			Aggs:      g.Aggs,
+			Schema:    g.Schema(),
+			OutOrder:  sortord.Empty,
+			Rows:      props.Rows,
+			Blocks:    outBlocks,
+			Cost:      child.Cost + opt.opts.Model.HashAggCost(child.Rows, outBlocks),
+			Logical:   g,
+		})
+	}
+	return plans, nil
+}
+
+func (opt *Optimizer) distinctCandidates(d *logical.Distinct, required sortord.Order) ([]*Plan, error) {
+	props := d.Props()
+	attrs := d.Child.Schema().AttrSet()
+	reqRestricted := required.LongestPrefixIn(attrs)
+	afms := [][]sortord.Order{opt.fc.AFM(d.Child)}
+	var plans []*Plan
+	for _, p := range opt.interestingOrders(attrs, afms, reqRestricted) {
+		child, err := opt.bestPlan(d.Child, p)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, &Plan{
+			Kind:     OpDedup,
+			Children: []*Plan{child},
+			Schema:   d.Schema(),
+			OutOrder: p.Clone(),
+			Rows:     props.Rows,
+			Blocks:   opt.blocksFor(props.Rows, d.Schema().AvgTupleWidth()),
+			Cost:     child.Cost + opt.opts.Model.GroupAggCPU(child.Rows),
+			Logical:  d,
+		})
+	}
+	if !opt.opts.DisableHashAgg {
+		child, err := opt.bestPlan(d.Child, sortord.Empty)
+		if err != nil {
+			return nil, err
+		}
+		outBlocks := opt.blocksFor(props.Rows, d.Schema().AvgTupleWidth())
+		plans = append(plans, &Plan{
+			Kind:      OpHashAgg,
+			Children:  []*Plan{child},
+			GroupCols: d.Child.Schema().Names(),
+			Schema:    d.Schema(),
+			OutOrder:  sortord.Empty,
+			Rows:      props.Rows,
+			Blocks:    outBlocks,
+			Cost:      child.Cost + opt.opts.Model.HashAggCost(child.Rows, outBlocks),
+			Logical:   d,
+		})
+	}
+	return plans, nil
+}
+
+func (opt *Optimizer) unionCandidates(u *logical.Union, required sortord.Order) ([]*Plan, error) {
+	props := u.Props()
+	var plans []*Plan
+	attrs := u.Left.Schema().AttrSet()
+
+	// Merge union: both inputs sorted on the same permutation — the
+	// coordinated choice SYS2 lacked in Experiment B2.
+	if u.Dedup || !required.IsEmpty() {
+		reqRestricted := required.LongestPrefixIn(attrs)
+		afms := [][]sortord.Order{opt.fc.AFM(u.Left), opt.translateRightUnion(u, opt.fc.AFM(u.Right))}
+		for _, p := range opt.interestingOrders(attrs, afms, reqRestricted) {
+			lp, err := opt.bestPlan(u.Left, p)
+			if err != nil {
+				return nil, err
+			}
+			rightOrder := opt.rightUnionOrder(u, p)
+			rp, err := opt.bestPlan(u.Right, rightOrder)
+			if err != nil {
+				return nil, err
+			}
+			plans = append(plans, &Plan{
+				Kind:       OpMergeUnion,
+				Children:   []*Plan{lp, rp},
+				UnionOrder: p.Clone(),
+				DedupRows:  u.Dedup,
+				Schema:     u.Schema(),
+				OutOrder:   p.Clone(),
+				Rows:       props.Rows,
+				Blocks:     opt.blocksFor(props.Rows, u.Schema().AvgTupleWidth()),
+				Cost:       lp.Cost + rp.Cost + opt.opts.Model.MergeUnionCPU(lp.Rows+rp.Rows),
+				Logical:    u,
+			})
+		}
+	}
+	if !u.Dedup {
+		lp, err := opt.bestPlan(u.Left, sortord.Empty)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := opt.bestPlan(u.Right, sortord.Empty)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, &Plan{
+			Kind:     OpUnionAll,
+			Children: []*Plan{lp, rp},
+			Schema:   u.Schema(),
+			OutOrder: sortord.Empty,
+			Rows:     props.Rows,
+			Blocks:   opt.blocksFor(props.Rows, u.Schema().AvgTupleWidth()),
+			Cost:     lp.Cost + rp.Cost,
+			Logical:  u,
+		})
+	}
+	return plans, nil
+}
+
+// rightUnionOrder maps an output (left-named) order to the right input's
+// column names positionally.
+func (opt *Optimizer) rightUnionOrder(u *logical.Union, o sortord.Order) sortord.Order {
+	ls, rs := u.Left.Schema(), u.Right.Schema()
+	out := make(sortord.Order, len(o))
+	for i, a := range o {
+		out[i] = rs.Col(ls.MustOrdinal(a)).Name
+	}
+	return out
+}
+
+// translateRightUnion maps right-input orders to output names positionally.
+func (opt *Optimizer) translateRightUnion(u *logical.Union, orders []sortord.Order) []sortord.Order {
+	ls, rs := u.Left.Schema(), u.Right.Schema()
+	var out []sortord.Order
+	for _, o := range orders {
+		mapped := make(sortord.Order, 0, len(o))
+		ok := true
+		for _, a := range o {
+			i, found := rs.Ordinal(a)
+			if !found {
+				ok = false
+				break
+			}
+			mapped = append(mapped, ls.Col(i).Name)
+		}
+		if ok {
+			out = append(out, mapped)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"pyro/internal/logical"
+	"pyro/internal/ordersel"
+	"pyro/internal/sortord"
+)
+
+// refine implements the §5.2.2 post-optimization phase. For every
+// merge-join node of the chosen plan it identifies the free attributes —
+// join attributes whose position in the chosen permutation was arbitrary
+// (not anchored by any input favorable order) — then reworks their
+// ordering across adjacent joins with the 2-approximate tree algorithm so
+// that neighbouring joins share longer prefixes. The plan is re-optimized
+// with the reworked permutations forced; the caller keeps whichever plan
+// costs less.
+func (opt *Optimizer) refine(node logical.Node, required sortord.Order, plan *Plan) (*Plan, error) {
+	joins := collectMergeJoins(plan)
+	if len(joins.nodes) < 2 {
+		return nil, nil
+	}
+
+	// Free attributes per join: fi = attrs(pi − (pi ∧ qi)) where qi is the
+	// input favorable order sharing the longest prefix with pi.
+	type joinInfo struct {
+		node   *logical.Join
+		perm   sortord.Order
+		shared sortord.Order
+		free   sortord.AttrSet
+	}
+	infos := make([]joinInfo, len(joins.nodes))
+	for i, jp := range joins.nodes {
+		j := jp.Logical.(*logical.Join)
+		pi := jp.LeftKey
+		var qi sortord.Order
+		best := -1
+		candidates := append(append([]sortord.Order{}, opt.fc.AFM(j.Left)...),
+			opt.canonAFM(j, opt.fc.AFM(j.Right))...)
+		for _, q := range candidates {
+			if l := sortord.LCP(pi, q).Len(); l > best {
+				best = l
+				qi = q
+			}
+		}
+		shared := sortord.LCP(pi, qi)
+		free := pi[shared.Len():].Attrs()
+		infos[i] = joinInfo{node: j, perm: pi, shared: shared, free: free}
+		opt.stats.Phase2FreeAttrs += free.Len()
+	}
+
+	// Nothing to rework if no join has free attributes.
+	anyFree := false
+	for _, inf := range infos {
+		if inf.free.Len() > 0 {
+			anyFree = true
+			break
+		}
+	}
+	if !anyFree {
+		return nil, nil
+	}
+
+	sets := make([]sortord.AttrSet, len(infos))
+	for i, inf := range infos {
+		sets[i] = inf.free
+	}
+	prob := ordersel.Problem{Sets: sets, Edges: joins.edges}
+	freeOrders := ordersel.TwoApprox(prob)
+
+	// Force the reworked permutations and re-optimize from scratch.
+	saved := opt.forced
+	opt.forced = make(map[*logical.Join]sortord.Order, len(infos))
+	for i, inf := range infos {
+		opt.forced[inf.node] = sortord.Concat(inf.shared, freeOrders[i])
+	}
+	opt.memo = make(map[logical.Node]map[string]*Plan)
+	refined, err := opt.bestPlan(node, required)
+	opt.forced = saved
+	opt.memo = make(map[logical.Node]map[string]*Plan)
+	if err != nil {
+		return nil, err
+	}
+	return refined, nil
+}
+
+// mergeJoinGraph is the contracted tree over merge-join plan nodes.
+type mergeJoinGraph struct {
+	nodes []*Plan
+	edges [][2]int
+}
+
+// collectMergeJoins walks the plan and links each merge join to its nearest
+// merge-join ancestor, producing the tree phase 2 runs the 2-approximation
+// on.
+func collectMergeJoins(plan *Plan) mergeJoinGraph {
+	var g mergeJoinGraph
+	index := make(map[*Plan]int)
+	var walk func(p *Plan, ancestor int)
+	walk = func(p *Plan, ancestor int) {
+		cur := ancestor
+		if p.Kind == OpMergeJoin {
+			if _, ok := p.Logical.(*logical.Join); ok {
+				idx := len(g.nodes)
+				g.nodes = append(g.nodes, p)
+				index[p] = idx
+				if ancestor >= 0 {
+					g.edges = append(g.edges, [2]int{ancestor, idx})
+				}
+				cur = idx
+			}
+		}
+		for _, c := range p.Children {
+			walk(c, cur)
+		}
+	}
+	walk(plan, -1)
+	return g
+}

@@ -1,0 +1,228 @@
+// Package core implements PYRO, the Volcano-style cost-based optimizer with
+// the paper's extensions: partial-sort enforcers (§3.2), favorable-order
+// driven interesting-order selection (§5.2.1, phase 1) and post-optimization
+// plan refinement via the 2-approximate tree algorithm (§5.2.2, phase 2).
+//
+// The optimizer takes a logical tree (join order fixed, as in the paper),
+// a heuristic variant (PYRO, PYRO-O⁻, PYRO-P, PYRO-O, PYRO-E) and a cost
+// model, and produces a physical Plan annotated with guaranteed sort
+// orders and estimated costs. Plans can be rendered for inspection and
+// compiled to executable operator trees.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pyro/internal/catalog"
+	"pyro/internal/exec"
+	"pyro/internal/expr"
+	"pyro/internal/logical"
+	"pyro/internal/sortord"
+	"pyro/internal/types"
+)
+
+// OpKind enumerates physical operators.
+type OpKind uint8
+
+// Physical operator kinds.
+const (
+	OpTableScan OpKind = iota
+	OpIndexScan
+	OpFilter
+	OpProject
+	OpSort
+	OpMergeJoin
+	OpHashJoin
+	OpNLJoin
+	OpGroupAgg
+	OpHashAgg
+	OpMergeUnion
+	OpUnionAll
+	OpDedup
+	OpLimit
+	OpFetch
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpTableScan:
+		return "TableScan"
+	case OpIndexScan:
+		return "CoveringIndexScan"
+	case OpFilter:
+		return "Filter"
+	case OpProject:
+		return "Project"
+	case OpSort:
+		return "Sort"
+	case OpMergeJoin:
+		return "MergeJoin"
+	case OpHashJoin:
+		return "HashJoin"
+	case OpNLJoin:
+		return "NestedLoopsJoin"
+	case OpGroupAgg:
+		return "GroupAggregate"
+	case OpHashAgg:
+		return "HashAggregate"
+	case OpMergeUnion:
+		return "MergeUnion"
+	case OpUnionAll:
+		return "UnionAll"
+	case OpDedup:
+		return "Dedup"
+	case OpLimit:
+		return "Limit"
+	case OpFetch:
+		return "Fetch"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(k))
+}
+
+// Plan is a physical plan node. Cost is cumulative (node + inputs);
+// OutOrder is the sort order the node guarantees on its output.
+type Plan struct {
+	Kind     OpKind
+	Children []*Plan
+
+	// Operator parameters (fields used depend on Kind).
+	Table      *catalog.Table
+	Index      *catalog.Index
+	Pred       expr.Expr
+	Cols       []logical.ProjCol
+	SortTarget sortord.Order // OpSort: order to produce
+	SortGiven  sortord.Order // OpSort: known input prefix (ε => full sort)
+	LeftKey    sortord.Order // OpMergeJoin
+	RightKey   sortord.Order // OpMergeJoin
+	LeftKeys   []string      // OpHashJoin
+	RightKeys  []string      // OpHashJoin
+	JoinType   exec.JoinType
+	GroupCols  []string
+	Aggs       []exec.AggSpec
+	UnionOrder sortord.Order // OpMergeUnion
+	DedupRows  bool          // OpMergeUnion: duplicate-eliminating
+	LimitK     int64         // OpLimit
+	FetchKeys  []string      // OpFetch: child columns carrying the cluster key
+
+	// Derived annotations.
+	Schema   *types.Schema
+	OutOrder sortord.Order
+	Rows     int64
+	Blocks   int64
+	Cost     float64
+	// Logical links the plan node back to the logical node it implements
+	// (nil for enforcers injected by the optimizer).
+	Logical logical.Node
+}
+
+// LocalCost returns this node's own cost (cumulative minus children).
+func (p *Plan) LocalCost() float64 {
+	c := p.Cost
+	for _, ch := range p.Children {
+		c -= ch.Cost
+	}
+	return c
+}
+
+// IsPartialSort reports whether p is a partial-sort enforcer.
+func (p *Plan) IsPartialSort() bool {
+	return p.Kind == OpSort && !p.SortGiven.IsEmpty()
+}
+
+// Walk visits the plan tree pre-order.
+func (p *Plan) Walk(fn func(*Plan)) {
+	fn(p)
+	for _, c := range p.Children {
+		c.Walk(fn)
+	}
+}
+
+// CountKind returns the number of nodes of the given kind in the tree.
+func (p *Plan) CountKind(k OpKind) int {
+	n := 0
+	p.Walk(func(q *Plan) {
+		if q.Kind == k {
+			n++
+		}
+	})
+	return n
+}
+
+// describe renders the node's single-line summary.
+func (p *Plan) describe() string {
+	var b strings.Builder
+	b.WriteString(p.Kind.String())
+	switch p.Kind {
+	case OpTableScan:
+		fmt.Fprintf(&b, " %s", p.Table.Name)
+	case OpIndexScan:
+		fmt.Fprintf(&b, " %s.%s %v", p.Index.Table.Name, p.Index.Name, p.Index.KeyOrder)
+	case OpFilter:
+		fmt.Fprintf(&b, " [%s]", p.Pred)
+	case OpProject:
+		names := make([]string, len(p.Cols))
+		for i, c := range p.Cols {
+			names[i] = c.Name
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(names, ", "))
+	case OpSort:
+		if p.IsPartialSort() {
+			fmt.Fprintf(&b, "(partial) %v -> %v", p.SortGiven, p.SortTarget)
+		} else {
+			fmt.Fprintf(&b, " %v", p.SortTarget)
+		}
+	case OpMergeJoin:
+		fmt.Fprintf(&b, "[%s] %v = %v", p.JoinType, p.LeftKey, p.RightKey)
+	case OpHashJoin:
+		fmt.Fprintf(&b, "[%s] %v = %v", p.JoinType, p.LeftKeys, p.RightKeys)
+	case OpNLJoin:
+		fmt.Fprintf(&b, "[%s]", p.JoinType)
+		if p.Pred != nil {
+			fmt.Fprintf(&b, " [%s]", p.Pred)
+		}
+	case OpGroupAgg, OpHashAgg:
+		fmt.Fprintf(&b, " by (%s)", strings.Join(p.GroupCols, ", "))
+	case OpMergeUnion:
+		fmt.Fprintf(&b, " on %v dedup=%v", p.UnionOrder, p.DedupRows)
+	case OpLimit:
+		fmt.Fprintf(&b, " %d", p.LimitK)
+	case OpFetch:
+		fmt.Fprintf(&b, " %s via %v", p.Table.Name, p.FetchKeys)
+	}
+	return b.String()
+}
+
+// Format renders the plan tree with costs, cardinalities and orders — the
+// representation used to reproduce the paper's plan figures (10, 11, 14).
+func (p *Plan) Format() string {
+	var b strings.Builder
+	var rec func(n *Plan, depth int)
+	rec = func(n *Plan, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s  (cost=%.0f rows=%d", n.describe(), n.Cost, n.Rows)
+		if !n.OutOrder.IsEmpty() {
+			fmt.Fprintf(&b, " order=%v", n.OutOrder)
+		}
+		b.WriteString(")\n")
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(p, 0)
+	return b.String()
+}
+
+// Signature returns a compact structural fingerprint (operator kinds in
+// pre-order), useful for asserting plan shapes in tests.
+func (p *Plan) Signature() string {
+	var parts []string
+	p.Walk(func(q *Plan) {
+		s := q.Kind.String()
+		if q.IsPartialSort() {
+			s = "PartialSort"
+		}
+		parts = append(parts, s)
+	})
+	return strings.Join(parts, ">")
+}

@@ -1,0 +1,149 @@
+// Package cost implements the optimizer's cost model in I/O units, following
+// §3.2 of the paper:
+//
+//	coe(e, ε, o)  = cpu-cost(e, o)                    if B(e) ≤ M
+//	              = B(e)·(2·⌈log_{M-1}(B(e)/M)⌉ + 1)  otherwise
+//
+//	coe(e, o1, o2) = D(e, attrs(o2 ∧ o1)) · coe(e', ε, o2 − (o2 ∧ o1))
+//	                 where e' = one partial-sort segment of e
+//	                 (N(e') = N/D, B(e') = B/D, uniformity assumed)
+//
+// CPU work is translated into I/O units by per-operation weights, as the
+// paper does ("CPU cost is appropriately translated into I/O cost units").
+package cost
+
+import "math"
+
+// Model carries the cost parameters. The zero value is not usable; use
+// DefaultModel and override fields as needed.
+type Model struct {
+	// PageSize is the disk block size in bytes.
+	PageSize int
+	// MemoryBlocks is M: blocks of main memory available to sorts.
+	MemoryBlocks int64
+	// CmpWeight converts one key comparison into I/O units.
+	CmpWeight float64
+	// HashWeight converts one hash-table operation into I/O units.
+	HashWeight float64
+	// TupleWeight converts one per-tuple pipeline step into I/O units.
+	TupleWeight float64
+}
+
+// DefaultModel mirrors the paper's environment: 4 KiB blocks and M = 10000
+// blocks (40 MB) of sort memory.
+func DefaultModel() Model {
+	return Model{
+		PageSize:     4096,
+		MemoryBlocks: 10000,
+		CmpWeight:    1e-5,
+		HashWeight:   5e-5,
+		TupleWeight:  1e-5,
+	}
+}
+
+// SortCPU is cpu-cost(e, o): the in-memory sort cost for rows tuples.
+func (m Model) SortCPU(rows int64) float64 {
+	if rows <= 1 {
+		return 0
+	}
+	return float64(rows) * math.Log2(float64(rows)) * m.CmpWeight
+}
+
+// FullSort is coe(e, ε, o): the cost of sorting from scratch.
+func (m Model) FullSort(rows, blocks int64) float64 {
+	if rows <= 1 || blocks <= 0 {
+		return 0
+	}
+	if blocks <= m.MemoryBlocks {
+		return m.SortCPU(rows)
+	}
+	passes := math.Ceil(logBase(float64(m.MemoryBlocks-1), float64(blocks)/float64(m.MemoryBlocks)))
+	if passes < 1 {
+		passes = 1
+	}
+	return float64(blocks) * (2*passes + 1)
+}
+
+func logBase(base, x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log(x) / math.Log(base)
+}
+
+// PartialSort is coe(e, o1, o2) expressed via the segment count: the caller
+// computes D = D(e, attrs(o2 ∧ o1)) and passes it along with N(e) and B(e).
+// Each of the D segments sorts independently (N/D rows, B/D blocks); if the
+// suffix order is empty (o2 ≤ o1) the cost is zero.
+func (m Model) PartialSort(rows, blocks, segments int64, suffixLen int) float64 {
+	if suffixLen == 0 || rows <= 1 {
+		return 0
+	}
+	if segments <= 0 {
+		segments = 1
+	}
+	segRows := rows / segments
+	if segRows < 1 {
+		segRows = 1
+	}
+	segBlocks := blocks / segments
+	if segBlocks < 1 {
+		segBlocks = 1
+	}
+	return float64(segments) * m.FullSort(segRows, segBlocks)
+}
+
+// ScanIO is the cost of a sequential scan over blocks pages.
+func (m Model) ScanIO(blocks int64) float64 { return float64(blocks) }
+
+// MergeJoinCPU is CM: the per-tuple merging cost of a merge join.
+func (m Model) MergeJoinCPU(leftRows, rightRows int64) float64 {
+	return float64(leftRows+rightRows) * m.TupleWeight
+}
+
+// HashJoinCost covers build + probe CPU plus Grace-style partition I/O when
+// the build side exceeds memory.
+func (m Model) HashJoinCost(probeRows, buildRows, probeBlocks, buildBlocks int64) float64 {
+	c := float64(probeRows+buildRows) * m.HashWeight
+	if buildBlocks > m.MemoryBlocks {
+		// One partition pass: write and re-read both inputs.
+		c += 2 * float64(probeBlocks+buildBlocks)
+	}
+	return c
+}
+
+// GroupAggCPU is the streaming aggregate cost over sorted input.
+func (m Model) GroupAggCPU(rows int64) float64 { return float64(rows) * m.TupleWeight }
+
+// HashAggCost covers hashing every input row, plus spill I/O when the group
+// state exceeds memory.
+func (m Model) HashAggCost(rows, groupBlocks int64) float64 {
+	c := float64(rows) * m.HashWeight
+	if groupBlocks > m.MemoryBlocks {
+		c += 2 * float64(groupBlocks)
+	}
+	return c
+}
+
+// FilterCPU is the per-tuple predicate cost.
+func (m Model) FilterCPU(rows int64) float64 { return float64(rows) * m.TupleWeight }
+
+// ProjectCPU is the per-tuple projection cost.
+func (m Model) ProjectCPU(rows int64) float64 { return float64(rows) * m.TupleWeight }
+
+// MergeUnionCPU is the per-tuple merge cost of a sorted union.
+func (m Model) MergeUnionCPU(rows int64) float64 { return float64(rows) * m.TupleWeight }
+
+// FetchCost is the deferred-fetch cost (§7): one random heap page read plus
+// one seek per fetched row, with the clustering index's inner nodes cached.
+func (m Model) FetchCost(rows int64) float64 { return 2 * float64(rows) }
+
+// NLJoinCost is block nested loops: spool the inner once, then rescan it
+// per outer block group.
+func (m Model) NLJoinCost(outerBlocks, innerBlocks int64) float64 {
+	groups := outerBlocks / m.MemoryBlocks
+	if outerBlocks%m.MemoryBlocks != 0 || groups == 0 {
+		groups++
+	}
+	return float64(innerBlocks) + float64(groups)*float64(innerBlocks)
+}

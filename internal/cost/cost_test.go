@@ -1,0 +1,145 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFullSortInMemory(t *testing.T) {
+	m := DefaultModel()
+	// Fits in memory: CPU only.
+	got := m.FullSort(1000, 100)
+	want := m.SortCPU(1000)
+	if got != want {
+		t.Fatalf("in-memory sort = %f, want cpu %f", got, want)
+	}
+	if m.FullSort(0, 0) != 0 || m.FullSort(1, 1) != 0 {
+		t.Fatal("degenerate sorts are free")
+	}
+}
+
+func TestFullSortExternalFormula(t *testing.T) {
+	m := DefaultModel()
+	// B = 50000, M = 10000: one merge pass => B*(2*1+1) = 150000.
+	if got := m.FullSort(2_000_000, 50_000); got != 150_000 {
+		t.Fatalf("external sort = %f, want 150000", got)
+	}
+	// B = M+1: still one pass.
+	if got := m.FullSort(1_000_000, 10_001); got != 3*10_001 {
+		t.Fatalf("barely external = %f", got)
+	}
+	// Very large: log_{M-1}(B/M) grows. B = M * (M-1)^2 needs 2 passes.
+	b := m.MemoryBlocks * (m.MemoryBlocks - 1) * (m.MemoryBlocks - 1)
+	if got := m.FullSort(b*10, b); got != float64(b)*5 {
+		t.Fatalf("two-pass sort = %f, want %f", got, float64(b)*5)
+	}
+}
+
+func TestPartialSort(t *testing.T) {
+	m := DefaultModel()
+	// 2M rows, 50k blocks, 1000 segments: each segment 2000 rows, 50
+	// blocks => in-memory per segment. Cost = 1000 * cpu(2000).
+	got := m.PartialSort(2_000_000, 50_000, 1000, 2)
+	want := 1000 * m.SortCPU(2000)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("partial sort = %f, want %f", got, want)
+	}
+	// Full-order-satisfied: zero.
+	if m.PartialSort(2_000_000, 50_000, 1000, 0) != 0 {
+		t.Fatal("satisfied order costs nothing")
+	}
+	// Partial sort must beat a full external sort here.
+	if full := m.FullSort(2_000_000, 50_000); got >= full {
+		t.Fatalf("partial (%f) should beat full (%f)", got, full)
+	}
+}
+
+func TestPartialSortSegmentsExceedMemory(t *testing.T) {
+	m := DefaultModel()
+	// 2 segments of 25000 blocks each: still external per segment.
+	got := m.PartialSort(2_000_000, 50_000, 2, 1)
+	perSeg := m.FullSort(1_000_000, 25_000)
+	if got != 2*perSeg {
+		t.Fatalf("oversized segments = %f, want %f", got, 2*perSeg)
+	}
+	// Degenerate inputs.
+	if m.PartialSort(1, 1, 0, 1) != 0 {
+		t.Fatal("single row free")
+	}
+	if got := m.PartialSort(100, 10, 0, 1); got != m.FullSort(100, 10) {
+		t.Fatal("zero segments clamps to 1")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	m := DefaultModel()
+	// More segments (finer partial order) never costs more.
+	prev := math.Inf(1)
+	for _, segs := range []int64{1, 10, 100, 1000, 10000} {
+		c := m.PartialSort(10_000_000, 300_000, segs, 3)
+		if c > prev {
+			t.Fatalf("partial sort not monotone at %d segments: %f > %f", segs, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestJoinAndAggCosts(t *testing.T) {
+	m := DefaultModel()
+	if m.MergeJoinCPU(100, 200) != 300*m.TupleWeight {
+		t.Fatal("merge join cpu")
+	}
+	// In-memory hash join: CPU only.
+	inMem := m.HashJoinCost(1000, 1000, 100, 100)
+	if inMem != 2000*m.HashWeight {
+		t.Fatalf("in-memory hash join = %f", inMem)
+	}
+	// Build exceeds memory: partition I/O added.
+	spill := m.HashJoinCost(1000, 1000, 20_000, 20_000)
+	if spill != 2000*m.HashWeight+2*40_000 {
+		t.Fatalf("spilling hash join = %f", spill)
+	}
+	if m.GroupAggCPU(500) != 500*m.TupleWeight {
+		t.Fatal("group agg cpu")
+	}
+	if m.HashAggCost(500, 10) != 500*m.HashWeight {
+		t.Fatal("hash agg in-memory")
+	}
+	if m.HashAggCost(500, 20_000) != 500*m.HashWeight+2*20_000 {
+		t.Fatal("hash agg spill")
+	}
+	if m.ScanIO(42) != 42 {
+		t.Fatal("scan io")
+	}
+	if m.FilterCPU(10) != 10*m.TupleWeight || m.ProjectCPU(10) != 10*m.TupleWeight {
+		t.Fatal("per-tuple cpu")
+	}
+	if m.MergeUnionCPU(10) != 10*m.TupleWeight {
+		t.Fatal("union cpu")
+	}
+}
+
+func TestNLJoinCost(t *testing.T) {
+	m := DefaultModel()
+	// Outer fits in memory: inner spooled once + read once.
+	if got := m.NLJoinCost(100, 500); got != 1000 {
+		t.Fatalf("one-block NL join = %f", got)
+	}
+	// Outer = 3.5 memory units: 4 rescans + spool.
+	if got := m.NLJoinCost(35_000, 500); got != 500+4*500 {
+		t.Fatalf("multi-block NL join = %f", got)
+	}
+}
+
+func TestSortCheaperWithPartialPrefixRealScenario(t *testing.T) {
+	// The Query 3 decision (§6.2): sorting 6M lineitem index entries fully
+	// on (partkey, suppkey) vs partially from (suppkey) to (suppkey,
+	// partkey). D(suppkey) = 10000 segments.
+	m := DefaultModel()
+	rows, blocks := int64(6_000_000), int64(30_000)
+	full := m.FullSort(rows, blocks)
+	partial := m.PartialSort(rows, blocks, 10_000, 1)
+	if partial >= full/10 {
+		t.Fatalf("partial (%f) should be at least 10x cheaper than full (%f)", partial, full)
+	}
+}

@@ -1,0 +1,67 @@
+// Package exec implements the Volcano-style iterator execution engine: scans
+// over tables and covering indices, filters, projections, sort enforcers
+// (standard and partial-order-exploiting), merge and hash joins, merge full
+// outer join, nested-loops join, sort- and hash-based aggregation, merge
+// union, duplicate elimination and limit.
+//
+// Every operator implements iter.Iterator and carries the schema of the
+// tuples it produces. Physical properties (the sort order an operator
+// guarantees) are tracked by the optimizer, not the operators; operators
+// that require sorted inputs document the requirement and the optimizer's
+// plan builder is responsible for satisfying it.
+package exec
+
+import (
+	"fmt"
+
+	"pyro/internal/expr"
+	"pyro/internal/iter"
+	"pyro/internal/types"
+)
+
+// Operator is an executable iterator with a known output schema.
+type Operator interface {
+	iter.Iterator
+	Schema() *types.Schema
+}
+
+// inferKind derives the result kind of a scalar expression against a schema,
+// used to type aggregate and projection output columns.
+func inferKind(e expr.Expr, s *types.Schema) types.Kind {
+	switch n := e.(type) {
+	case expr.ColRef:
+		if i, ok := s.Ordinal(n.Name); ok {
+			return s.Col(i).Kind
+		}
+		return types.KindNull
+	case expr.Const:
+		return n.Value.Kind()
+	case expr.Cmp:
+		return types.KindBool
+	case expr.And, expr.Or, expr.Not:
+		return types.KindBool
+	case expr.Arith:
+		lk, rk := inferKind(n.L, s), inferKind(n.R, s)
+		if lk == types.KindInt && rk == types.KindInt {
+			return types.KindInt
+		}
+		return types.KindFloat
+	default:
+		return types.KindNull
+	}
+}
+
+// Drain pulls all tuples from an operator (helper for tests and tools).
+func Drain(op Operator) ([]types.Tuple, error) {
+	return iter.Drain(op)
+}
+
+// Validate walks nothing — it simply checks an operator tree was assembled
+// with non-nil children; constructors enforce the rest. Exposed for plan
+// builders that assemble trees dynamically.
+func Validate(op Operator) error {
+	if op == nil {
+		return fmt.Errorf("exec: nil operator")
+	}
+	return nil
+}

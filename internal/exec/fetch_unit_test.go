@@ -1,0 +1,191 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"pyro/internal/catalog"
+	"pyro/internal/sortord"
+	"pyro/internal/storage"
+	"pyro/internal/types"
+)
+
+func fetchFixture(t *testing.T, rows int64, dupsPerKey int64) (*catalog.Catalog, *catalog.Table) {
+	t.Helper()
+	c := catalog.New(storage.NewDisk(512)) // small pages => many pages
+	schema := types.NewSchema(
+		types.Column{Name: "k", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindInt},
+		types.Column{Name: "pad", Kind: types.KindString, Width: 40},
+	)
+	var data []types.Tuple
+	for i := int64(0); i < rows; i++ {
+		for d := int64(0); d < dupsPerKey; d++ {
+			data = append(data, types.NewTuple(
+				types.NewInt(i), types.NewInt(d),
+				types.NewString("padding-padding-padding-padding")))
+		}
+	}
+	tb, err := c.CreateTable("t", schema, sortord.New("k"), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tb
+}
+
+func TestFetchLooksUpEveryKey(t *testing.T) {
+	_, tb := fetchFixture(t, 500, 1)
+	// Child: key tuples in a scrambled order under a different column name.
+	childSchema := types.NewSchema(types.Column{Name: "ref", Kind: types.KindInt})
+	var childRows []types.Tuple
+	for i := int64(0); i < 500; i += 7 {
+		childRows = append(childRows, types.NewTuple(types.NewInt((i*13)%500)))
+	}
+	child, _ := NewValues(childSchema, childRows)
+	f, err := NewFetch(child, tb, []string{"ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(childRows) {
+		t.Fatalf("fetched %d rows, want %d", len(got), len(childRows))
+	}
+	for i, r := range got {
+		if r[0].Int() != childRows[i][0].Int() {
+			t.Fatalf("row %d: fetched key %v, want %v (child order must be preserved)",
+				i, r[0], childRows[i][0])
+		}
+		if len(r) != 3 {
+			t.Fatalf("fetched row %d incomplete: %v", i, r)
+		}
+	}
+	if f.Fetches() != int64(len(childRows)) {
+		t.Fatalf("Fetches = %d", f.Fetches())
+	}
+}
+
+func TestFetchDuplicateKeys(t *testing.T) {
+	// 20 keys x 30 duplicates spanning many 512-byte pages: a fetch by key
+	// must return every duplicate, including across page boundaries.
+	_, tb := fetchFixture(t, 20, 30)
+	childSchema := types.NewSchema(types.Column{Name: "ref", Kind: types.KindInt})
+	child, _ := NewValues(childSchema, []types.Tuple{
+		types.NewTuple(types.NewInt(0)),
+		types.NewTuple(types.NewInt(7)),
+		types.NewTuple(types.NewInt(19)),
+	})
+	f, err := NewFetch(child, tb, []string{"ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 90 {
+		t.Fatalf("fetched %d rows, want 90", len(got))
+	}
+	counts := map[int64]int{}
+	for _, r := range got {
+		counts[r[0].Int()]++
+	}
+	for _, k := range []int64{0, 7, 19} {
+		if counts[k] != 30 {
+			t.Fatalf("key %d fetched %d times, want 30", k, counts[k])
+		}
+	}
+}
+
+func TestFetchChargesRandomIO(t *testing.T) {
+	c, tb := fetchFixture(t, 500, 1)
+	childSchema := types.NewSchema(types.Column{Name: "ref", Kind: types.KindInt})
+	child, _ := NewValues(childSchema, []types.Tuple{types.NewTuple(types.NewInt(42))})
+	f, _ := NewFetch(child, tb, []string{"ref"})
+	c.Disk().ResetStats()
+	if _, err := Drain(f); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Disk().Stats()
+	if st.PageReads == 0 || st.Seeks == 0 {
+		t.Fatalf("fetch must charge a read and a seek: %+v", st)
+	}
+	if st.PageReads > 3 {
+		t.Fatalf("fetch read %d pages for one key; directory lookup broken", st.PageReads)
+	}
+}
+
+func TestFetchValidation(t *testing.T) {
+	c, tb := fetchFixture(t, 10, 1)
+	childSchema := types.NewSchema(types.Column{Name: "ref", Kind: types.KindInt})
+	child, _ := NewValues(childSchema, nil)
+	if _, err := NewFetch(child, tb, []string{"nope"}); err == nil {
+		t.Fatal("unknown child key column should error")
+	}
+	if _, err := NewFetch(child, tb, []string{"ref", "ref"}); err == nil {
+		t.Fatal("key arity mismatch should error")
+	}
+	// Unclustered table: no directory.
+	schema := types.NewSchema(types.Column{Name: "x", Kind: types.KindInt})
+	heap, err := c.CreateTable("heap", schema, sortord.Empty,
+		[]types.Tuple{types.NewTuple(types.NewInt(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFetch(child, heap, []string{"ref"}); err == nil {
+		t.Fatal("fetch on unclustered table should error")
+	}
+}
+
+func TestCatalogLookupPage(t *testing.T) {
+	_, tb := fetchFixture(t, 1000, 1)
+	if !tb.HasPageDirectory() {
+		t.Fatal("clustered table should have a directory")
+	}
+	// Every key must map to the page that actually holds it.
+	file := tb.File()
+	for _, probe := range []int64{0, 1, 499, 500, 999} {
+		page := tb.LookupPage(types.NewTuple(types.NewInt(probe)))
+		if page < 0 || page >= file.NumPages() {
+			t.Fatalf("LookupPage(%d) = %d out of range", probe, page)
+		}
+		data, err := file.ReadPage(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = data
+	}
+	// Keys beyond the range clamp to first/last page without panicking.
+	if p := tb.LookupPage(types.NewTuple(types.NewInt(-5))); p != 0 {
+		t.Fatalf("underflow probe = %d", p)
+	}
+	if p := tb.LookupPage(types.NewTuple(types.NewInt(1 << 40))); p != file.NumPages()-1 {
+		t.Fatalf("overflow probe = %d, want last page", p)
+	}
+}
+
+func TestTupleWriterPageStarts(t *testing.T) {
+	d := storage.NewDisk(256)
+	f := d.Create("f", storage.KindData)
+	w := storage.NewTupleWriter(f)
+	for i := 0; i < 100; i++ {
+		if err := w.Write(types.NewTuple(types.NewInt(int64(i)), types.NewString(fmt.Sprintf("row%03d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	starts := w.PageStarts()
+	if len(starts) != f.NumPages() {
+		t.Fatalf("%d page starts for %d pages", len(starts), f.NumPages())
+	}
+	if starts[0] != 0 {
+		t.Fatalf("first page starts at %d", starts[0])
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			t.Fatal("page starts must increase")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"pyro/internal/expr"
+	"pyro/internal/types"
+)
+
+// Filter passes through tuples satisfying a predicate. Order-preserving.
+type Filter struct {
+	child Operator
+	pred  func(types.Tuple) bool
+	text  string
+	in    int64
+	out   int64
+}
+
+// NewFilter compiles pred against the child schema.
+func NewFilter(child Operator, pred expr.Expr) (*Filter, error) {
+	p, err := expr.BindPredicate(pred, child.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{child: child, pred: p, text: pred.String()}, nil
+}
+
+// Schema returns the child schema (filtering is schema-preserving).
+func (f *Filter) Schema() *types.Schema { return f.child.Schema() }
+
+// Predicate returns the predicate text (for plan display).
+func (f *Filter) Predicate() string { return f.text }
+
+// Selectivity returns observed rows out / rows in (valid after execution).
+func (f *Filter) Selectivity() float64 {
+	if f.in == 0 {
+		return 0
+	}
+	return float64(f.out) / float64(f.in)
+}
+
+// Open opens the child.
+func (f *Filter) Open() error { return f.child.Open() }
+
+// Next returns the next qualifying tuple.
+func (f *Filter) Next() (types.Tuple, bool, error) {
+	for {
+		t, ok, err := f.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.in++
+		if f.pred(t) {
+			f.out++
+			return t, true, nil
+		}
+	}
+}
+
+// Close closes the child.
+func (f *Filter) Close() error { return f.child.Close() }
+
+// Project computes output columns from input tuples. Each output column is
+// a named scalar expression; plain column references make it a classical
+// projection (which preserves any input order on surviving columns).
+type Project struct {
+	child  Operator
+	schema *types.Schema
+	evals  []expr.Evaluator
+}
+
+// ProjCol is one output column of a projection.
+type ProjCol struct {
+	Name string
+	Expr expr.Expr
+}
+
+// NewProject compiles the projection against the child schema.
+func NewProject(child Operator, cols []ProjCol) (*Project, error) {
+	outCols := make([]types.Column, len(cols))
+	evals := make([]expr.Evaluator, len(cols))
+	for i, c := range cols {
+		ev, err := expr.Bind(c.Expr, child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = ev
+		kind := inferKind(c.Expr, child.Schema())
+		width := 0
+		if ref, ok := c.Expr.(expr.ColRef); ok {
+			if j, found := child.Schema().Ordinal(ref.Name); found {
+				width = child.Schema().Col(j).Width
+			}
+		}
+		outCols[i] = types.Column{Name: c.Name, Kind: kind, Width: width}
+	}
+	return &Project{child: child, schema: types.NewSchema(outCols...), evals: evals}, nil
+}
+
+// NewProjectNames is a convenience for plain column projections keeping the
+// original names.
+func NewProjectNames(child Operator, names []string) (*Project, error) {
+	cols := make([]ProjCol, len(names))
+	for i, n := range names {
+		cols[i] = ProjCol{Name: n, Expr: expr.Col(n)}
+	}
+	return NewProject(child, cols)
+}
+
+// Schema returns the projection's output schema.
+func (p *Project) Schema() *types.Schema { return p.schema }
+
+// Open opens the child.
+func (p *Project) Open() error { return p.child.Open() }
+
+// Next computes the next projected tuple.
+func (p *Project) Next() (types.Tuple, bool, error) {
+	t, ok, err := p.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(types.Tuple, len(p.evals))
+	for i, ev := range p.evals {
+		out[i] = ev(t)
+	}
+	return out, true, nil
+}
+
+// Close closes the child.
+func (p *Project) Close() error { return p.child.Close() }

@@ -1,0 +1,157 @@
+package exec
+
+import (
+	"fmt"
+
+	"pyro/internal/types"
+)
+
+// HashJoin is an in-memory hash join: the right (build) input is loaded into
+// a hash table on Open, then the left (probe) input streams through. It
+// preserves the probe side's order on output and needs no sorted inputs —
+// the competitor that sort-based plans must beat in the paper's experiments
+// (e.g. SYS1's default plan for Query 3).
+type HashJoin struct {
+	left, right Operator
+	leftKeys    []string
+	rightKeys   []string
+	leftOrds    []int
+	rightOrds   []int
+	joinType    JoinType // InnerJoin or LeftOuterJoin
+	schema      *types.Schema
+
+	table      map[string][]types.Tuple
+	buildRows  int64
+	outQueue   []types.Tuple
+	outPos     int
+	rightWidth int
+	keyBuf     []byte
+}
+
+// NewHashJoin builds a hash join; keys are positional pairs as in merge
+// join. FullOuterJoin is not supported (mirroring SYS2 in the paper, which
+// implements full outer join as a union of two left outer joins).
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []string, jt JoinType) (*HashJoin, error) {
+	if jt == FullOuterJoin {
+		return nil, fmt.Errorf("exec: hash join does not support full outer join")
+	}
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("exec: hash join key mismatch: %v vs %v", leftKeys, rightKeys)
+	}
+	lo := make([]int, len(leftKeys))
+	ro := make([]int, len(rightKeys))
+	for i := range leftKeys {
+		j, ok := left.Schema().Ordinal(leftKeys[i])
+		if !ok {
+			return nil, fmt.Errorf("exec: left key %q not in %v", leftKeys[i], left.Schema().Names())
+		}
+		lo[i] = j
+		j, ok = right.Schema().Ordinal(rightKeys[i])
+		if !ok {
+			return nil, fmt.Errorf("exec: right key %q not in %v", rightKeys[i], right.Schema().Names())
+		}
+		ro[i] = j
+	}
+	return &HashJoin{
+		left: left, right: right,
+		leftKeys: append([]string(nil), leftKeys...), rightKeys: append([]string(nil), rightKeys...),
+		leftOrds: lo, rightOrds: ro,
+		joinType:   jt,
+		schema:     left.Schema().Concat(right.Schema()),
+		rightWidth: right.Schema().Len(),
+	}, nil
+}
+
+// Schema returns the concatenated output schema.
+func (h *HashJoin) Schema() *types.Schema { return h.schema }
+
+// Type returns the join type.
+func (h *HashJoin) Type() JoinType { return h.joinType }
+
+// BuildRows returns the number of build-side tuples hashed.
+func (h *HashJoin) BuildRows() int64 { return h.buildRows }
+
+// hashKey encodes the key columns; NULL keys return ok=false (never match).
+func (h *HashJoin) hashKey(t types.Tuple, ords []int) (string, bool) {
+	h.keyBuf = h.keyBuf[:0]
+	for _, o := range ords {
+		if t[o].IsNull() {
+			return "", false
+		}
+		h.keyBuf = t[o : o+1].Encode(h.keyBuf)
+	}
+	return string(h.keyBuf), true
+}
+
+// Open builds the hash table from the right input.
+func (h *HashJoin) Open() error {
+	if err := h.left.Open(); err != nil {
+		return err
+	}
+	if err := h.right.Open(); err != nil {
+		return err
+	}
+	h.table = make(map[string][]types.Tuple)
+	for {
+		t, ok, err := h.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h.buildRows++
+		k, valid := h.hashKey(t, h.rightOrds)
+		if !valid {
+			continue // NULL build keys can never match
+		}
+		h.table[k] = append(h.table[k], t)
+	}
+	return nil
+}
+
+// Next probes the next left tuple.
+func (h *HashJoin) Next() (types.Tuple, bool, error) {
+	for {
+		if h.outPos < len(h.outQueue) {
+			t := h.outQueue[h.outPos]
+			h.outPos++
+			return t, true, nil
+		}
+		h.outQueue = h.outQueue[:0]
+		h.outPos = 0
+
+		lt, ok, err := h.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k, valid := h.hashKey(lt, h.leftOrds)
+		var matches []types.Tuple
+		if valid {
+			matches = h.table[k]
+		}
+		if len(matches) == 0 {
+			if h.joinType == LeftOuterJoin {
+				return lt.Concat(nullPad(h.rightWidth)), true, nil
+			}
+			continue
+		}
+		if len(matches) == 1 {
+			return lt.Concat(matches[0]), true, nil
+		}
+		for _, rt := range matches {
+			h.outQueue = append(h.outQueue, lt.Concat(rt))
+		}
+	}
+}
+
+// Close closes both inputs and drops the table.
+func (h *HashJoin) Close() error {
+	h.table = nil
+	errL := h.left.Close()
+	errR := h.right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}

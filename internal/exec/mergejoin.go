@@ -1,0 +1,337 @@
+package exec
+
+import (
+	"fmt"
+
+	"pyro/internal/sortord"
+	"pyro/internal/types"
+)
+
+// JoinType enumerates the join variants the engine implements.
+type JoinType uint8
+
+const (
+	// InnerJoin keeps matching pairs only.
+	InnerJoin JoinType = iota
+	// LeftOuterJoin keeps unmatched left tuples padded with NULLs.
+	LeftOuterJoin
+	// FullOuterJoin keeps unmatched tuples from both sides padded with
+	// NULLs (the paper's Query 4 operator).
+	FullOuterJoin
+)
+
+func (j JoinType) String() string {
+	switch j {
+	case InnerJoin:
+		return "inner"
+	case LeftOuterJoin:
+		return "left outer"
+	case FullOuterJoin:
+		return "full outer"
+	}
+	return "?"
+}
+
+// MergeJoin joins two inputs sorted on equal-length key orders. The chosen
+// key permutation is exactly the "interesting order" the optimizer selects;
+// the join output inherits it (on the left key columns). Duplicate keys are
+// handled by buffering the matching groups in memory.
+//
+// Full outer joins coalesce the join-key columns of padded rows (a
+// right-unmatched row's key values are copied into the left key columns
+// and vice versa), the semantics of FULL JOIN ... USING. This is what
+// makes the output genuinely sorted on the key permutation — with SQL's
+// ON semantics, NULL keys on padded rows would interleave arbitrarily and
+// the order the optimizer propagates (§4: "the merge-join produces the
+// same order on its output") would not hold. The paper's Experiment B2
+// plans, which partial-sort a full outer join's output, are exactly the
+// consolidation (USING-style) setting.
+type MergeJoin struct {
+	left, right Operator
+	leftKey     sortord.Order
+	rightKey    sortord.Order
+	leftOrds    []int
+	rightOrds   []int
+	joinType    JoinType
+	schema      *types.Schema
+
+	lt, rt       types.Tuple
+	lDone, rDone bool
+	outQueue     []types.Tuple
+	outPos       int
+	comparisons  int64
+	rowsOut      int64
+	leftWidth    int
+	rightWidth   int
+}
+
+// NewMergeJoin builds a merge join. leftKey and rightKey must be the same
+// length; position i of each names the i-th join attribute on that side.
+// Both inputs must be sorted on their respective key orders.
+func NewMergeJoin(left, right Operator, leftKey, rightKey sortord.Order, jt JoinType) (*MergeJoin, error) {
+	if leftKey.Len() != rightKey.Len() {
+		return nil, fmt.Errorf("exec: merge join key arity mismatch: %v vs %v", leftKey, rightKey)
+	}
+	if leftKey.Len() == 0 {
+		return nil, fmt.Errorf("exec: merge join requires at least one key column")
+	}
+	lo := make([]int, leftKey.Len())
+	ro := make([]int, rightKey.Len())
+	for i := range leftKey {
+		j, ok := left.Schema().Ordinal(leftKey[i])
+		if !ok {
+			return nil, fmt.Errorf("exec: left key %q not in %v", leftKey[i], left.Schema().Names())
+		}
+		lo[i] = j
+		j, ok = right.Schema().Ordinal(rightKey[i])
+		if !ok {
+			return nil, fmt.Errorf("exec: right key %q not in %v", rightKey[i], right.Schema().Names())
+		}
+		ro[i] = j
+	}
+	return &MergeJoin{
+		left: left, right: right,
+		leftKey: leftKey.Clone(), rightKey: rightKey.Clone(),
+		leftOrds: lo, rightOrds: ro,
+		joinType:   jt,
+		schema:     left.Schema().Concat(right.Schema()),
+		leftWidth:  left.Schema().Len(),
+		rightWidth: right.Schema().Len(),
+	}, nil
+}
+
+// Schema returns the concatenated output schema.
+func (m *MergeJoin) Schema() *types.Schema { return m.schema }
+
+// Type returns the join type.
+func (m *MergeJoin) Type() JoinType { return m.joinType }
+
+// LeftKey returns the left key order (also the output order the join
+// propagates, per §4 of the paper).
+func (m *MergeJoin) LeftKey() sortord.Order { return m.leftKey }
+
+// Comparisons returns the number of key comparisons made.
+func (m *MergeJoin) Comparisons() int64 { return m.comparisons }
+
+// Open opens both inputs and primes the lookaheads.
+func (m *MergeJoin) Open() error {
+	if err := m.left.Open(); err != nil {
+		return err
+	}
+	if err := m.right.Open(); err != nil {
+		return err
+	}
+	if err := m.advanceLeft(); err != nil {
+		return err
+	}
+	return m.advanceRight()
+}
+
+func (m *MergeJoin) advanceLeft() error {
+	t, ok, err := m.left.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		m.lt, m.lDone = nil, true
+		return nil
+	}
+	m.lt = t
+	return nil
+}
+
+func (m *MergeJoin) advanceRight() error {
+	t, ok, err := m.right.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		m.rt, m.rDone = nil, true
+		return nil
+	}
+	m.rt = t
+	return nil
+}
+
+// compareKeys compares the current lookaheads on the join key. SQL join
+// semantics: NULL keys match nothing, so NULL sorts are handled by the
+// caller treating NULL-key tuples as unmatched.
+func (m *MergeJoin) compareKeys(l, r types.Tuple) int {
+	m.comparisons++
+	for i := range m.leftOrds {
+		if c := l[m.leftOrds[i]].Compare(r[m.rightOrds[i]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func (m *MergeJoin) keyHasNull(t types.Tuple, ords []int) bool {
+	for _, o := range ords {
+		if t[o].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func nullPad(n int) types.Tuple {
+	t := make(types.Tuple, n)
+	for i := range t {
+		t[i] = types.Null
+	}
+	return t
+}
+
+// padLeft emits a left tuple with a NULL-padded right side; for full outer
+// joins the right key columns receive the left key values (coalescing).
+func (m *MergeJoin) padLeft(lt types.Tuple) types.Tuple {
+	out := lt.Concat(nullPad(m.rightWidth))
+	if m.joinType == FullOuterJoin {
+		for i := range m.leftOrds {
+			out[m.leftWidth+m.rightOrds[i]] = lt[m.leftOrds[i]]
+		}
+	}
+	return out
+}
+
+// padRight emits a right tuple with a NULL-padded left side, coalescing the
+// key columns (full outer only; callers only invoke it for full outer).
+func (m *MergeJoin) padRight(rt types.Tuple) types.Tuple {
+	out := nullPad(m.leftWidth).Concat(rt)
+	for i := range m.rightOrds {
+		out[m.leftOrds[i]] = rt[m.rightOrds[i]]
+	}
+	return out
+}
+
+// Next returns the next joined tuple.
+func (m *MergeJoin) Next() (types.Tuple, bool, error) {
+	for {
+		if m.outPos < len(m.outQueue) {
+			t := m.outQueue[m.outPos]
+			m.outPos++
+			m.rowsOut++
+			return t, true, nil
+		}
+		m.outQueue = m.outQueue[:0]
+		m.outPos = 0
+
+		switch {
+		case m.lDone && m.rDone:
+			return nil, false, nil
+
+		case m.lDone:
+			// Remaining right tuples are unmatched.
+			if m.joinType == FullOuterJoin {
+				m.outQueue = append(m.outQueue, m.padRight(m.rt))
+			}
+			if err := m.advanceRight(); err != nil {
+				return nil, false, err
+			}
+			if m.joinType != FullOuterJoin && m.rDone {
+				return nil, false, nil
+			}
+			continue
+
+		case m.rDone:
+			if m.joinType == FullOuterJoin || m.joinType == LeftOuterJoin {
+				m.outQueue = append(m.outQueue, m.padLeft(m.lt))
+			}
+			if err := m.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			if m.joinType == InnerJoin && m.lDone {
+				return nil, false, nil
+			}
+			continue
+		}
+
+		// NULL join keys never match.
+		if m.keyHasNull(m.lt, m.leftOrds) {
+			if m.joinType != InnerJoin {
+				m.outQueue = append(m.outQueue, m.padLeft(m.lt))
+			}
+			if err := m.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		if m.keyHasNull(m.rt, m.rightOrds) {
+			if m.joinType == FullOuterJoin {
+				m.outQueue = append(m.outQueue, m.padRight(m.rt))
+			}
+			if err := m.advanceRight(); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+
+		c := m.compareKeys(m.lt, m.rt)
+		switch {
+		case c < 0:
+			if m.joinType != InnerJoin {
+				m.outQueue = append(m.outQueue, m.padLeft(m.lt))
+			}
+			if err := m.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+		case c > 0:
+			if m.joinType == FullOuterJoin {
+				m.outQueue = append(m.outQueue, m.padRight(m.rt))
+			}
+			if err := m.advanceRight(); err != nil {
+				return nil, false, err
+			}
+		default:
+			if err := m.emitMatchGroups(); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+}
+
+// emitMatchGroups gathers the equal-key groups on both sides and enqueues
+// their cross product.
+func (m *MergeJoin) emitMatchGroups() error {
+	key := m.lt
+	var leftGroup, rightGroup []types.Tuple
+	for !m.lDone && m.sameLeftKey(key, m.lt) {
+		leftGroup = append(leftGroup, m.lt)
+		if err := m.advanceLeft(); err != nil {
+			return err
+		}
+	}
+	for !m.rDone && m.compareKeys(key, m.rt) == 0 {
+		rightGroup = append(rightGroup, m.rt)
+		if err := m.advanceRight(); err != nil {
+			return err
+		}
+	}
+	for _, l := range leftGroup {
+		for _, r := range rightGroup {
+			m.outQueue = append(m.outQueue, l.Concat(r))
+		}
+	}
+	return nil
+}
+
+func (m *MergeJoin) sameLeftKey(a, b types.Tuple) bool {
+	m.comparisons++
+	for _, o := range m.leftOrds {
+		if a[o].Compare(b[o]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Close closes both inputs.
+func (m *MergeJoin) Close() error {
+	errL := m.left.Close()
+	errR := m.right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}

@@ -1,0 +1,219 @@
+package exec
+
+import (
+	"fmt"
+
+	"pyro/internal/expr"
+	"pyro/internal/storage"
+	"pyro/internal/types"
+)
+
+// NLJoin is a block nested-loops join: the inner (right) input is spooled
+// to a temporary file once, then rescanned for each memory-sized block of
+// outer tuples, charging the rescan I/O the classical cost model predicts
+// (B(R) + ceil(B(R)/M)·B(S)). It accepts an arbitrary join predicate, which
+// is what makes it the fallback for non-equijoins. Output preserves the
+// outer input's order within each block — the "nested loops joins propagate
+// the sort order of the outer" property §5.1.2 relies on holds only for a
+// one-block outer, so the optimizer treats NLJoin as order-propagating only
+// when the outer fits in memory.
+type NLJoin struct {
+	left, right Operator
+	pred        func(types.Tuple) bool
+	predText    string
+	joinType    JoinType // InnerJoin or LeftOuterJoin
+	schema      *types.Schema
+	disk        *storage.Disk
+	memBlocks   int
+
+	spool      *storage.File
+	block      []types.Tuple
+	blockPos   int
+	matchedCur bool
+	rreader    *storage.TupleReader
+	outQueue   []types.Tuple
+	outPos     int
+	leftDone   bool
+	rightWidth int
+}
+
+// NewNLJoin builds a block nested-loops join with an arbitrary predicate
+// (nil means cross join). memBlocks bounds the outer block buffer.
+func NewNLJoin(left, right Operator, pred expr.Expr, jt JoinType, disk *storage.Disk, memBlocks int) (*NLJoin, error) {
+	if jt == FullOuterJoin {
+		return nil, fmt.Errorf("exec: nested-loops join does not support full outer join")
+	}
+	if disk == nil || memBlocks <= 0 {
+		return nil, fmt.Errorf("exec: nested-loops join needs a disk and positive memory")
+	}
+	schema := left.Schema().Concat(right.Schema())
+	var p func(types.Tuple) bool
+	text := "true"
+	if pred != nil {
+		bp, err := expr.BindPredicate(pred, schema)
+		if err != nil {
+			return nil, err
+		}
+		p = bp
+		text = pred.String()
+	}
+	return &NLJoin{
+		left: left, right: right, pred: p, predText: text, joinType: jt,
+		schema: schema, disk: disk, memBlocks: memBlocks,
+		rightWidth: right.Schema().Len(),
+	}, nil
+}
+
+// Schema returns the concatenated output schema.
+func (n *NLJoin) Schema() *types.Schema { return n.schema }
+
+// Open spools the inner input to a temp file.
+func (n *NLJoin) Open() error {
+	if err := n.left.Open(); err != nil {
+		return err
+	}
+	if err := n.right.Open(); err != nil {
+		return err
+	}
+	n.spool = n.disk.CreateTemp("nljoin", storage.KindRun)
+	w := storage.NewTupleWriter(n.spool)
+	for {
+		t, ok, err := n.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := w.Write(t); err != nil {
+			return err
+		}
+	}
+	w.Close()
+	return n.loadBlock()
+}
+
+// loadBlock buffers the next block of outer tuples and rewinds the inner.
+func (n *NLJoin) loadBlock() error {
+	n.block = n.block[:0]
+	budget := int64(n.memBlocks) * int64(n.disk.PageSize())
+	var used int64
+	for used < budget {
+		t, ok, err := n.left.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			n.leftDone = true
+			break
+		}
+		n.block = append(n.block, t)
+		used += int64(t.MemSize())
+	}
+	if len(n.block) == 0 {
+		n.rreader = nil
+		return nil
+	}
+	n.rreader = storage.NewTupleReader(n.spool)
+	n.blockPos = 0
+	n.matchedCur = false
+	return nil
+}
+
+// Next returns the next joined tuple. The iteration order is: for each
+// inner tuple, scan the current outer block (classical block NL), so the
+// inner is read once per outer block.
+func (n *NLJoin) Next() (types.Tuple, bool, error) {
+	for {
+		if n.outPos < len(n.outQueue) {
+			t := n.outQueue[n.outPos]
+			n.outPos++
+			return t, true, nil
+		}
+		n.outQueue = n.outQueue[:0]
+		n.outPos = 0
+
+		if len(n.block) == 0 {
+			return nil, false, nil
+		}
+		// Advance the inner cursor; join it against every outer tuple in
+		// the block.
+		rt, ok, err := n.rreader.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			for _, lt := range n.block {
+				joined := lt.Concat(rt)
+				if n.pred == nil || n.pred(joined) {
+					n.outQueue = append(n.outQueue, joined)
+				}
+			}
+			continue
+		}
+		// Inner exhausted for this block. Left-outer padding is handled by
+		// tracking matches per block pass; with block-at-a-time matching we
+		// must know which outer tuples matched. Recompute via a match set.
+		if n.joinType == LeftOuterJoin {
+			if err := n.padUnmatched(); err != nil {
+				return nil, false, err
+			}
+		}
+		if n.leftDone {
+			n.block = n.block[:0]
+			if n.outPos < len(n.outQueue) || len(n.outQueue) > 0 {
+				continue
+			}
+			return nil, false, nil
+		}
+		if err := n.loadBlock(); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// padUnmatched rescans the spool to find unmatched outer tuples in the
+// current block and enqueues them NULL-padded. This extra pass is charged
+// honestly — left-outer block NL pays for it.
+func (n *NLJoin) padUnmatched() error {
+	matched := make([]bool, len(n.block))
+	r := storage.NewTupleReader(n.spool)
+	for {
+		rt, ok, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		for i, lt := range n.block {
+			if matched[i] {
+				continue
+			}
+			joined := lt.Concat(rt)
+			if n.pred == nil || n.pred(joined) {
+				matched[i] = true
+			}
+		}
+	}
+	for i, lt := range n.block {
+		if !matched[i] {
+			n.outQueue = append(n.outQueue, lt.Concat(nullPad(n.rightWidth)))
+		}
+	}
+	return nil
+}
+
+// Close removes the spool and closes both inputs.
+func (n *NLJoin) Close() error {
+	if n.spool != nil {
+		n.disk.Remove(n.spool.Name())
+		n.spool = nil
+	}
+	errL := n.left.Close()
+	errR := n.right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"pyro/internal/sortord"
+	"pyro/internal/types"
+	"pyro/internal/xsort"
+)
+
+// Sort is the order-enforcer operator. It wraps either SRS (standard
+// replacement selection, used when nothing is known about the input order)
+// or MRS (the paper's modified replacement selection, used when the input
+// is known to carry a prefix of the target order — the "partial sort
+// enforcer" of §3.2).
+type Sort struct {
+	child  Operator
+	target sortord.Order
+	given  sortord.Order
+	srs    *xsort.SRS
+	mrs    *xsort.MRS
+}
+
+// NewSortSRS builds a full sort using standard replacement selection,
+// ignoring any order the input may already have (what Postgres, SYS1 and
+// SYS2 did in the paper's experiments).
+func NewSortSRS(child Operator, target sortord.Order, cfg xsort.Config) (*Sort, error) {
+	s, err := xsort.NewSRS(child, child.Schema(), target, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sort{child: child, target: target.Clone(), given: sortord.Empty, srs: s}, nil
+}
+
+// NewSortMRS builds a partial sort: given is the order known to hold on the
+// input (must be a prefix of target).
+func NewSortMRS(child Operator, target, given sortord.Order, cfg xsort.Config) (*Sort, error) {
+	m, err := xsort.NewMRS(child, child.Schema(), target, given, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sort{child: child, target: target.Clone(), given: given.Clone(), mrs: m}, nil
+}
+
+// Schema returns the child schema (sorting is schema-preserving).
+func (s *Sort) Schema() *types.Schema { return s.child.Schema() }
+
+// Target returns the produced sort order.
+func (s *Sort) Target() sortord.Order { return s.target }
+
+// Given returns the input order the enforcer exploits (ε for SRS).
+func (s *Sort) Given() sortord.Order { return s.given }
+
+// IsPartial reports whether this is a partial-sort enforcer.
+func (s *Sort) IsPartial() bool { return s.mrs != nil && !s.given.IsEmpty() }
+
+// SortStats exposes the underlying sort's work counters.
+func (s *Sort) SortStats() *xsort.SortStats {
+	if s.srs != nil {
+		return s.srs.Stats()
+	}
+	return s.mrs.Stats()
+}
+
+// Open opens the underlying sort (for SRS this consumes the whole input).
+func (s *Sort) Open() error {
+	if s.srs != nil {
+		return s.srs.Open()
+	}
+	return s.mrs.Open()
+}
+
+// Next returns the next tuple in target order.
+func (s *Sort) Next() (types.Tuple, bool, error) {
+	if s.srs != nil {
+		return s.srs.Next()
+	}
+	return s.mrs.Next()
+}
+
+// Close releases sort resources and closes the child.
+func (s *Sort) Close() error {
+	if s.srs != nil {
+		return s.srs.Close()
+	}
+	return s.mrs.Close()
+}

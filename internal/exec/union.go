@@ -1,0 +1,276 @@
+package exec
+
+import (
+	"fmt"
+
+	"pyro/internal/sortord"
+	"pyro/internal/types"
+)
+
+// MergeUnion merges two inputs sorted on the same order. With Dedup it
+// implements UNION (duplicate-eliminating); without, it is a sorted UNION
+// ALL that preserves the shared order. This is the "requirement of same
+// sort order from multiple inputs" operator class from §1 of the paper.
+type MergeUnion struct {
+	left, right Operator
+	order       sortord.Order
+	ks          types.KeySpec
+	dedup       bool
+	schema      *types.Schema
+
+	lt, rt       types.Tuple
+	lDone, rDone bool
+	lastOut      types.Tuple
+}
+
+// NewMergeUnion builds a merge union over inputs sorted on order. Schemas
+// must have identical arity and kinds; the left schema names the output.
+func NewMergeUnion(left, right Operator, order sortord.Order, dedup bool) (*MergeUnion, error) {
+	ls, rs := left.Schema(), right.Schema()
+	if ls.Len() != rs.Len() {
+		return nil, fmt.Errorf("exec: union arity mismatch: %d vs %d", ls.Len(), rs.Len())
+	}
+	for i := 0; i < ls.Len(); i++ {
+		if ls.Col(i).Kind != rs.Col(i).Kind {
+			return nil, fmt.Errorf("exec: union column %d kind mismatch: %v vs %v",
+				i, ls.Col(i).Kind, rs.Col(i).Kind)
+		}
+	}
+	ks, err := types.MakeKeySpec(ls, order)
+	if err != nil {
+		return nil, err
+	}
+	return &MergeUnion{left: left, right: right, order: order.Clone(), ks: ks, dedup: dedup, schema: ls}, nil
+}
+
+// Schema returns the output schema (the left input's).
+func (u *MergeUnion) Schema() *types.Schema { return u.schema }
+
+// Order returns the shared input/output sort order.
+func (u *MergeUnion) Order() sortord.Order { return u.order }
+
+// Open opens both inputs and primes lookaheads.
+func (u *MergeUnion) Open() error {
+	if err := u.left.Open(); err != nil {
+		return err
+	}
+	if err := u.right.Open(); err != nil {
+		return err
+	}
+	var err error
+	if u.lt, u.lDone, err = u.pull(u.left); err != nil {
+		return err
+	}
+	u.rt, u.rDone, err = u.pull(u.right)
+	return err
+}
+
+func (u *MergeUnion) pull(op Operator) (types.Tuple, bool, error) {
+	t, ok, err := op.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, true, nil
+	}
+	return t, false, nil
+}
+
+// Next returns the next tuple in the shared order.
+func (u *MergeUnion) Next() (types.Tuple, bool, error) {
+	for {
+		var t types.Tuple
+		switch {
+		case u.lDone && u.rDone:
+			return nil, false, nil
+		case u.lDone:
+			t = u.rt
+			var err error
+			if u.rt, u.rDone, err = u.pull(u.right); err != nil {
+				return nil, false, err
+			}
+		case u.rDone:
+			t = u.lt
+			var err error
+			if u.lt, u.lDone, err = u.pull(u.left); err != nil {
+				return nil, false, err
+			}
+		default:
+			if u.ks.Compare(u.lt, u.rt) <= 0 {
+				t = u.lt
+				var err error
+				if u.lt, u.lDone, err = u.pull(u.left); err != nil {
+					return nil, false, err
+				}
+			} else {
+				t = u.rt
+				var err error
+				if u.rt, u.rDone, err = u.pull(u.right); err != nil {
+					return nil, false, err
+				}
+			}
+		}
+		if u.dedup && u.lastOut != nil && tupleEqual(u.lastOut, t) {
+			continue
+		}
+		u.lastOut = t
+		return t, true, nil
+	}
+}
+
+func tupleEqual(a, b types.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Compare(b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Close closes both inputs.
+func (u *MergeUnion) Close() error {
+	errL := u.left.Close()
+	errR := u.right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// UnionAll concatenates two union-compatible inputs: all left tuples, then
+// all right tuples. No order guarantee.
+type UnionAll struct {
+	left, right Operator
+	onRight     bool
+}
+
+// NewUnionAll builds a bag union; schemas must be kind-compatible.
+func NewUnionAll(left, right Operator) (*UnionAll, error) {
+	ls, rs := left.Schema(), right.Schema()
+	if ls.Len() != rs.Len() {
+		return nil, fmt.Errorf("exec: union-all arity mismatch: %d vs %d", ls.Len(), rs.Len())
+	}
+	for i := 0; i < ls.Len(); i++ {
+		if ls.Col(i).Kind != rs.Col(i).Kind {
+			return nil, fmt.Errorf("exec: union-all column %d kind mismatch", i)
+		}
+	}
+	return &UnionAll{left: left, right: right}, nil
+}
+
+// Schema returns the left input's schema.
+func (u *UnionAll) Schema() *types.Schema { return u.left.Schema() }
+
+// Open opens both inputs.
+func (u *UnionAll) Open() error {
+	u.onRight = false
+	if err := u.left.Open(); err != nil {
+		return err
+	}
+	return u.right.Open()
+}
+
+// Next drains the left input, then the right.
+func (u *UnionAll) Next() (types.Tuple, bool, error) {
+	if !u.onRight {
+		t, ok, err := u.left.Next()
+		if err != nil || ok {
+			return t, ok, err
+		}
+		u.onRight = true
+	}
+	return u.right.Next()
+}
+
+// Close closes both inputs.
+func (u *UnionAll) Close() error {
+	errL := u.left.Close()
+	errR := u.right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// Dedup eliminates adjacent duplicate tuples; over input sorted on all its
+// columns this is SQL DISTINCT — the sort-based duplicate elimination the
+// paper lists among operators with factorially many interesting orders.
+type Dedup struct {
+	child Operator
+	last  types.Tuple
+}
+
+// NewDedup builds a duplicate eliminator over (assumed) sorted input.
+func NewDedup(child Operator) *Dedup { return &Dedup{child: child} }
+
+// Schema returns the child schema.
+func (d *Dedup) Schema() *types.Schema { return d.child.Schema() }
+
+// Open opens the child.
+func (d *Dedup) Open() error {
+	d.last = nil
+	return d.child.Open()
+}
+
+// Next returns the next distinct tuple.
+func (d *Dedup) Next() (types.Tuple, bool, error) {
+	for {
+		t, ok, err := d.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if d.last != nil && tupleEqual(d.last, t) {
+			continue
+		}
+		d.last = t
+		return t, true, nil
+	}
+}
+
+// Close closes the child.
+func (d *Dedup) Close() error { return d.child.Close() }
+
+// Limit passes through the first K tuples (LIMIT / the paper's Top-K
+// discussion: with MRS below it, the first results arrive without sorting
+// the whole input).
+type Limit struct {
+	child Operator
+	k     int64
+	n     int64
+}
+
+// NewLimit caps the stream at k tuples.
+func NewLimit(child Operator, k int64) (*Limit, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("exec: negative limit %d", k)
+	}
+	return &Limit{child: child, k: k}, nil
+}
+
+// Schema returns the child schema.
+func (l *Limit) Schema() *types.Schema { return l.child.Schema() }
+
+// Open opens the child and resets the count.
+func (l *Limit) Open() error {
+	l.n = 0
+	return l.child.Open()
+}
+
+// Next returns the next tuple while under the limit.
+func (l *Limit) Next() (types.Tuple, bool, error) {
+	if l.n >= l.k {
+		return nil, false, nil
+	}
+	t, ok, err := l.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.n++
+	return t, true, nil
+}
+
+// Close closes the child.
+func (l *Limit) Close() error { return l.child.Close() }

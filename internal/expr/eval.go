@@ -1,0 +1,196 @@
+package expr
+
+import (
+	"fmt"
+
+	"pyro/internal/types"
+)
+
+// Evaluator is a compiled expression: tuple in, datum out.
+type Evaluator func(types.Tuple) types.Datum
+
+// Bind compiles e against schema s, resolving column references to ordinals.
+// It returns an error if a referenced column is absent or an operator is
+// applied to a structurally impossible shape.
+func Bind(e Expr, s *types.Schema) (Evaluator, error) {
+	switch n := e.(type) {
+	case ColRef:
+		ord, ok := s.Ordinal(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("expr: column %q not in schema %v", n.Name, s.Names())
+		}
+		return func(t types.Tuple) types.Datum { return t[ord] }, nil
+
+	case Const:
+		v := n.Value
+		return func(types.Tuple) types.Datum { return v }, nil
+
+	case Cmp:
+		l, err := Bind(n.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Bind(n.R, s)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(t types.Tuple) types.Datum {
+			lv, rv := l(t), r(t)
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null
+			}
+			c := lv.Compare(rv)
+			var res bool
+			switch op {
+			case EQ:
+				res = c == 0
+			case NE:
+				res = c != 0
+			case LT:
+				res = c < 0
+			case LE:
+				res = c <= 0
+			case GT:
+				res = c > 0
+			case GE:
+				res = c >= 0
+			}
+			return types.NewBool(res)
+		}, nil
+
+	case Arith:
+		l, err := Bind(n.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Bind(n.R, s)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(t types.Tuple) types.Datum {
+			lv, rv := l(t), r(t)
+			if lv.IsNull() || rv.IsNull() {
+				return types.Null
+			}
+			// Integer arithmetic if both sides are integers, else float.
+			if lv.Kind() == types.KindInt && rv.Kind() == types.KindInt {
+				a, b := lv.Int(), rv.Int()
+				switch op {
+				case Add:
+					return types.NewInt(a + b)
+				case Sub:
+					return types.NewInt(a - b)
+				case Mul:
+					return types.NewInt(a * b)
+				case Div:
+					if b == 0 {
+						return types.Null
+					}
+					return types.NewInt(a / b)
+				}
+			}
+			a, b := lv.Float(), rv.Float()
+			switch op {
+			case Add:
+				return types.NewFloat(a + b)
+			case Sub:
+				return types.NewFloat(a - b)
+			case Mul:
+				return types.NewFloat(a * b)
+			case Div:
+				if b == 0 {
+					return types.Null
+				}
+				return types.NewFloat(a / b)
+			}
+			return types.Null
+		}, nil
+
+	case And:
+		children := make([]Evaluator, len(n.Children))
+		for i, c := range n.Children {
+			ev, err := Bind(c, s)
+			if err != nil {
+				return nil, err
+			}
+			children[i] = ev
+		}
+		return func(t types.Tuple) types.Datum {
+			sawNull := false
+			for _, ev := range children {
+				v := ev(t)
+				if v.IsNull() {
+					sawNull = true
+					continue
+				}
+				if !v.Bool() {
+					return types.NewBool(false)
+				}
+			}
+			if sawNull {
+				return types.Null
+			}
+			return types.NewBool(true)
+		}, nil
+
+	case Or:
+		children := make([]Evaluator, len(n.Children))
+		for i, c := range n.Children {
+			ev, err := Bind(c, s)
+			if err != nil {
+				return nil, err
+			}
+			children[i] = ev
+		}
+		return func(t types.Tuple) types.Datum {
+			sawNull := false
+			for _, ev := range children {
+				v := ev(t)
+				if v.IsNull() {
+					sawNull = true
+					continue
+				}
+				if v.Bool() {
+					return types.NewBool(true)
+				}
+			}
+			if sawNull {
+				return types.Null
+			}
+			return types.NewBool(false)
+		}, nil
+
+	case Not:
+		child, err := Bind(n.Child, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(t types.Tuple) types.Datum {
+			v := child(t)
+			if v.IsNull() {
+				return types.Null
+			}
+			return types.NewBool(!v.Bool())
+		}, nil
+
+	case nil:
+		return nil, fmt.Errorf("expr: nil expression")
+
+	default:
+		return nil, fmt.Errorf("expr: unknown node type %T", e)
+	}
+}
+
+// BindPredicate compiles e as a filter predicate: NULL results map to false.
+func BindPredicate(e Expr, s *types.Schema) (func(types.Tuple) bool, error) {
+	ev, err := Bind(e, s)
+	if err != nil {
+		return nil, err
+	}
+	return func(t types.Tuple) bool {
+		v := ev(t)
+		return !v.IsNull() && v.Bool()
+	}, nil
+}

@@ -1,0 +1,253 @@
+// Package expr implements scalar expressions over tuples: column references,
+// constants, comparisons, arithmetic and boolean connectives. Expressions
+// are built as trees over column names and then compiled ("bound") against a
+// schema into closures over column ordinals, so per-tuple evaluation does no
+// name lookups.
+//
+// SQL three-valued logic is simplified to two-valued with NULL propagation:
+// any comparison or arithmetic involving NULL yields NULL, and a NULL
+// predicate result is treated as false by filters — the behaviour the
+// paper's queries require.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"pyro/internal/sortord"
+	"pyro/internal/types"
+)
+
+// Expr is a scalar expression tree node.
+type Expr interface {
+	// String renders the expression in SQL-ish syntax.
+	String() string
+	// CollectColumns adds every referenced column name to set.
+	CollectColumns(set sortord.AttrSet)
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	}
+	return "?"
+}
+
+// ColRef references a column by name.
+type ColRef struct{ Name string }
+
+// Col is shorthand for a column reference.
+func Col(name string) ColRef { return ColRef{Name: name} }
+
+func (c ColRef) String() string                     { return c.Name }
+func (c ColRef) CollectColumns(set sortord.AttrSet) { set.Add(c.Name) }
+
+// Const is a literal datum.
+type Const struct{ Value types.Datum }
+
+// IntLit, FloatLit, StrLit and BoolLit build literal expressions.
+func IntLit(v int64) Const     { return Const{Value: types.NewInt(v)} }
+func FloatLit(v float64) Const { return Const{Value: types.NewFloat(v)} }
+func StrLit(v string) Const    { return Const{Value: types.NewString(v)} }
+func BoolLit(v bool) Const     { return Const{Value: types.NewBool(v)} }
+
+func (c Const) String() string                     { return c.Value.String() }
+func (c Const) CollectColumns(set sortord.AttrSet) {}
+
+// Cmp compares two subexpressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Compare builds a comparison node.
+func Compare(op CmpOp, l, r Expr) Cmp { return Cmp{Op: op, L: l, R: r} }
+
+// Eq builds an equality between two columns (the common join-predicate form).
+func Eq(l, r Expr) Cmp { return Cmp{Op: EQ, L: l, R: r} }
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+func (c Cmp) CollectColumns(set sortord.AttrSet) {
+	c.L.CollectColumns(set)
+	c.R.CollectColumns(set)
+}
+
+// Arith is an arithmetic node over numerics.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+func (a Arith) CollectColumns(set sortord.AttrSet) {
+	a.L.CollectColumns(set)
+	a.R.CollectColumns(set)
+}
+
+// And is an n-ary conjunction.
+type And struct{ Children []Expr }
+
+// AndOf builds a conjunction, flattening nested Ands.
+func AndOf(children ...Expr) Expr {
+	flat := make([]Expr, 0, len(children))
+	for _, c := range children {
+		if a, ok := c.(And); ok {
+			flat = append(flat, a.Children...)
+			continue
+		}
+		flat = append(flat, c)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return And{Children: flat}
+}
+
+func (a And) String() string {
+	parts := make([]string, len(a.Children))
+	for i, c := range a.Children {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+func (a And) CollectColumns(set sortord.AttrSet) {
+	for _, c := range a.Children {
+		c.CollectColumns(set)
+	}
+}
+
+// Or is an n-ary disjunction.
+type Or struct{ Children []Expr }
+
+// OrOf builds a disjunction.
+func OrOf(children ...Expr) Expr {
+	if len(children) == 1 {
+		return children[0]
+	}
+	return Or{Children: children}
+}
+
+func (o Or) String() string {
+	parts := make([]string, len(o.Children))
+	for i, c := range o.Children {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+func (o Or) CollectColumns(set sortord.AttrSet) {
+	for _, c := range o.Children {
+		c.CollectColumns(set)
+	}
+}
+
+// Not negates a predicate.
+type Not struct{ Child Expr }
+
+func (n Not) String() string                     { return "NOT (" + n.Child.String() + ")" }
+func (n Not) CollectColumns(set sortord.AttrSet) { n.Child.CollectColumns(set) }
+
+// Columns returns the set of columns referenced by e.
+func Columns(e Expr) sortord.AttrSet {
+	s := sortord.NewAttrSet()
+	e.CollectColumns(s)
+	return s
+}
+
+// Conjuncts splits a predicate into its top-level AND factors.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(And); ok {
+		var out []Expr
+		for _, c := range a.Children {
+			out = append(out, Conjuncts(c)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}
+
+// EquiPair is one column-to-column equality conjunct of a join predicate.
+type EquiPair struct {
+	Left, Right string // column names on the left/right input
+}
+
+// SplitJoinPredicate classifies the conjuncts of a join predicate against
+// the two input schemas: column=column equalities spanning the inputs become
+// EquiPairs (normalised so .Left names a left column); everything else is
+// returned as residual conjuncts to apply after the join.
+func SplitJoinPredicate(pred Expr, left, right *types.Schema) (pairs []EquiPair, residual []Expr) {
+	for _, c := range Conjuncts(pred) {
+		cmp, ok := c.(Cmp)
+		if ok && cmp.Op == EQ {
+			lc, lok := cmp.L.(ColRef)
+			rc, rok := cmp.R.(ColRef)
+			if lok && rok {
+				switch {
+				case left.Has(lc.Name) && right.Has(rc.Name):
+					pairs = append(pairs, EquiPair{Left: lc.Name, Right: rc.Name})
+					continue
+				case left.Has(rc.Name) && right.Has(lc.Name):
+					pairs = append(pairs, EquiPair{Left: rc.Name, Right: lc.Name})
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	return pairs, residual
+}

@@ -1,0 +1,253 @@
+package expr
+
+import (
+	"testing"
+
+	"pyro/internal/sortord"
+	"pyro/internal/types"
+)
+
+var testSchema = types.NewSchema(
+	types.Column{Name: "a", Kind: types.KindInt},
+	types.Column{Name: "b", Kind: types.KindInt},
+	types.Column{Name: "s", Kind: types.KindString},
+	types.Column{Name: "f", Kind: types.KindFloat},
+)
+
+func tup(a, b int64, s string, f float64) types.Tuple {
+	return types.NewTuple(types.NewInt(a), types.NewInt(b), types.NewString(s), types.NewFloat(f))
+}
+
+func mustBind(t *testing.T, e Expr) Evaluator {
+	t.Helper()
+	ev, err := Bind(e, testSchema)
+	if err != nil {
+		t.Fatalf("Bind(%v): %v", e, err)
+	}
+	return ev
+}
+
+func TestColRefAndConst(t *testing.T) {
+	ev := mustBind(t, Col("b"))
+	if got := ev(tup(1, 7, "x", 0)); got.Int() != 7 {
+		t.Fatalf("colref = %v", got)
+	}
+	ev = mustBind(t, IntLit(42))
+	if got := ev(tup(0, 0, "", 0)); got.Int() != 42 {
+		t.Fatalf("const = %v", got)
+	}
+	if _, err := Bind(Col("zzz"), testSchema); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	row := tup(3, 5, "m", 1.5)
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Compare(EQ, Col("a"), IntLit(3)), true},
+		{Compare(NE, Col("a"), IntLit(3)), false},
+		{Compare(LT, Col("a"), Col("b")), true},
+		{Compare(LE, Col("a"), IntLit(3)), true},
+		{Compare(GT, Col("b"), Col("a")), true},
+		{Compare(GE, Col("a"), IntLit(4)), false},
+		{Compare(EQ, Col("s"), StrLit("m")), true},
+		{Compare(LT, Col("f"), FloatLit(2.0)), true},
+		{Compare(GT, Col("f"), Col("a")), false}, // 1.5 > 3 is false
+	}
+	for _, c := range cases {
+		got := mustBind(t, c.e)(row)
+		if got.IsNull() || got.Bool() != c.want {
+			t.Errorf("%v = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	row := types.NewTuple(types.Null, types.NewInt(1), types.NewString(""), types.NewFloat(0))
+	if got := mustBind(t, Compare(EQ, Col("a"), IntLit(1)))(row); !got.IsNull() {
+		t.Fatalf("NULL = 1 should be NULL, got %v", got)
+	}
+	if got := mustBind(t, Arith{Op: Add, L: Col("a"), R: IntLit(1)})(row); !got.IsNull() {
+		t.Fatalf("NULL + 1 should be NULL, got %v", got)
+	}
+	pred, err := BindPredicate(Compare(EQ, Col("a"), IntLit(1)), testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred(row) {
+		t.Fatal("NULL predicate must filter out")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	row := tup(10, 4, "", 2.5)
+	cases := []struct {
+		e    Expr
+		want types.Datum
+	}{
+		{Arith{Op: Add, L: Col("a"), R: Col("b")}, types.NewInt(14)},
+		{Arith{Op: Sub, L: Col("a"), R: Col("b")}, types.NewInt(6)},
+		{Arith{Op: Mul, L: Col("a"), R: Col("b")}, types.NewInt(40)},
+		{Arith{Op: Div, L: Col("a"), R: Col("b")}, types.NewInt(2)},
+		{Arith{Op: Mul, L: Col("f"), R: IntLit(2)}, types.NewFloat(5.0)},
+		{Arith{Op: Div, L: Col("a"), R: IntLit(0)}, types.Null},
+		{Arith{Op: Div, L: Col("f"), R: FloatLit(0)}, types.Null},
+	}
+	for _, c := range cases {
+		got := mustBind(t, c.e)(row)
+		if got.Compare(c.want) != 0 {
+			t.Errorf("%v = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestBooleanConnectives(t *testing.T) {
+	row := tup(1, 2, "", 0)
+	tr := Compare(EQ, Col("a"), IntLit(1))
+	fa := Compare(EQ, Col("a"), IntLit(9))
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{AndOf(tr, tr), true},
+		{AndOf(tr, fa), false},
+		{OrOf(fa, tr), true},
+		{OrOf(fa, fa), false},
+		{Not{Child: fa}, true},
+		{Not{Child: tr}, false},
+	}
+	for _, c := range cases {
+		got := mustBind(t, c.e)(row)
+		if got.IsNull() || got.Bool() != c.want {
+			t.Errorf("%v = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestThreeValuedAndOr(t *testing.T) {
+	row := types.NewTuple(types.Null, types.NewInt(1), types.NewString(""), types.NewFloat(0))
+	nullCmp := Compare(EQ, Col("a"), IntLit(1))
+	tr := Compare(EQ, Col("b"), IntLit(1))
+	fa := Compare(EQ, Col("b"), IntLit(9))
+	// false AND null = false; true AND null = null
+	if got := mustBind(t, AndOf(fa, nullCmp))(row); got.IsNull() || got.Bool() {
+		t.Fatalf("false AND null = %v, want false", got)
+	}
+	if got := mustBind(t, AndOf(tr, nullCmp))(row); !got.IsNull() {
+		t.Fatalf("true AND null = %v, want NULL", got)
+	}
+	// true OR null = true; false OR null = null
+	if got := mustBind(t, OrOf(tr, nullCmp))(row); got.IsNull() || !got.Bool() {
+		t.Fatalf("true OR null = %v, want true", got)
+	}
+	if got := mustBind(t, OrOf(fa, nullCmp))(row); !got.IsNull() {
+		t.Fatalf("false OR null = %v, want NULL", got)
+	}
+	if got := mustBind(t, Not{Child: nullCmp})(row); !got.IsNull() {
+		t.Fatalf("NOT null = %v, want NULL", got)
+	}
+}
+
+func TestAndOfFlattens(t *testing.T) {
+	e := AndOf(AndOf(Col("a"), Col("b")), Col("s"))
+	a, ok := e.(And)
+	if !ok || len(a.Children) != 3 {
+		t.Fatalf("AndOf should flatten, got %v", e)
+	}
+	if single := AndOf(Col("a")); single.String() != "a" {
+		t.Fatal("single-child AndOf should unwrap")
+	}
+	if single := OrOf(Col("a")); single.String() != "a" {
+		t.Fatal("single-child OrOf should unwrap")
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	e := AndOf(Eq(Col("a"), Col("b")), Compare(GT, Col("f"), IntLit(0)), Eq(Col("s"), StrLit("x")))
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("Conjuncts = %d, want 3", len(cs))
+	}
+	if got := Conjuncts(nil); got != nil {
+		t.Fatal("Conjuncts(nil) should be nil")
+	}
+	if got := Conjuncts(Col("a")); len(got) != 1 {
+		t.Fatal("single conjunct")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	e := AndOf(Eq(Col("a"), Col("b")), Compare(GT, Arith{Op: Mul, L: Col("f"), R: IntLit(2)}, FloatLit(1)))
+	got := Columns(e)
+	if !got.Equal(sortord.NewAttrSet("a", "b", "f")) {
+		t.Fatalf("Columns = %v", got)
+	}
+}
+
+func TestSplitJoinPredicate(t *testing.T) {
+	left := types.NewSchema(
+		types.Column{Name: "l1", Kind: types.KindInt},
+		types.Column{Name: "l2", Kind: types.KindInt},
+	)
+	right := types.NewSchema(
+		types.Column{Name: "r1", Kind: types.KindInt},
+		types.Column{Name: "r2", Kind: types.KindInt},
+	)
+	pred := AndOf(
+		Eq(Col("l1"), Col("r1")),
+		Eq(Col("r2"), Col("l2")),          // reversed orientation
+		Compare(GT, Col("l1"), IntLit(5)), // residual: not cross-input
+		Eq(Col("l1"), IntLit(3)),          // residual: not col=col
+	)
+	pairs, residual := SplitJoinPredicate(pred, left, right)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0] != (EquiPair{Left: "l1", Right: "r1"}) {
+		t.Fatalf("pair0 = %v", pairs[0])
+	}
+	if pairs[1] != (EquiPair{Left: "l2", Right: "r2"}) {
+		t.Fatalf("pair1 normalisation failed: %v", pairs[1])
+	}
+	if len(residual) != 2 {
+		t.Fatalf("residual = %v", residual)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := AndOf(Eq(Col("a"), Col("b")), OrOf(Compare(LT, Col("f"), IntLit(1)), Not{Child: Col("s")}))
+	want := "a = b AND (f < 1 OR NOT (s))"
+	if got := e.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if Compare(NE, Col("a"), IntLit(0)).String() != "a <> 0" {
+		t.Fatal("NE rendering")
+	}
+	if (Arith{Op: Div, L: Col("a"), R: IntLit(2)}).String() != "(a / 2)" {
+		t.Fatal("arith rendering")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	bad := []Expr{
+		Compare(EQ, Col("nope"), IntLit(1)),
+		AndOf(Col("a"), Col("nope")),
+		Or{Children: []Expr{Col("nope")}},
+		Not{Child: Col("nope")},
+		Arith{Op: Add, L: Col("nope"), R: IntLit(1)},
+		Arith{Op: Add, L: IntLit(1), R: Col("nope")},
+		Cmp{Op: EQ, L: IntLit(1), R: Col("nope")},
+		nil,
+	}
+	for _, e := range bad {
+		if _, err := Bind(e, testSchema); err == nil {
+			t.Errorf("Bind(%v) should error", e)
+		}
+	}
+	if _, err := BindPredicate(Col("nope"), testSchema); err == nil {
+		t.Fatal("BindPredicate should propagate errors")
+	}
+}

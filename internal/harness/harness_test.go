@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallScale keeps harness tests fast; experiments must still demonstrate
+// their qualitative shape at this size.
+var smallScale = Scale{Factor: 0.1}
+
+func runExperiment(t *testing.T, name string) string {
+	t.Helper()
+	fn, ok := Experiments[name]
+	if !ok {
+		t.Fatalf("unknown experiment %q", name)
+	}
+	var buf bytes.Buffer
+	if err := fn(&buf, smallScale); err != nil {
+		t.Fatalf("experiment %s: %v\noutput so far:\n%s", name, err, buf.String())
+	}
+	out := buf.String()
+	if out == "" {
+		t.Fatalf("experiment %s produced no output", name)
+	}
+	return out
+}
+
+func TestRunExample1(t *testing.T) {
+	out := runExperiment(t, "example1")
+	if !strings.Contains(out, "PYRO-O") {
+		t.Fatalf("missing variants:\n%s", out)
+	}
+}
+
+func TestRunA1(t *testing.T) {
+	out := runExperiment(t, "a1")
+	if !strings.Contains(out, "partial-sort (MRS)") {
+		t.Fatalf("missing MRS row:\n%s", out)
+	}
+}
+
+func TestRunA2(t *testing.T) {
+	out := runExperiment(t, "a2")
+	if !strings.Contains(out, "100%") {
+		t.Fatalf("missing checkpoints:\n%s", out)
+	}
+}
+
+func TestRunA3(t *testing.T) {
+	out := runExperiment(t, "a3")
+	if !strings.Contains(out, "seg_rows") {
+		t.Fatalf("missing table:\n%s", out)
+	}
+}
+
+func TestRunA4(t *testing.T) {
+	out := runExperiment(t, "a4")
+	if !strings.Contains(out, "MRS (partial sorts)") {
+		t.Fatalf("missing variant:\n%s", out)
+	}
+}
+
+func TestRunB1(t *testing.T) {
+	out := runExperiment(t, "b1")
+	if !strings.Contains(out, "PYRO-O plan") {
+		t.Fatalf("missing plan dump:\n%s", out)
+	}
+}
+
+func TestRunB2(t *testing.T) {
+	out := runExperiment(t, "b2")
+	if !strings.Contains(out, "coordinated") {
+		t.Fatalf("missing variant:\n%s", out)
+	}
+}
+
+func TestRunB3(t *testing.T) {
+	out := runExperiment(t, "b3")
+	for _, q := range []string{"Q3", "Q4", "Q5", "Q6"} {
+		if !strings.Contains(out, q) {
+			t.Fatalf("missing %s row:\n%s", q, out)
+		}
+	}
+}
+
+func TestRunScalabilitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep in short mode")
+	}
+	out := runExperiment(t, "scalability")
+	if !strings.Contains(out, "PYRO-E_us") {
+		t.Fatalf("missing columns:\n%s", out)
+	}
+}
+
+func TestRunExtensions(t *testing.T) {
+	out := runExperiment(t, "ext")
+	if !strings.Contains(out, "Top-K") || !strings.Contains(out, "deferred fetch") {
+		t.Fatalf("missing extension sections:\n%s", out)
+	}
+}
+
+func TestRunRefinement(t *testing.T) {
+	out := runExperiment(t, "refine")
+	if !strings.Contains(out, "31") {
+		t.Fatalf("missing 31-node row:\n%s", out)
+	}
+}

@@ -1,0 +1,73 @@
+// Package iter defines the Volcano-style pull iterator contract shared by
+// the execution engine and the external sort operators.
+package iter
+
+import "pyro/internal/types"
+
+// Iterator is a demand-driven tuple stream. The contract is:
+//
+//	Open  — acquire resources; must be called exactly once before Next.
+//	Next  — return the next tuple; ok=false signals exhaustion (no error).
+//	Close — release resources; safe to call once after Open, even mid-stream.
+type Iterator interface {
+	Open() error
+	Next() (types.Tuple, bool, error)
+	Close() error
+}
+
+// SliceIterator adapts an in-memory tuple slice to the Iterator contract.
+// It is used by tests and by operators that buffer intermediate results.
+type SliceIterator struct {
+	Tuples []types.Tuple
+	pos    int
+}
+
+// FromSlice returns an iterator over the given tuples.
+func FromSlice(tuples []types.Tuple) *SliceIterator {
+	return &SliceIterator{Tuples: tuples}
+}
+
+// Open resets the iterator to the first tuple.
+func (s *SliceIterator) Open() error {
+	s.pos = 0
+	return nil
+}
+
+// Next returns the next buffered tuple.
+func (s *SliceIterator) Next() (types.Tuple, bool, error) {
+	if s.pos >= len(s.Tuples) {
+		return nil, false, nil
+	}
+	t := s.Tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close is a no-op.
+func (s *SliceIterator) Close() error { return nil }
+
+// Drain opens it, pulls every tuple, closes it, and returns the tuples.
+// Close is called on every path, including failed Opens, so operators can
+// rely on it for resource cleanup.
+func Drain(it Iterator) ([]types.Tuple, error) {
+	if err := it.Open(); err != nil {
+		it.Close()
+		return nil, err
+	}
+	var out []types.Tuple
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

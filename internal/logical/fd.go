@@ -1,0 +1,100 @@
+package logical
+
+import (
+	"pyro/internal/expr"
+	"pyro/internal/sortord"
+)
+
+// FD is a functional dependency: the determinant attribute set decides the
+// dependent attributes. FDs carried in Props are exact facts (verified
+// keys, equijoin column equalities, projection renames) — never inferences
+// from estimated statistics, which saturate and would fabricate false
+// dependencies. The optimizer uses them to shrink grouping column sets
+// (the paper's Query 3 remark that {ps_partkey, ps_suppkey} → ps_availqty
+// lets a (suppkey, partkey) stream feed the aggregate).
+type FD struct {
+	Det sortord.AttrSet
+	Dep sortord.AttrSet
+}
+
+// Closure returns the attribute closure of start under the FDs: the set of
+// attributes functionally determined by start.
+func Closure(start sortord.AttrSet, fds []FD) sortord.AttrSet {
+	out := start.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fds {
+			if out.ContainsAll(fd.Det) && !out.ContainsAll(fd.Dep) {
+				out.AddAll(fd.Dep)
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// Determines reports whether det functionally determines all of target.
+func Determines(det, target sortord.AttrSet, fds []FD) bool {
+	return Closure(det, fds).ContainsAll(target)
+}
+
+// renameFDs maps FDs through a projection's old→new name mapping. An FD
+// survives only if every determinant column is projected; dependents shrink
+// to the projected subset.
+func renameFDs(fds []FD, rename map[string]string) []FD {
+	var out []FD
+	for _, fd := range fds {
+		det := sortord.NewAttrSet()
+		ok := true
+		for a := range fd.Det {
+			n, found := rename[a]
+			if !found {
+				ok = false
+				break
+			}
+			det.Add(n)
+		}
+		if !ok {
+			continue
+		}
+		dep := sortord.NewAttrSet()
+		for a := range fd.Dep {
+			if n, found := rename[a]; found {
+				dep.Add(n)
+			}
+		}
+		if !dep.IsEmpty() {
+			out = append(out, FD{Det: det, Dep: dep})
+		}
+	}
+	return out
+}
+
+// equiPairFDs derives the mutual dependencies of equijoin columns: after
+// l = r holds on every output row, each determines the other.
+func equiPairFDs(pairs []expr.EquiPair) []FD {
+	var out []FD
+	for _, p := range pairs {
+		out = append(out,
+			FD{Det: sortord.NewAttrSet(p.Left), Dep: sortord.NewAttrSet(p.Right)},
+			FD{Det: sortord.NewAttrSet(p.Right), Dep: sortord.NewAttrSet(p.Left)},
+		)
+	}
+	return out
+}
+
+// restrictFDs keeps FDs whose determinant survives in the given attribute
+// set, shrinking dependents to it.
+func restrictFDs(fds []FD, attrs sortord.AttrSet) []FD {
+	var out []FD
+	for _, fd := range fds {
+		if !attrs.ContainsAll(fd.Det) {
+			continue
+		}
+		dep := fd.Dep.Intersect(attrs)
+		if !dep.IsEmpty() {
+			out = append(out, FD{Det: fd.Det, Dep: dep})
+		}
+	}
+	return out
+}

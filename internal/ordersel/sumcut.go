@@ -1,0 +1,77 @@
+package ordersel
+
+import (
+	"fmt"
+
+	"pyro/internal/sortord"
+)
+
+// Graph is an undirected graph for the SUM-CUT reduction (Theorem 4.1).
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// SumCutReduction builds the Problem 1 instance of Theorem 4.1 from a
+// graph G with m vertices u1..um:
+//
+//   - vertices v1..vm are internal ("spine") vertices; vm+1..v2m are leaves;
+//   - edges {vi,vi+1 : 1 ≤ i < m} form the spine and {vi, vm+i} attach one
+//     leaf per spine vertex;
+//   - each spine vertex carries V(G) ∪ L, where L is a padding set disjoint
+//     from V(G) with |L| = padSize;
+//   - leaf vm+i carries the neighbourhood of ui in G.
+//
+// Vertex ui of G is encoded as attribute "u<i>"; padding attributes are
+// "L<k>". Indices in the returned Problem are zero-based: spine vertex vi is
+// index i-1, leaf vm+i is index m+i-1.
+//
+// The reduction makes maximising Problem 1's benefit equivalent to the
+// NP-hard SUM-CUT numbering problem, which is why the optimizer settles for
+// PathOrder on paths and TwoApprox on trees.
+func SumCutReduction(g Graph, padSize int) (Problem, error) {
+	m := g.N
+	if m <= 0 {
+		return Problem{}, fmt.Errorf("ordersel: reduction needs at least one graph vertex")
+	}
+	for _, e := range g.Edges {
+		if e[0] < 0 || e[0] >= m || e[1] < 0 || e[1] >= m {
+			return Problem{}, fmt.Errorf("ordersel: graph edge (%d,%d) out of range", e[0], e[1])
+		}
+	}
+	vg := sortord.NewAttrSet()
+	for i := 0; i < m; i++ {
+		vg.Add(fmt.Sprintf("u%d", i))
+	}
+	pad := sortord.NewAttrSet()
+	for k := 0; k < padSize; k++ {
+		pad.Add(fmt.Sprintf("L%d", k))
+	}
+	spineSet := vg.Union(pad)
+
+	sets := make([]sortord.AttrSet, 2*m)
+	for i := 0; i < m; i++ {
+		sets[i] = spineSet.Clone()
+	}
+	for i := 0; i < m; i++ {
+		nbrs := sortord.NewAttrSet()
+		for _, e := range g.Edges {
+			switch {
+			case e[0] == i:
+				nbrs.Add(fmt.Sprintf("u%d", e[1]))
+			case e[1] == i:
+				nbrs.Add(fmt.Sprintf("u%d", e[0]))
+			}
+		}
+		sets[m+i] = nbrs
+	}
+
+	var edges [][2]int
+	for i := 0; i+1 < m; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	for i := 0; i < m; i++ {
+		edges = append(edges, [2]int{i, m + i})
+	}
+	return Problem{Sets: sets, Edges: edges}, nil
+}

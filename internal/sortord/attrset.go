@@ -1,0 +1,109 @@
+package sortord
+
+import (
+	"sort"
+	"strings"
+)
+
+// AttrSet is a set of attribute names. The zero value is NOT usable; create
+// with NewAttrSet. Sets are mutable; use Clone before sharing.
+type AttrSet map[string]struct{}
+
+// NewAttrSet returns a set containing the given attributes.
+func NewAttrSet(attrs ...string) AttrSet {
+	s := make(AttrSet, len(attrs))
+	for _, a := range attrs {
+		s[a] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts a into the set.
+func (s AttrSet) Add(a string) { s[a] = struct{}{} }
+
+// AddAll inserts every attribute of t into s.
+func (s AttrSet) AddAll(t AttrSet) {
+	for a := range t {
+		s[a] = struct{}{}
+	}
+}
+
+// Contains reports membership.
+func (s AttrSet) Contains(a string) bool {
+	_, ok := s[a]
+	return ok
+}
+
+// ContainsAll reports whether every element of t is in s.
+func (s AttrSet) ContainsAll(t AttrSet) bool {
+	for a := range t {
+		if !s.Contains(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the cardinality of the set.
+func (s AttrSet) Len() int { return len(s) }
+
+// IsEmpty reports whether the set has no elements.
+func (s AttrSet) IsEmpty() bool { return len(s) == 0 }
+
+// Clone returns an independent copy.
+func (s AttrSet) Clone() AttrSet {
+	c := make(AttrSet, len(s))
+	for a := range s {
+		c[a] = struct{}{}
+	}
+	return c
+}
+
+// Union returns s ∪ t as a new set.
+func (s AttrSet) Union(t AttrSet) AttrSet {
+	u := s.Clone()
+	u.AddAll(t)
+	return u
+}
+
+// Intersect returns s ∩ t as a new set.
+func (s AttrSet) Intersect(t AttrSet) AttrSet {
+	u := NewAttrSet()
+	for a := range s {
+		if t.Contains(a) {
+			u.Add(a)
+		}
+	}
+	return u
+}
+
+// Difference returns s − t as a new set.
+func (s AttrSet) Difference(t AttrSet) AttrSet {
+	u := NewAttrSet()
+	for a := range s {
+		if !t.Contains(a) {
+			u.Add(a)
+		}
+	}
+	return u
+}
+
+// Equal reports set equality.
+func (s AttrSet) Equal(t AttrSet) bool {
+	return len(s) == len(t) && s.ContainsAll(t)
+}
+
+// Sorted returns the elements in lexicographic order.
+func (s AttrSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set in the paper's curly-brace notation.
+func (s AttrSet) String() string {
+	return "{" + strings.Join(s.Sorted(), ", ") + "}"
+}

@@ -1,0 +1,245 @@
+// Package sortord implements the sort-order algebra used throughout the
+// PYRO optimizer: orders as sequences of attribute names, prefix tests,
+// longest-common-prefix, concatenation, subtraction and restriction to an
+// attribute set. The notation follows Section 3 of the paper
+// "Reducing Order Enforcement Cost in Complex Query Plans":
+//
+//	ε          empty order            -> Order{}
+//	attrs(o)   attribute set of o     -> o.Attrs()
+//	|o|        length                 -> o.Len()
+//	o1 ≤ o2    o1 is a prefix of o2   -> o1.PrefixOf(o2)
+//	o1 < o2    strict prefix          -> o1.StrictPrefixOf(o2)
+//	o1 ∧ o2    longest common prefix  -> LCP(o1, o2)
+//	o1 + o2    concatenation          -> Concat(o1, o2)
+//	o1 − o2    suffix after o2        -> Minus(o1, o2)
+//	o ∧ s      longest prefix in set  -> o.LongestPrefixIn(s)
+//	⟨s⟩        arbitrary permutation  -> APermute(s)
+//
+// Sort direction (ASC/DESC) is deliberately ignored, as in the paper: all
+// techniques apply independent of direction.
+package sortord
+
+import (
+	"sort"
+	"strings"
+)
+
+// Order is a sort order: a sequence of attribute names, most significant
+// first. The zero value is ε, the empty order. Orders are immutable by
+// convention: all operations return fresh slices and never alias or mutate
+// their receivers' backing arrays.
+type Order []string
+
+// Empty is ε, the empty sort order.
+var Empty = Order{}
+
+// New returns an order over the given attributes. It copies its input.
+func New(attrs ...string) Order {
+	o := make(Order, len(attrs))
+	copy(o, attrs)
+	return o
+}
+
+// Len returns |o|, the number of attributes in the order.
+func (o Order) Len() int { return len(o) }
+
+// IsEmpty reports whether o is ε.
+func (o Order) IsEmpty() bool { return len(o) == 0 }
+
+// Attrs returns attrs(o), the set of attributes appearing in o.
+func (o Order) Attrs() AttrSet {
+	s := NewAttrSet()
+	for _, a := range o {
+		s.Add(a)
+	}
+	return s
+}
+
+// Clone returns a copy of o with its own backing array.
+func (o Order) Clone() Order {
+	c := make(Order, len(o))
+	copy(c, o)
+	return c
+}
+
+// Equal reports whether o and p are the same sequence.
+func (o Order) Equal(p Order) bool {
+	if len(o) != len(p) {
+		return false
+	}
+	for i := range o {
+		if o[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrefixOf reports o ≤ p: whether o is a (non-strict) prefix of p.
+func (o Order) PrefixOf(p Order) bool {
+	if len(o) > len(p) {
+		return false
+	}
+	for i := range o {
+		if o[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictPrefixOf reports o < p: o is a prefix of p and strictly shorter.
+func (o Order) StrictPrefixOf(p Order) bool {
+	return len(o) < len(p) && o.PrefixOf(p)
+}
+
+// LCP returns o1 ∧ o2, the longest common prefix of the two orders.
+func LCP(o1, o2 Order) Order {
+	n := len(o1)
+	if len(o2) < n {
+		n = len(o2)
+	}
+	i := 0
+	for i < n && o1[i] == o2[i] {
+		i++
+	}
+	return o1[:i].Clone()
+}
+
+// Concat returns o1 + o2.
+func Concat(o1, o2 Order) Order {
+	c := make(Order, 0, len(o1)+len(o2))
+	c = append(c, o1...)
+	c = append(c, o2...)
+	return c
+}
+
+// Minus returns o1 − o2, the order o' such that o2 + o' = o1. It is defined
+// only when o2 ≤ o1; the second return value reports definedness.
+func Minus(o1, o2 Order) (Order, bool) {
+	if !o2.PrefixOf(o1) {
+		return nil, false
+	}
+	return o1[len(o2):].Clone(), true
+}
+
+// LongestPrefixIn returns o ∧ s: the longest prefix of o all of whose
+// attributes belong to the set s.
+func (o Order) LongestPrefixIn(s AttrSet) Order {
+	i := 0
+	for i < len(o) && s.Contains(o[i]) {
+		i++
+	}
+	return o[:i].Clone()
+}
+
+// Restrict is an alias for LongestPrefixIn taking a slice of attributes.
+func (o Order) Restrict(attrs []string) Order {
+	return o.LongestPrefixIn(NewAttrSet(attrs...))
+}
+
+// HasDuplicates reports whether any attribute appears twice in o. Valid sort
+// orders never contain duplicates; this is used for input validation.
+func (o Order) HasDuplicates() bool {
+	seen := make(map[string]struct{}, len(o))
+	for _, a := range o {
+		if _, dup := seen[a]; dup {
+			return true
+		}
+		seen[a] = struct{}{}
+	}
+	return false
+}
+
+// Dedup returns o with second and later occurrences of each attribute
+// removed, preserving first-occurrence positions. Sorting on (a, b, a) is
+// equivalent to sorting on (a, b), so deduplication is order-preserving.
+func (o Order) Dedup() Order {
+	seen := make(map[string]struct{}, len(o))
+	out := make(Order, 0, len(o))
+	for _, a := range o {
+		if _, dup := seen[a]; !dup {
+			seen[a] = struct{}{}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// String renders the order in the paper's notation, e.g. "(ps_suppkey, ps_partkey)".
+// ε renders as "()".
+func (o Order) String() string {
+	return "(" + strings.Join(o, ", ") + ")"
+}
+
+// Key returns a canonical map key for the order.
+func (o Order) Key() string { return strings.Join(o, "\x00") }
+
+// Compare orders lexicographically by attribute name; used only to obtain
+// deterministic iteration over sets of orders, not for plan semantics.
+func Compare(o1, o2 Order) int {
+	n := len(o1)
+	if len(o2) < n {
+		n = len(o2)
+	}
+	for i := 0; i < n; i++ {
+		if o1[i] != o2[i] {
+			if o1[i] < o2[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(o1) < len(o2):
+		return -1
+	case len(o1) > len(o2):
+		return 1
+	}
+	return 0
+}
+
+// APermute returns ⟨s⟩, an arbitrary but deterministic permutation of the
+// attribute set s (sorted by name, so results are reproducible run to run).
+func APermute(s AttrSet) Order {
+	attrs := s.Sorted()
+	return New(attrs...)
+}
+
+// Permutations returns P(s): every permutation of the attributes of s, in a
+// deterministic sequence. It is exponential and intended for the exhaustive
+// PYRO-E heuristic and for tests; callers should bound |s|.
+func Permutations(s AttrSet) []Order {
+	base := s.Sorted()
+	var out []Order
+	var rec func(cur Order, remaining []string)
+	rec = func(cur Order, remaining []string) {
+		if len(remaining) == 0 {
+			out = append(out, cur.Clone())
+			return
+		}
+		for i, a := range remaining {
+			rest := make([]string, 0, len(remaining)-1)
+			rest = append(rest, remaining[:i]...)
+			rest = append(rest, remaining[i+1:]...)
+			rec(append(cur, a), rest)
+		}
+	}
+	rec(make(Order, 0, len(base)), base)
+	return out
+}
+
+// ExtendToSet returns o extended with an arbitrary permutation of the
+// attributes of s not already in o:  o + ⟨s − attrs(o)⟩. This is the
+// "extend each order to the length of |S|" step of Section 5.2.1.
+func (o Order) ExtendToSet(s AttrSet) Order {
+	missing := s.Difference(o.Attrs())
+	return Concat(o, APermute(missing))
+}
+
+// SortOrders sorts a slice of orders deterministically (in place) and
+// returns it, for stable iteration and test assertions.
+func SortOrders(orders []Order) []Order {
+	sort.Slice(orders, func(i, j int) bool { return Compare(orders[i], orders[j]) < 0 })
+	return orders
+}

@@ -1,0 +1,299 @@
+package sortord
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyOrder(t *testing.T) {
+	if !Empty.IsEmpty() {
+		t.Fatal("Empty should be empty")
+	}
+	if Empty.Len() != 0 {
+		t.Fatalf("len(ε) = %d, want 0", Empty.Len())
+	}
+	if got := Empty.String(); got != "()" {
+		t.Fatalf("ε renders as %q, want ()", got)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	attrs := []string{"a", "b"}
+	o := New(attrs...)
+	attrs[0] = "z"
+	if o[0] != "a" {
+		t.Fatal("New must copy its input slice")
+	}
+}
+
+func TestPrefixOf(t *testing.T) {
+	cases := []struct {
+		o, p           Order
+		prefix, strict bool
+	}{
+		{Empty, Empty, true, false},
+		{Empty, New("a"), true, true},
+		{New("a"), New("a"), true, false},
+		{New("a"), New("a", "b"), true, true},
+		{New("a", "b"), New("a"), false, false},
+		{New("b"), New("a", "b"), false, false},
+		{New("a", "b"), New("a", "c"), false, false},
+		{New("a", "b"), New("a", "b", "c"), true, true},
+	}
+	for _, c := range cases {
+		if got := c.o.PrefixOf(c.p); got != c.prefix {
+			t.Errorf("%v ≤ %v = %v, want %v", c.o, c.p, got, c.prefix)
+		}
+		if got := c.o.StrictPrefixOf(c.p); got != c.strict {
+			t.Errorf("%v < %v = %v, want %v", c.o, c.p, got, c.strict)
+		}
+	}
+}
+
+func TestLCP(t *testing.T) {
+	cases := []struct{ o1, o2, want Order }{
+		{Empty, Empty, Empty},
+		{New("a"), Empty, Empty},
+		{New("a", "b"), New("a", "c"), New("a")},
+		{New("a", "b", "c"), New("a", "b", "c"), New("a", "b", "c")},
+		{New("x"), New("y"), Empty},
+		{New("a", "b", "c"), New("a", "b"), New("a", "b")},
+	}
+	for _, c := range cases {
+		if got := LCP(c.o1, c.o2); !got.Equal(c.want) {
+			t.Errorf("LCP(%v,%v) = %v, want %v", c.o1, c.o2, got, c.want)
+		}
+	}
+}
+
+func TestConcatMinus(t *testing.T) {
+	o1 := New("a", "b", "c")
+	o2 := New("a", "b")
+	rest, ok := Minus(o1, o2)
+	if !ok || !rest.Equal(New("c")) {
+		t.Fatalf("Minus(%v,%v) = %v,%v", o1, o2, rest, ok)
+	}
+	if got := Concat(o2, rest); !got.Equal(o1) {
+		t.Fatalf("Concat(o2, o1-o2) = %v, want %v", got, o1)
+	}
+	if _, ok := Minus(o2, o1); ok {
+		t.Fatal("Minus should be undefined when o2 is not a prefix of o1")
+	}
+	if _, ok := Minus(New("a", "b"), New("b")); ok {
+		t.Fatal("Minus defined only for prefixes")
+	}
+}
+
+func TestLongestPrefixIn(t *testing.T) {
+	o := New("a", "b", "c", "d")
+	cases := []struct {
+		set  []string
+		want Order
+	}{
+		{[]string{"a", "b", "c", "d"}, o},
+		{[]string{"a", "b"}, New("a", "b")},
+		{[]string{"b", "c"}, Empty},
+		{[]string{"a", "c"}, New("a")},
+		{nil, Empty},
+	}
+	for _, c := range cases {
+		if got := o.LongestPrefixIn(NewAttrSet(c.set...)); !got.Equal(c.want) {
+			t.Errorf("%v ∧ %v = %v, want %v", o, c.set, got, c.want)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	o := Order{"a", "b", "a", "c", "b"}
+	if got := o.Dedup(); !got.Equal(New("a", "b", "c")) {
+		t.Fatalf("Dedup = %v", got)
+	}
+	if !o.HasDuplicates() {
+		t.Fatal("HasDuplicates should be true")
+	}
+	if New("a", "b").HasDuplicates() {
+		t.Fatal("no duplicates expected")
+	}
+}
+
+func TestExtendToSet(t *testing.T) {
+	o := New("c")
+	s := NewAttrSet("a", "b", "c")
+	got := o.ExtendToSet(s)
+	if got.Len() != 3 || got[0] != "c" {
+		t.Fatalf("ExtendToSet = %v", got)
+	}
+	if !got.Attrs().Equal(s) {
+		t.Fatalf("ExtendToSet attrs = %v, want %v", got.Attrs(), s)
+	}
+	// Extending with a set already covered is a no-op.
+	if got2 := got.ExtendToSet(s); !got2.Equal(got) {
+		t.Fatalf("idempotent extend failed: %v", got2)
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	s := NewAttrSet("a", "b", "c")
+	perms := Permutations(s)
+	if len(perms) != 6 {
+		t.Fatalf("3! = 6 permutations, got %d", len(perms))
+	}
+	seen := map[string]bool{}
+	for _, p := range perms {
+		if p.Len() != 3 || !p.Attrs().Equal(s) {
+			t.Fatalf("bad permutation %v", p)
+		}
+		if seen[p.Key()] {
+			t.Fatalf("duplicate permutation %v", p)
+		}
+		seen[p.Key()] = true
+	}
+}
+
+func TestPermutationsEmpty(t *testing.T) {
+	perms := Permutations(NewAttrSet())
+	if len(perms) != 1 || !perms[0].IsEmpty() {
+		t.Fatalf("P(∅) should be {ε}, got %v", perms)
+	}
+}
+
+func TestCompareAndSortOrders(t *testing.T) {
+	a, b, c := New("a"), New("a", "b"), New("b")
+	if Compare(a, b) >= 0 || Compare(b, a) <= 0 || Compare(a, a) != 0 || Compare(b, c) >= 0 {
+		t.Fatal("Compare ordering wrong")
+	}
+	got := SortOrders([]Order{c, b, a})
+	want := []Order{a, b, c}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortOrders = %v, want %v", got, want)
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	// ("ab") vs ("a","b") must have different keys.
+	if New("ab").Key() == New("a", "b").Key() {
+		t.Fatal("Key collision between distinct orders")
+	}
+}
+
+// randomOrder builds a random duplicate-free order over a small alphabet.
+func randomOrder(r *rand.Rand) Order {
+	alphabet := []string{"a", "b", "c", "d", "e", "f"}
+	r.Shuffle(len(alphabet), func(i, j int) { alphabet[i], alphabet[j] = alphabet[j], alphabet[i] })
+	n := r.Intn(len(alphabet) + 1)
+	return New(alphabet[:n]...)
+}
+
+func TestQuickLCPProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomOrder(r))
+			vals[1] = reflect.ValueOf(randomOrder(r))
+		},
+	}
+	// LCP is symmetric, is a prefix of both, and is the longest such prefix.
+	prop := func(o1, o2 Order) bool {
+		l := LCP(o1, o2)
+		if !l.Equal(LCP(o2, o1)) {
+			return false
+		}
+		if !l.PrefixOf(o1) || !l.PrefixOf(o2) {
+			return false
+		}
+		// One attribute longer is not a common prefix.
+		if len(o1) > l.Len() && len(o2) > l.Len() && o1[l.Len()] == o2[l.Len()] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConcatMinusInverse(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			o := randomOrder(r)
+			k := 0
+			if len(o) > 0 {
+				k = r.Intn(len(o) + 1)
+			}
+			vals[0] = reflect.ValueOf(o)
+			vals[1] = reflect.ValueOf(o[:k].Clone())
+		},
+	}
+	prop := func(o, prefix Order) bool {
+		rest, ok := Minus(o, prefix)
+		return ok && Concat(prefix, rest).Equal(o)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRestrictIsPrefix(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomOrder(r))
+			vals[1] = reflect.ValueOf(randomOrder(r)) // reuse as attr source
+		},
+	}
+	prop := func(o, src Order) bool {
+		s := src.Attrs()
+		p := o.LongestPrefixIn(s)
+		if !p.PrefixOf(o) {
+			return false
+		}
+		for _, a := range p {
+			if !s.Contains(a) {
+				return false
+			}
+		}
+		// Maximality: the next attribute (if any) is not in s.
+		return p.Len() == o.Len() || !s.Contains(o[p.Len()])
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttrSetOps(t *testing.T) {
+	s := NewAttrSet("a", "b")
+	u := NewAttrSet("b", "c")
+	if got := s.Union(u); !got.Equal(NewAttrSet("a", "b", "c")) {
+		t.Fatalf("union = %v", got)
+	}
+	if got := s.Intersect(u); !got.Equal(NewAttrSet("b")) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := s.Difference(u); !got.Equal(NewAttrSet("a")) {
+		t.Fatalf("difference = %v", got)
+	}
+	if s.Equal(u) {
+		t.Fatal("sets should differ")
+	}
+	if got := s.String(); got != "{a, b}" {
+		t.Fatalf("String = %q", got)
+	}
+	if !NewAttrSet().IsEmpty() {
+		t.Fatal("empty set")
+	}
+	c := s.Clone()
+	c.Add("z")
+	if s.Contains("z") {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestAPermuteDeterministic(t *testing.T) {
+	s := NewAttrSet("q", "p", "r")
+	if got := APermute(s); !got.Equal(New("p", "q", "r")) {
+		t.Fatalf("APermute = %v, want sorted", got)
+	}
+}

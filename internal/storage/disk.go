@@ -1,0 +1,248 @@
+// Package storage implements the simulated block device under the PYRO
+// execution engine. All table, index and sort-run data live in paged
+// in-memory "files"; every page read or write is charged to an IOStats
+// counter. The experiments in the paper compare plans by I/O behaviour, so
+// exact accounting of block transfers — not wall-clock disk latency — is the
+// property the substitution must preserve (see DESIGN.md).
+//
+// The default page size is 4 KiB, matching the paper's setup ("We assume a
+// disk block size of 4K bytes").
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultPageSize is the simulated disk block size in bytes.
+const DefaultPageSize = 4096
+
+// IOStats counts simulated block transfers. The engine distinguishes reads
+// and writes and, separately, transfers attributable to sort-run generation
+// and merging, which is the quantity Section 3 of the paper eliminates via
+// partial sorting.
+type IOStats struct {
+	PageReads     int64 // pages read (all causes)
+	PageWrites    int64 // pages written (all causes)
+	RunPageReads  int64 // subset of PageReads from sort-run files
+	RunPageWrites int64 // subset of PageWrites to sort-run files
+	Seeks         int64 // random repositioning events (per run switch / probe)
+}
+
+// Total returns total block transfers (reads + writes).
+func (s IOStats) Total() int64 { return s.PageReads + s.PageWrites }
+
+// RunTotal returns transfers attributable to sort runs.
+func (s IOStats) RunTotal() int64 { return s.RunPageReads + s.RunPageWrites }
+
+// Add accumulates o into s.
+func (s *IOStats) Add(o IOStats) {
+	s.PageReads += o.PageReads
+	s.PageWrites += o.PageWrites
+	s.RunPageReads += o.RunPageReads
+	s.RunPageWrites += o.RunPageWrites
+	s.Seeks += o.Seeks
+}
+
+// Sub returns s - o, for interval measurements.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{
+		PageReads:     s.PageReads - o.PageReads,
+		PageWrites:    s.PageWrites - o.PageWrites,
+		RunPageReads:  s.RunPageReads - o.RunPageReads,
+		RunPageWrites: s.RunPageWrites - o.RunPageWrites,
+		Seeks:         s.Seeks - o.Seeks,
+	}
+}
+
+func (s *IOStats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d (run reads=%d writes=%d) seeks=%d",
+		s.PageReads, s.PageWrites, s.RunPageReads, s.RunPageWrites, s.Seeks)
+}
+
+// FileKind labels a file for I/O attribution.
+type FileKind uint8
+
+const (
+	// KindData is table or index data.
+	KindData FileKind = iota
+	// KindRun is an external-sort run file.
+	KindRun
+)
+
+// Disk is a simulated block device: a set of named paged files plus an
+// IOStats ledger. A Disk is safe for concurrent use by multiple goroutines;
+// the engine itself is single-threaded per query but tests exercise
+// concurrent workloads.
+type Disk struct {
+	mu       sync.Mutex
+	pageSize int
+	files    map[string]*File
+	stats    IOStats
+	nextTemp int
+}
+
+// NewDisk returns an empty disk with the given page size (0 => default).
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Disk{pageSize: pageSize, files: make(map[string]*File)}
+}
+
+// PageSize returns the block size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// Stats returns a snapshot of the I/O counters.
+func (d *Disk) Stats() IOStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the I/O counters.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = IOStats{}
+}
+
+// Create creates (or truncates) a named file of the given kind.
+func (d *Disk) Create(name string, kind FileKind) *File {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := &File{disk: d, name: name, kind: kind}
+	d.files[name] = f
+	return f
+}
+
+// CreateTemp creates a uniquely named temporary file (used for sort runs).
+func (d *Disk) CreateTemp(prefix string, kind FileKind) *File {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextTemp++
+	name := fmt.Sprintf("%s.tmp%d", prefix, d.nextTemp)
+	f := &File{disk: d, name: name, kind: kind}
+	d.files[name] = f
+	return f
+}
+
+// Open returns the named file, or an error if absent.
+func (d *Disk) Open(name string) (*File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: file %q does not exist", name)
+	}
+	return f, nil
+}
+
+// Remove deletes the named file. Removing a missing file is a no-op, like
+// closing an already-closed descriptor during cleanup.
+func (d *Disk) Remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, name)
+}
+
+// FileNames lists files in deterministic order (for tests and tools).
+func (d *Disk) FileNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.files))
+	for n := range d.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalPages returns the number of allocated pages across all files.
+func (d *Disk) TotalPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, f := range d.files {
+		n += len(f.pages)
+	}
+	return n
+}
+
+func (d *Disk) charge(kind FileKind, reads, writes int64, seek bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.PageReads += reads
+	d.stats.PageWrites += writes
+	if kind == KindRun {
+		d.stats.RunPageReads += reads
+		d.stats.RunPageWrites += writes
+	}
+	if seek {
+		d.stats.Seeks++
+	}
+}
+
+// File is a paged file on the simulated disk.
+type File struct {
+	disk  *Disk
+	name  string
+	kind  FileKind
+	mu    sync.Mutex
+	pages [][]byte
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Kind returns the file's I/O attribution kind.
+func (f *File) Kind() FileKind { return f.kind }
+
+// NumPages returns the number of allocated pages.
+func (f *File) NumPages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pages)
+}
+
+// AppendPage writes a new page at the end of the file and charges one block
+// write. The page contents are copied.
+func (f *File) AppendPage(data []byte) int {
+	if len(data) > f.disk.pageSize {
+		panic(fmt.Sprintf("storage: page of %d bytes exceeds page size %d", len(data), f.disk.pageSize))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	f.mu.Lock()
+	f.pages = append(f.pages, cp)
+	n := len(f.pages)
+	f.mu.Unlock()
+	f.disk.charge(f.kind, 0, 1, false)
+	return n - 1
+}
+
+// ReadPage returns page i, charging one block read. The returned slice must
+// not be modified by the caller.
+func (f *File) ReadPage(i int) ([]byte, error) {
+	f.mu.Lock()
+	if i < 0 || i >= len(f.pages) {
+		n := len(f.pages)
+		f.mu.Unlock()
+		return nil, fmt.Errorf("storage: page %d out of range [0,%d) in %q", i, n, f.name)
+	}
+	p := f.pages[i]
+	f.mu.Unlock()
+	f.disk.charge(f.kind, 1, 0, false)
+	return p, nil
+}
+
+// Seek records a random repositioning (merge-run switches, index probes).
+func (f *File) Seek() { f.disk.charge(f.kind, 0, 0, true) }
+
+// Truncate drops all pages without charging I/O (models deallocation).
+func (f *File) Truncate() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pages = f.pages[:0]
+}

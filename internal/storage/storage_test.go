@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pyro/internal/types"
+)
+
+func TestDiskCreateOpenRemove(t *testing.T) {
+	d := NewDisk(0)
+	if d.PageSize() != DefaultPageSize {
+		t.Fatalf("default page size = %d", d.PageSize())
+	}
+	f := d.Create("t1", KindData)
+	if f.Name() != "t1" || f.Kind() != KindData {
+		t.Fatal("file metadata wrong")
+	}
+	got, err := d.Open("t1")
+	if err != nil || got != f {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := d.Open("nope"); err == nil {
+		t.Fatal("opening missing file should error")
+	}
+	d.Remove("t1")
+	if _, err := d.Open("t1"); err == nil {
+		t.Fatal("file should be removed")
+	}
+	d.Remove("t1") // idempotent
+}
+
+func TestPageIOAccounting(t *testing.T) {
+	d := NewDisk(128)
+	f := d.Create("f", KindData)
+	r := d.Create("r", KindRun)
+	f.AppendPage([]byte{1, 2, 3})
+	r.AppendPage([]byte{4})
+	if _, err := f.ReadPage(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPage(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPage(5); err == nil {
+		t.Fatal("out-of-range read should error")
+	}
+	s := d.Stats()
+	if s.PageWrites != 2 || s.PageReads != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.RunPageWrites != 1 || s.RunPageReads != 1 {
+		t.Fatalf("run attribution wrong: %+v", s)
+	}
+	if s.Total() != 4 || s.RunTotal() != 2 {
+		t.Fatalf("totals wrong: %+v", s)
+	}
+	d.ResetStats()
+	if d.Stats().Total() != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestStatsAddSub(t *testing.T) {
+	a := IOStats{PageReads: 5, PageWrites: 3, RunPageReads: 1, RunPageWrites: 2, Seeks: 4}
+	b := IOStats{PageReads: 1, PageWrites: 1, RunPageReads: 1, RunPageWrites: 1, Seeks: 1}
+	diff := a.Sub(b)
+	if diff.PageReads != 4 || diff.PageWrites != 2 || diff.Seeks != 3 {
+		t.Fatalf("Sub = %+v", diff)
+	}
+	var acc IOStats
+	acc.Add(a)
+	acc.Add(b)
+	if acc.PageReads != 6 || acc.RunTotal() != 5 {
+		t.Fatalf("Add = %+v", acc)
+	}
+	if acc.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestAppendPageCopiesAndBounds(t *testing.T) {
+	d := NewDisk(64)
+	f := d.Create("f", KindData)
+	buf := []byte{9, 9}
+	f.AppendPage(buf)
+	buf[0] = 1
+	p, _ := f.ReadPage(0)
+	if p[0] != 9 {
+		t.Fatal("AppendPage must copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized page should panic")
+		}
+	}()
+	f.AppendPage(make([]byte, 65))
+}
+
+func TestTupleWriterReaderRoundTrip(t *testing.T) {
+	d := NewDisk(256)
+	f := d.Create("f", KindData)
+	w := NewTupleWriter(f)
+	var want []types.Tuple
+	for i := 0; i < 500; i++ {
+		tup := types.NewTuple(types.NewInt(int64(i)), types.NewString(fmt.Sprintf("row-%d", i)))
+		want = append(want, tup)
+		if err := w.Write(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	if w.TuplesWritten() != 500 {
+		t.Fatalf("TuplesWritten = %d", w.TuplesWritten())
+	}
+	if f.NumPages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", f.NumPages())
+	}
+	got, err := ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i][0].Int() != want[i][0].Int() || got[i][1].Str() != want[i][1].Str() {
+			t.Fatalf("tuple %d mismatch: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTupleReaderRewind(t *testing.T) {
+	d := NewDisk(128)
+	f := d.Create("f", KindData)
+	if err := WriteAll(f, []types.Tuple{
+		types.NewTuple(types.NewInt(1)),
+		types.NewTuple(types.NewInt(2)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewTupleReader(f)
+	if tup, ok, _ := r.Next(); !ok || tup[0].Int() != 1 {
+		t.Fatal("first read wrong")
+	}
+	before := d.Stats().Seeks
+	r.Rewind()
+	if d.Stats().Seeks != before+1 {
+		t.Fatal("Rewind should charge a seek")
+	}
+	if tup, ok, _ := r.Next(); !ok || tup[0].Int() != 1 {
+		t.Fatal("post-rewind read wrong")
+	}
+}
+
+func TestOversizedTupleErrors(t *testing.T) {
+	d := NewDisk(32)
+	f := d.Create("f", KindData)
+	w := NewTupleWriter(f)
+	big := types.NewTuple(types.NewString("this string is far too large for a page"))
+	if err := w.Write(big); err == nil {
+		t.Fatal("oversized tuple should error")
+	}
+}
+
+func TestEmptyFileRead(t *testing.T) {
+	d := NewDisk(0)
+	f := d.Create("f", KindData)
+	r := NewTupleReader(f)
+	if _, ok, err := r.Next(); ok || err != nil {
+		t.Fatalf("empty file: ok=%v err=%v", ok, err)
+	}
+	// Close on empty writer writes nothing.
+	w := NewTupleWriter(f)
+	w.Close()
+	if f.NumPages() != 0 {
+		t.Fatal("empty close should not write a page")
+	}
+}
+
+func TestCreateTempUnique(t *testing.T) {
+	d := NewDisk(0)
+	a := d.CreateTemp("sort", KindRun)
+	b := d.CreateTemp("sort", KindRun)
+	if a.Name() == b.Name() {
+		t.Fatal("temp names must be unique")
+	}
+	names := d.FileNames()
+	if len(names) != 2 {
+		t.Fatalf("FileNames = %v", names)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	d := NewDisk(0)
+	f := d.Create("f", KindData)
+	f.AppendPage([]byte{1})
+	f.Truncate()
+	if f.NumPages() != 0 {
+		t.Fatal("Truncate failed")
+	}
+	if d.TotalPages() != 0 {
+		t.Fatal("TotalPages after truncate")
+	}
+}
+
+func TestConcurrentDiskAccess(t *testing.T) {
+	d := NewDisk(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f := d.Create(fmt.Sprintf("f%d", g), KindData)
+			for i := 0; i < 50; i++ {
+				f.AppendPage([]byte{byte(i)})
+				if _, err := f.ReadPage(i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := d.Stats()
+	if s.PageReads != 400 || s.PageWrites != 400 {
+		t.Fatalf("concurrent stats = %+v", s)
+	}
+}
+
+func TestQuickWriteReadAnyTuples(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := r.Intn(60)
+			tuples := make([]types.Tuple, n)
+			for i := range tuples {
+				tuples[i] = types.NewTuple(
+					types.NewInt(r.Int63n(1000)),
+					types.NewFloat(r.Float64()),
+					types.NewString(fmt.Sprintf("s%d", r.Intn(100))),
+				)
+			}
+			vals[0] = reflect.ValueOf(tuples)
+		},
+	}
+	seq := 0
+	prop := func(tuples []types.Tuple) bool {
+		d := NewDisk(256)
+		seq++
+		f := d.Create(fmt.Sprintf("q%d", seq), KindData)
+		if err := WriteAll(f, tuples); err != nil {
+			return false
+		}
+		got, err := ReadAll(f)
+		if err != nil || len(got) != len(tuples) {
+			return false
+		}
+		for i := range tuples {
+			for j := range tuples[i] {
+				if got[i][j].Compare(tuples[i][j]) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

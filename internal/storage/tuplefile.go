@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pyro/internal/types"
+)
+
+// TupleWriter appends encoded tuples to a file, packing as many tuples per
+// page as fit. Page layout: u16 tuple count, then back-to-back encoded
+// tuples. A tuple larger than a page is an error (the workloads never
+// produce one; erroring beats silent corruption).
+type TupleWriter struct {
+	file   *File
+	buf    []byte
+	count  int
+	tuples int64
+	starts []int64 // index of the first tuple on each written page
+}
+
+// NewTupleWriter starts writing at the end of f.
+func NewTupleWriter(f *File) *TupleWriter {
+	return &TupleWriter{file: f, buf: make([]byte, 2, f.disk.pageSize)}
+}
+
+// PageStarts returns, for each page written so far, the index of its first
+// tuple — the directory a clustered lookup needs (valid after Close).
+func (w *TupleWriter) PageStarts() []int64 {
+	return append([]int64(nil), w.starts...)
+}
+
+// Write appends one tuple, flushing a full page as needed.
+func (w *TupleWriter) Write(t types.Tuple) error {
+	sz := t.EncodedSize()
+	if 2+sz > w.file.disk.pageSize {
+		return fmt.Errorf("storage: tuple of %d bytes exceeds page capacity %d", sz, w.file.disk.pageSize-2)
+	}
+	if len(w.buf)+sz > w.file.disk.pageSize {
+		w.flush()
+	}
+	w.buf = t.Encode(w.buf)
+	w.count++
+	w.tuples++
+	return nil
+}
+
+func (w *TupleWriter) flush() {
+	if w.count == 0 {
+		return
+	}
+	w.starts = append(w.starts, w.tuples-int64(w.count))
+	binary.BigEndian.PutUint16(w.buf[:2], uint16(w.count))
+	w.file.AppendPage(w.buf)
+	w.buf = w.buf[:2]
+	w.count = 0
+}
+
+// Close flushes the final partial page. The writer must not be used after.
+func (w *TupleWriter) Close() {
+	w.flush()
+}
+
+// TuplesWritten returns the number of tuples written so far.
+func (w *TupleWriter) TuplesWritten() int64 { return w.tuples }
+
+// TupleReader scans a tuple file sequentially, page by page. Each page read
+// charges one block read to the disk.
+type TupleReader struct {
+	file    *File
+	page    int
+	data    []byte
+	pos     int
+	left    int
+	started bool
+}
+
+// NewTupleReader positions a reader at the start of f.
+func NewTupleReader(f *File) *TupleReader {
+	return &TupleReader{file: f}
+}
+
+// Next returns the next tuple, or ok=false at end of file.
+func (r *TupleReader) Next() (types.Tuple, bool, error) {
+	for r.left == 0 {
+		if r.page >= r.file.NumPages() {
+			return nil, false, nil
+		}
+		data, err := r.file.ReadPage(r.page)
+		if err != nil {
+			return nil, false, err
+		}
+		r.page++
+		if len(data) < 2 {
+			return nil, false, fmt.Errorf("storage: malformed page in %q", r.file.Name())
+		}
+		r.data = data
+		r.left = int(binary.BigEndian.Uint16(data[:2]))
+		r.pos = 2
+	}
+	t, n, err := types.DecodeTuple(r.data[r.pos:])
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: decoding %q page %d: %w", r.file.Name(), r.page-1, err)
+	}
+	r.pos += n
+	r.left--
+	return t, true, nil
+}
+
+// Rewind repositions the reader at the start of the file and charges a seek.
+func (r *TupleReader) Rewind() {
+	r.page = 0
+	r.data = nil
+	r.pos = 0
+	r.left = 0
+	r.file.Seek()
+}
+
+// WriteAll writes all tuples to a fresh file and closes the writer.
+func WriteAll(f *File, tuples []types.Tuple) error {
+	w := NewTupleWriter(f)
+	for _, t := range tuples {
+		if err := w.Write(t); err != nil {
+			return err
+		}
+	}
+	w.Close()
+	return nil
+}
+
+// ReadAll reads every tuple from the file (test/tool helper).
+func ReadAll(f *File) ([]types.Tuple, error) {
+	r := NewTupleReader(f)
+	var out []types.Tuple
+	for {
+		t, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

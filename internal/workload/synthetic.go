@@ -1,0 +1,372 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pyro/internal/catalog"
+	"pyro/internal/exec"
+	"pyro/internal/expr"
+	"pyro/internal/logical"
+	"pyro/internal/sortord"
+	"pyro/internal/types"
+)
+
+// BuildSegmentTable loads one of Experiment A2/A3's tables: rows rows of
+// (c1, c2, c3), clustered on c1, with rowsPerC1 rows sharing each c1 value
+// (the partial sort segment size). c2 is random, c3 is payload to pad the
+// tuple width.
+func BuildSegmentTable(cat *catalog.Catalog, name string, rows, rowsPerC1 int64, seed int64) (*catalog.Table, error) {
+	if rowsPerC1 <= 0 {
+		return nil, fmt.Errorf("workload: rowsPerC1 must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	schema := types.NewSchema(
+		types.Column{Name: "c1", Kind: types.KindInt},
+		types.Column{Name: "c2", Kind: types.KindInt},
+		types.Column{Name: "c3", Kind: types.KindString, Width: 24},
+	)
+	data := make([]types.Tuple, rows)
+	for i := int64(0); i < rows; i++ {
+		data[i] = types.NewTuple(
+			types.NewInt(i/rowsPerC1),
+			types.NewInt(rng.Int63n(1_000_000)),
+			types.NewString("xxxxxxxxxxxxxxxxxxxxxxxx"),
+		)
+	}
+	return cat.CreateTable(name, schema, sortord.New("c1"), data)
+}
+
+// BuildOuterJoinTables loads Experiment B2's R1, R2, R3: identical 100k-row
+// five-column tables (scaled by rows), no indices, column names prefixed
+// a_, b_, c_ to keep join schemas collision-free.
+func BuildOuterJoinTables(cat *catalog.Catalog, rows int64, seed int64) error {
+	for i, prefix := range []string{"a_", "b_", "c_"} {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		schema := types.NewSchema(
+			types.Column{Name: prefix + "c1", Kind: types.KindInt},
+			types.Column{Name: prefix + "c2", Kind: types.KindInt},
+			types.Column{Name: prefix + "c3", Kind: types.KindInt},
+			types.Column{Name: prefix + "c4", Kind: types.KindInt},
+			types.Column{Name: prefix + "c5", Kind: types.KindInt},
+		)
+		data := make([]types.Tuple, rows)
+		for r := int64(0); r < rows; r++ {
+			data[r] = types.NewTuple(
+				types.NewInt(rng.Int63n(40)),
+				types.NewInt(rng.Int63n(40)),
+				types.NewInt(rng.Int63n(25)),
+				types.NewInt(rng.Int63n(25)),
+				types.NewInt(rng.Int63n(25)),
+			)
+		}
+		name := fmt.Sprintf("r%d", i+1)
+		if _, err := cat.CreateTable(name, schema, sortord.Empty, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query4 is Experiment B2's two full outer joins with common attributes
+// (c4, c5) between the join predicates:
+//
+//	SELECT * FROM R1 FULL OUTER JOIN R2
+//	  ON (R1.c5=R2.c5 AND R1.c4=R2.c4 AND R1.c3=R2.c3)
+//	FULL OUTER JOIN R3
+//	  ON (R3.c1=R1.c1 AND R3.c4=R1.c4 AND R3.c5=R1.c5)
+func Query4(cat *catalog.Catalog) (logical.Node, error) {
+	r1, err := cat.Table("r1")
+	if err != nil {
+		return nil, err
+	}
+	r2, err := cat.Table("r2")
+	if err != nil {
+		return nil, err
+	}
+	r3, err := cat.Table("r3")
+	if err != nil {
+		return nil, err
+	}
+	j1 := logical.NewJoin(logical.NewScan(r1), logical.NewScan(r2), expr.AndOf(
+		expr.Eq(expr.Col("a_c5"), expr.Col("b_c5")),
+		expr.Eq(expr.Col("a_c4"), expr.Col("b_c4")),
+		expr.Eq(expr.Col("a_c3"), expr.Col("b_c3")),
+	), exec.FullOuterJoin)
+	j2 := logical.NewJoin(j1, logical.NewScan(r3), expr.AndOf(
+		expr.Eq(expr.Col("c_c1"), expr.Col("a_c1")),
+		expr.Eq(expr.Col("c_c4"), expr.Col("a_c4")),
+		expr.Eq(expr.Col("c_c5"), expr.Col("a_c5")),
+	), exec.FullOuterJoin)
+	return j2, nil
+}
+
+// BuildTran loads Query 5's TRAN table: trading transactions clustered on
+// (UserId, ParentOrderId, BasketId, WaveId, ChildOrderId). Every "New"
+// transaction has matching "Executed" rows with the same five key columns.
+func BuildTran(cat *catalog.Catalog, orders int64, seed int64) (*catalog.Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	schema := types.NewSchema(
+		types.Column{Name: "UserId", Kind: types.KindInt},
+		types.Column{Name: "BasketId", Kind: types.KindInt},
+		types.Column{Name: "ParentOrderId", Kind: types.KindInt},
+		types.Column{Name: "WaveId", Kind: types.KindInt},
+		types.Column{Name: "ChildOrderId", Kind: types.KindInt},
+		types.Column{Name: "TranType", Kind: types.KindString, Width: 8},
+		types.Column{Name: "Quantity", Kind: types.KindInt},
+		types.Column{Name: "Price", Kind: types.KindInt},
+	)
+	var data []types.Tuple
+	for i := int64(0); i < orders; i++ {
+		user := rng.Int63n(20)
+		basket := rng.Int63n(50)
+		parent := i
+		wave := rng.Int63n(4)
+		child := rng.Int63n(8)
+		qty := rng.Int63n(100) + 1
+		price := rng.Int63n(500) + 1
+		data = append(data, types.NewTuple(
+			types.NewInt(user), types.NewInt(basket), types.NewInt(parent),
+			types.NewInt(wave), types.NewInt(child),
+			types.NewString("New"), types.NewInt(qty), types.NewInt(price)))
+		for e := int64(0); e <= rng.Int63n(3); e++ {
+			data = append(data, types.NewTuple(
+				types.NewInt(user), types.NewInt(basket), types.NewInt(parent),
+				types.NewInt(wave), types.NewInt(child),
+				types.NewString("Executed"), types.NewInt(rng.Int63n(qty)+1), types.NewInt(price)))
+		}
+	}
+	return cat.CreateTable("tran", schema,
+		sortord.New("UserId", "ParentOrderId", "BasketId", "WaveId", "ChildOrderId"), data)
+}
+
+// aliasScan renames a table's columns with a prefix so self-joins have
+// collision-free schemas (the logical algebra's equivalent of SQL aliases).
+func aliasScan(t *catalog.Table, prefix string) logical.Node {
+	cols := make([]logical.ProjCol, t.Schema.Len())
+	for i := 0; i < t.Schema.Len(); i++ {
+		name := t.Schema.Col(i).Name
+		cols[i] = logical.ProjCol{Name: prefix + name, Expr: expr.Col(name)}
+	}
+	return logical.NewProject(logical.NewScan(t), cols)
+}
+
+// Query5 is the paper's "total value executed for a given order" self-join:
+// five join attributes, making the choice of permutation consequential.
+func Query5(cat *catalog.Catalog) (logical.Node, error) {
+	tran, err := cat.Table("tran")
+	if err != nil {
+		return nil, err
+	}
+	t1 := logical.NewSelect(aliasScan(tran, "t1_"), expr.Eq(expr.Col("t1_TranType"), expr.StrLit("New")))
+	t2 := logical.NewSelect(aliasScan(tran, "t2_"), expr.Eq(expr.Col("t2_TranType"), expr.StrLit("Executed")))
+	join := logical.NewJoin(t1, t2, expr.AndOf(
+		expr.Eq(expr.Col("t1_UserId"), expr.Col("t2_UserId")),
+		expr.Eq(expr.Col("t1_ParentOrderId"), expr.Col("t2_ParentOrderId")),
+		expr.Eq(expr.Col("t1_BasketId"), expr.Col("t2_BasketId")),
+		expr.Eq(expr.Col("t1_WaveId"), expr.Col("t2_WaveId")),
+		expr.Eq(expr.Col("t1_ChildOrderId"), expr.Col("t2_ChildOrderId")),
+	), exec.InnerJoin)
+	withValue := logical.NewProject(join, []logical.ProjCol{
+		{Name: "t1_UserId", Expr: expr.Col("t1_UserId")},
+		{Name: "t1_BasketId", Expr: expr.Col("t1_BasketId")},
+		{Name: "t1_ParentOrderId", Expr: expr.Col("t1_ParentOrderId")},
+		{Name: "t1_WaveId", Expr: expr.Col("t1_WaveId")},
+		{Name: "t1_ChildOrderId", Expr: expr.Col("t1_ChildOrderId")},
+		{Name: "OrderValue", Expr: expr.Arith{Op: expr.Mul, L: expr.Col("t1_Quantity"), R: expr.Col("t1_Price")}},
+		{Name: "ExecValue", Expr: expr.Arith{Op: expr.Mul, L: expr.Col("t2_Quantity"), R: expr.Col("t2_Price")}},
+	})
+	gb := logical.NewGroupBy(withValue,
+		[]string{"t1_UserId", "t1_BasketId", "t1_ParentOrderId", "t1_WaveId", "t1_ChildOrderId", "OrderValue"},
+		[]logical.AggSpec{{Name: "ExecutedValue", Func: exec.AggSum, Arg: expr.Col("ExecValue")}})
+	return gb, nil
+}
+
+// BuildBasketAnalytics loads Query 6's BASKET and ANALYTICS tables, both
+// clustered on (ProdType, Symbol, Exchange) — favoring an optimizer that
+// aligns the full join permutation with the clustering orders rather than
+// just the leading attribute.
+func BuildBasketAnalytics(cat *catalog.Catalog, baskets, analytics int64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(name, prefix string, rows int64) error {
+		schema := types.NewSchema(
+			types.Column{Name: prefix + "ProdType", Kind: types.KindInt},
+			types.Column{Name: prefix + "Symbol", Kind: types.KindInt},
+			types.Column{Name: prefix + "Exchange", Kind: types.KindInt},
+			types.Column{Name: prefix + "Value", Kind: types.KindInt},
+		)
+		data := make([]types.Tuple, rows)
+		for i := int64(0); i < rows; i++ {
+			data[i] = types.NewTuple(
+				types.NewInt(rng.Int63n(8)),
+				types.NewInt(rng.Int63n(500)),
+				types.NewInt(rng.Int63n(12)),
+				types.NewInt(rng.Int63n(10_000)),
+			)
+		}
+		_, err := cat.CreateTable(name, schema,
+			sortord.New(prefix+"ProdType", prefix+"Symbol", prefix+"Exchange"), data)
+		return err
+	}
+	if err := mk("basket", "b_", baskets); err != nil {
+		return err
+	}
+	return mk("analytics", "a_", analytics)
+}
+
+// Query6 is the basket-analytics join on three attributes:
+//
+//	SELECT * FROM BASKET B, ANALYTICS A
+//	WHERE B.ProdType=A.ProdType AND B.Symbol=A.Symbol AND B.Exchange=A.Exchange
+func Query6(cat *catalog.Catalog) (logical.Node, error) {
+	b, err := cat.Table("basket")
+	if err != nil {
+		return nil, err
+	}
+	a, err := cat.Table("analytics")
+	if err != nil {
+		return nil, err
+	}
+	return logical.NewJoin(logical.NewScan(b), logical.NewScan(a), expr.AndOf(
+		expr.Eq(expr.Col("b_ProdType"), expr.Col("a_ProdType")),
+		expr.Eq(expr.Col("b_Symbol"), expr.Col("a_Symbol")),
+		expr.Eq(expr.Col("b_Exchange"), expr.Col("a_Exchange")),
+	), exec.InnerJoin), nil
+}
+
+// BuildExample1 loads §3's Example 1 environment (Figures 1 and 2):
+// catalog1 clustered on year, catalog2 clustered on make, and rating with a
+// covering index on make including (year, rating).
+func BuildExample1(cat *catalog.Catalog, rows int64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	makes, years, cities, colors := int64(40), int64(25), int64(50), int64(10)
+	c1 := types.NewSchema(
+		types.Column{Name: "c1_make", Kind: types.KindInt},
+		types.Column{Name: "c1_year", Kind: types.KindInt},
+		types.Column{Name: "c1_city", Kind: types.KindInt},
+		types.Column{Name: "c1_color", Kind: types.KindInt},
+		types.Column{Name: "c1_sellreason", Kind: types.KindString, Width: 30},
+	)
+	c2 := types.NewSchema(
+		types.Column{Name: "c2_make", Kind: types.KindInt},
+		types.Column{Name: "c2_year", Kind: types.KindInt},
+		types.Column{Name: "c2_city", Kind: types.KindInt},
+		types.Column{Name: "c2_color", Kind: types.KindInt},
+		types.Column{Name: "c2_breakdowns", Kind: types.KindInt},
+	)
+	rt := types.NewSchema(
+		types.Column{Name: "r_make", Kind: types.KindInt},
+		types.Column{Name: "r_year", Kind: types.KindInt},
+		types.Column{Name: "r_rating", Kind: types.KindInt},
+		types.Column{Name: "r_notes", Kind: types.KindString, Width: 20},
+	)
+	var rows1, rows2 []types.Tuple
+	for i := int64(0); i < rows; i++ {
+		rows1 = append(rows1, types.NewTuple(
+			types.NewInt(rng.Int63n(makes)), types.NewInt(rng.Int63n(years)),
+			types.NewInt(rng.Int63n(cities)), types.NewInt(rng.Int63n(colors)),
+			types.NewString("reason-text-padding-xxxxxxxxxx")))
+		rows2 = append(rows2, types.NewTuple(
+			types.NewInt(rng.Int63n(makes)), types.NewInt(rng.Int63n(years)),
+			types.NewInt(rng.Int63n(cities)), types.NewInt(rng.Int63n(colors)),
+			types.NewInt(rng.Int63n(20))))
+	}
+	var ratingRows []types.Tuple
+	for m := int64(0); m < makes; m++ {
+		for y := int64(0); y < years; y++ {
+			ratingRows = append(ratingRows, types.NewTuple(
+				types.NewInt(m), types.NewInt(y), types.NewInt(rng.Int63n(10)),
+				types.NewString("note-padding-xxxxxxx")))
+		}
+	}
+	if _, err := cat.CreateTable("catalog1", c1, sortord.New("c1_year"), rows1); err != nil {
+		return err
+	}
+	if _, err := cat.CreateTable("catalog2", c2, sortord.New("c2_make"), rows2); err != nil {
+		return err
+	}
+	rating, err := cat.CreateTable("rating", rt, sortord.New("r_make", "r_year"), ratingRows)
+	if err != nil {
+		return err
+	}
+	_, err = cat.CreateIndex("rt_make", rating, sortord.New("r_make"), []string{"r_year", "r_rating"})
+	return err
+}
+
+// Example1Query is §3 Example 1: the two catalog tables joined on four
+// attributes, the result joined with rating on two, under a long ORDER BY.
+func Example1Query(cat *catalog.Catalog) (logical.Node, error) {
+	c1, err := cat.Table("catalog1")
+	if err != nil {
+		return nil, err
+	}
+	c2, err := cat.Table("catalog2")
+	if err != nil {
+		return nil, err
+	}
+	rt, err := cat.Table("rating")
+	if err != nil {
+		return nil, err
+	}
+	j1 := logical.NewJoin(logical.NewScan(c1), logical.NewScan(c2), expr.AndOf(
+		expr.Eq(expr.Col("c1_city"), expr.Col("c2_city")),
+		expr.Eq(expr.Col("c1_make"), expr.Col("c2_make")),
+		expr.Eq(expr.Col("c1_year"), expr.Col("c2_year")),
+		expr.Eq(expr.Col("c1_color"), expr.Col("c2_color")),
+	), exec.InnerJoin)
+	j2 := logical.NewJoin(j1, logical.NewScan(rt), expr.AndOf(
+		expr.Eq(expr.Col("c1_make"), expr.Col("r_make")),
+		expr.Eq(expr.Col("c1_year"), expr.Col("r_year")),
+	), exec.InnerJoin)
+	proj := logical.NewProjectNames(j2, []string{
+		"c1_make", "c1_year", "c1_city", "c1_color", "c1_sellreason",
+		"c2_breakdowns", "r_rating",
+	})
+	return logical.NewOrderBy(proj, sortord.New(
+		"c1_make", "c1_year", "c1_color", "c1_city", "c1_sellreason",
+		"c2_breakdowns", "r_rating")), nil
+}
+
+// BuildScalability loads two relations joined on n attributes for the
+// Figure 16 optimization-time experiment.
+func BuildScalability(cat *catalog.Catalog, attrs int, rows int64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(name, prefix string) error {
+		cols := make([]types.Column, attrs)
+		for i := range cols {
+			cols[i] = types.Column{Name: fmt.Sprintf("%sk%d", prefix, i), Kind: types.KindInt}
+		}
+		schema := types.NewSchema(cols...)
+		data := make([]types.Tuple, rows)
+		for r := int64(0); r < rows; r++ {
+			tup := make(types.Tuple, attrs)
+			for i := range tup {
+				tup[i] = types.NewInt(rng.Int63n(10))
+			}
+			data[r] = tup
+		}
+		_, err := cat.CreateTable(name, schema, sortord.Empty, data)
+		return err
+	}
+	if err := mk("scale_l", "l"); err != nil {
+		return err
+	}
+	return mk("scale_r", "r")
+}
+
+// ScalabilityQuery joins the two scalability relations on all n attributes.
+func ScalabilityQuery(cat *catalog.Catalog, attrs int) (logical.Node, error) {
+	l, err := cat.Table("scale_l")
+	if err != nil {
+		return nil, err
+	}
+	r, err := cat.Table("scale_r")
+	if err != nil {
+		return nil, err
+	}
+	conj := make([]expr.Expr, attrs)
+	for i := 0; i < attrs; i++ {
+		conj[i] = expr.Eq(expr.Col(fmt.Sprintf("lk%d", i)), expr.Col(fmt.Sprintf("rk%d", i)))
+	}
+	return logical.NewJoin(logical.NewScan(l), logical.NewScan(r), expr.AndOf(conj...), exec.InnerJoin), nil
+}

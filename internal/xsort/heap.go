@@ -1,0 +1,93 @@
+package xsort
+
+import "pyro/internal/types"
+
+// runEntry is a heap element during replacement-selection run formation:
+// tuples tagged for the current run sort before tuples deferred to the next.
+type runEntry struct {
+	tag int // run number this tuple belongs to
+	t   types.Tuple
+}
+
+// runHeap is a binary min-heap over (tag, key). Key comparisons are counted
+// into *comparisons; tag comparisons are not (they are integer checks, not
+// the multi-attribute comparisons the paper's analysis counts).
+type runHeap struct {
+	entries     []runEntry
+	cmp         func(a, b types.Tuple) int
+	comparisons *int64
+	bytes       int64
+}
+
+func newRunHeap(cmp func(a, b types.Tuple) int, comparisons *int64) *runHeap {
+	return &runHeap{cmp: cmp, comparisons: comparisons}
+}
+
+func (h *runHeap) len() int { return len(h.entries) }
+
+func (h *runHeap) memBytes() int64 { return h.bytes }
+
+func (h *runHeap) less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.tag != b.tag {
+		return a.tag < b.tag
+	}
+	*h.comparisons++
+	return h.cmp(a.t, b.t) < 0
+}
+
+func (h *runHeap) swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+}
+
+func (h *runHeap) push(e runEntry) {
+	h.entries = append(h.entries, e)
+	h.bytes += int64(e.t.MemSize())
+	h.siftUp(len(h.entries) - 1)
+}
+
+// pop removes and returns the minimum entry.
+func (h *runHeap) pop() runEntry {
+	top := h.entries[0]
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries = h.entries[:last]
+	h.bytes -= int64(top.t.MemSize())
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// peek returns the minimum entry without removing it.
+func (h *runHeap) peek() runEntry { return h.entries[0] }
+
+func (h *runHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *runHeap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

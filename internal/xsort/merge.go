@@ -1,0 +1,142 @@
+package xsort
+
+import (
+	"pyro/internal/storage"
+	"pyro/internal/types"
+)
+
+// mergeCursor is one input of a multiway merge: a run reader plus its
+// lookahead tuple.
+type mergeCursor struct {
+	r    *storage.TupleReader
+	head types.Tuple
+}
+
+// runMerger merges sorted run files into a single sorted stream. It uses a
+// loser-free simple binary heap of cursors; comparisons are counted.
+type runMerger struct {
+	cursors     []*mergeCursor
+	cmp         func(a, b types.Tuple) int
+	comparisons *int64
+}
+
+func newRunMerger(runs []*storage.File, cmp func(a, b types.Tuple) int, comparisons *int64) (*runMerger, error) {
+	m := &runMerger{cmp: cmp, comparisons: comparisons}
+	for _, f := range runs {
+		c := &mergeCursor{r: storage.NewTupleReader(f)}
+		t, ok, err := c.r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // empty run
+		}
+		c.head = t
+		m.cursors = append(m.cursors, c)
+	}
+	// Heapify.
+	for i := len(m.cursors)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m, nil
+}
+
+func (m *runMerger) less(i, j int) bool {
+	*m.comparisons++
+	return m.cmp(m.cursors[i].head, m.cursors[j].head) < 0
+}
+
+func (m *runMerger) siftDown(i int) {
+	n := len(m.cursors)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && m.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && m.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		m.cursors[i], m.cursors[smallest] = m.cursors[smallest], m.cursors[i]
+		i = smallest
+	}
+}
+
+// next returns the smallest head among all cursors, advancing that cursor.
+func (m *runMerger) next() (types.Tuple, bool, error) {
+	if len(m.cursors) == 0 {
+		return nil, false, nil
+	}
+	top := m.cursors[0]
+	out := top.head
+	t, ok, err := top.r.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		top.head = t
+		m.siftDown(0)
+	} else {
+		last := len(m.cursors) - 1
+		m.cursors[0] = m.cursors[last]
+		m.cursors = m.cursors[:last]
+		if last > 0 {
+			m.siftDown(0)
+		}
+	}
+	return out, true, nil
+}
+
+// reduceRuns repeatedly merges groups of up to fanIn runs into larger runs
+// until at most fanIn remain, so the final merge can proceed with one input
+// buffer per run. Each intermediate pass reads and rewrites the data,
+// incrementing stats.MergePasses. Consumed run files are removed from disk.
+func reduceRuns(cfg Config, runs []*storage.File, cmp func(a, b types.Tuple) int, stats *SortStats) ([]*storage.File, error) {
+	fanIn := cfg.fanIn()
+	for len(runs) > fanIn {
+		stats.MergePasses++
+		var next []*storage.File
+		for lo := 0; lo < len(runs); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			group := runs[lo:hi]
+			if len(group) == 1 {
+				next = append(next, group[0])
+				continue
+			}
+			merged := cfg.Disk.CreateTemp(cfg.TempPrefix, storage.KindRun)
+			w := storage.NewTupleWriter(merged)
+			m, err := newRunMerger(group, cmp, &stats.Comparisons)
+			if err != nil {
+				cfg.Disk.Remove(merged.Name())
+				return nil, err
+			}
+			for {
+				t, ok, err := m.next()
+				if err != nil {
+					cfg.Disk.Remove(merged.Name())
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				if err := w.Write(t); err != nil {
+					cfg.Disk.Remove(merged.Name())
+					return nil, err
+				}
+			}
+			w.Close()
+			for _, g := range group {
+				cfg.Disk.Remove(g.Name())
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	return runs, nil
+}

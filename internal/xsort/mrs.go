@@ -1,0 +1,279 @@
+package xsort
+
+import (
+	"fmt"
+
+	"pyro/internal/iter"
+	"pyro/internal/sortord"
+	"pyro/internal/storage"
+	"pyro/internal/types"
+)
+
+// MRS is the paper's modified replacement selection (§3.1): an external
+// sort that exploits a known partial sort order of its input. Given target
+// order o = (a1..an) and input order o' = (a1..ak), k < n, the input is
+// consumed segment by segment (maximal groups equal on a1..ak). Each
+// segment is sorted independently on the suffix (ak+1..an):
+//
+//   - a segment that fits in memory is sorted with zero disk I/O and its
+//     tuples are emitted as soon as the segment's end is seen — pipelined,
+//     early output;
+//   - a segment larger than memory spills per-memory-batch runs and merges
+//     just those runs.
+//
+// With k = 0 (no known prefix) the whole input is a single segment and MRS
+// degenerates to a load-sort-merge external sort, matching the paper's
+// observation that MRS converges to SRS at the one-segment extreme (Fig 9).
+type MRS struct {
+	input  iter.Iterator
+	schema *types.Schema
+	target sortord.Order
+	given  sortord.Order // known input order; must be a prefix of target
+	cfg    Config
+	ks     types.KeySpec // full target key
+	prefix int           // |given|
+	stats  SortStats
+
+	// Segment state.
+	pending     types.Tuple // lookahead: first tuple of the next segment
+	inputDone   bool
+	passthrough bool // given == target: nothing to do
+
+	// Emission state: either an in-memory buffer or a per-segment merge.
+	buf     []types.Tuple
+	bufPos  int
+	merging *runMerger
+	segRuns []*storage.File
+
+	opened bool
+	closed bool
+}
+
+// NewMRS builds a partial-order-exploiting sort. given must be a prefix of
+// target (ε is allowed and yields single-segment behaviour); if given equals
+// target the operator is a passthrough.
+func NewMRS(input iter.Iterator, schema *types.Schema, target, given sortord.Order, cfg Config) (*MRS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if target.IsEmpty() {
+		return nil, fmt.Errorf("xsort: empty target order")
+	}
+	if !given.PrefixOf(target) {
+		return nil, fmt.Errorf("xsort: input order %v is not a prefix of target %v", given, target)
+	}
+	ks, err := types.MakeKeySpec(schema, target)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TempPrefix == "" {
+		cfg.TempPrefix = "mrs"
+	}
+	return &MRS{
+		input:       input,
+		schema:      schema,
+		target:      target.Clone(),
+		given:       given.Clone(),
+		cfg:         cfg,
+		ks:          ks,
+		prefix:      given.Len(),
+		passthrough: given.Len() == target.Len(),
+	}, nil
+}
+
+// Stats returns the operator's work counters.
+func (m *MRS) Stats() *SortStats { return &m.stats }
+
+// Order returns the produced sort order.
+func (m *MRS) Order() sortord.Order { return m.target }
+
+// Open opens the input. Unlike SRS, no input is consumed here beyond one
+// lookahead tuple — MRS is pipelined.
+func (m *MRS) Open() error {
+	if m.opened {
+		return fmt.Errorf("xsort: MRS opened twice")
+	}
+	m.opened = true
+	if err := m.input.Open(); err != nil {
+		return err
+	}
+	t, ok, err := m.input.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		m.inputDone = true
+		return nil
+	}
+	m.stats.TuplesIn++
+	m.pending = t
+	return nil
+}
+
+// suffixCompare compares tuples on the target suffix only (attributes
+// k+1..n): within a segment the prefix attributes are equal by definition,
+// which is where MRS saves comparisons.
+func (m *MRS) suffixCompare(a, b types.Tuple) int {
+	for _, ord := range m.ks.Ordinals[m.prefix:] {
+		if c := a[ord].Compare(b[ord]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// samePrefix reports whether t belongs to the segment started by first.
+func (m *MRS) samePrefix(a, b types.Tuple) bool {
+	m.stats.Comparisons++
+	return m.ks.ComparePrefix(a, b, m.prefix) == 0
+}
+
+// Next returns the next tuple of the target order.
+func (m *MRS) Next() (types.Tuple, bool, error) {
+	for {
+		// Serve from the current segment's in-memory buffer.
+		if m.buf != nil {
+			if m.bufPos < len(m.buf) {
+				t := m.buf[m.bufPos]
+				m.bufPos++
+				m.stats.TuplesOut++
+				return t, true, nil
+			}
+			m.buf = nil
+			m.bufPos = 0
+		}
+		// Serve from the current segment's run merge.
+		if m.merging != nil {
+			t, ok, err := m.merging.next()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				m.stats.TuplesOut++
+				return t, true, nil
+			}
+			m.merging = nil
+			for _, f := range m.segRuns {
+				m.cfg.Disk.Remove(f.Name())
+			}
+			m.segRuns = nil
+		}
+		// Load the next segment.
+		if m.pending == nil {
+			return nil, false, nil
+		}
+		if m.passthrough {
+			t := m.pending
+			if err := m.advance(); err != nil {
+				return nil, false, err
+			}
+			m.stats.TuplesOut++
+			return t, true, nil
+		}
+		if err := m.loadSegment(); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// advance pulls the next input tuple into pending (nil at EOF).
+func (m *MRS) advance() error {
+	if m.inputDone {
+		m.pending = nil
+		return nil
+	}
+	t, ok, err := m.input.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		m.inputDone = true
+		m.pending = nil
+		return nil
+	}
+	m.stats.TuplesIn++
+	m.pending = t
+	return nil
+}
+
+// loadSegment consumes one partial-sort segment from the input and prepares
+// it for emission (in-memory buffer or per-segment run merge).
+func (m *MRS) loadSegment() error {
+	m.stats.Segments++
+	first := m.pending
+	budget := m.cfg.memoryBytes()
+	var memBytes int64
+	buf := make([]types.Tuple, 0, 64)
+	spilled := false
+
+	flush := func() error {
+		sortBuffer(buf, m.suffixCompare, &m.stats.Comparisons)
+		f, err := writeRun(m.cfg, buf)
+		if err != nil {
+			return err
+		}
+		m.segRuns = append(m.segRuns, f)
+		m.stats.RunsGenerated++
+		buf = buf[:0]
+		memBytes = 0
+		return nil
+	}
+
+	for {
+		t := m.pending
+		buf = append(buf, t)
+		memBytes += int64(t.MemSize())
+		if memBytes > m.stats.PeakMemBytes {
+			m.stats.PeakMemBytes = memBytes
+		}
+		if memBytes >= budget {
+			spilled = true
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		if err := m.advance(); err != nil {
+			return err
+		}
+		if m.pending == nil || !m.samePrefix(first, m.pending) {
+			break
+		}
+	}
+
+	if !spilled {
+		// Common case: the whole segment fits in memory — sort on the
+		// suffix only, serve from the buffer, no disk I/O.
+		sortBuffer(buf, m.suffixCompare, &m.stats.Comparisons)
+		m.buf = buf
+		m.bufPos = 0
+		return nil
+	}
+
+	// Oversized segment: flush the tail and merge this segment's runs.
+	m.stats.SpilledSegs++
+	if len(buf) > 0 {
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	runs, err := reduceRuns(m.cfg, m.segRuns, m.suffixCompare, &m.stats)
+	if err != nil {
+		return err
+	}
+	m.segRuns = runs
+	m.merging, err = newRunMerger(runs, m.suffixCompare, &m.stats.Comparisons)
+	return err
+}
+
+// Close releases any remaining run files and closes the input.
+func (m *MRS) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	for _, f := range m.segRuns {
+		m.cfg.Disk.Remove(f.Name())
+	}
+	m.segRuns = nil
+	return m.input.Close()
+}

@@ -1,0 +1,227 @@
+package xsort
+
+import (
+	"fmt"
+
+	"pyro/internal/iter"
+	"pyro/internal/sortord"
+	"pyro/internal/storage"
+	"pyro/internal/types"
+)
+
+// SRS is the standard replacement-selection external sort. It is blocking:
+// Open consumes the entire input, forming runs (averaging twice the memory
+// size for random input, one run for sorted input), reduces them to at most
+// fan-in runs, and Next serves tuples from the final merge. When the whole
+// input fits in memory no run is written and the sort is CPU-only.
+type SRS struct {
+	input  iter.Iterator
+	schema *types.Schema
+	order  sortord.Order
+	cfg    Config
+	ks     types.KeySpec
+	stats  SortStats
+
+	// In-memory fast path.
+	memOut []types.Tuple
+	memPos int
+	inMem  bool
+
+	merger *runMerger
+	runs   []*storage.File
+	temps  []*storage.File // every temp created, for cleanup on error/Close
+	opened bool
+	closed bool
+}
+
+// NewSRS builds a standard replacement-selection sort of input under order
+// o. The order must be resolvable against the input schema.
+func NewSRS(input iter.Iterator, schema *types.Schema, o sortord.Order, cfg Config) (*SRS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if o.IsEmpty() {
+		return nil, fmt.Errorf("xsort: empty sort order")
+	}
+	ks, err := types.MakeKeySpec(schema, o)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TempPrefix == "" {
+		cfg.TempPrefix = "srs"
+	}
+	return &SRS{input: input, schema: schema, order: o.Clone(), cfg: cfg, ks: ks}, nil
+}
+
+// Stats returns the operator's work counters (valid after Open).
+func (s *SRS) Stats() *SortStats { return &s.stats }
+
+// Order returns the produced sort order.
+func (s *SRS) Order() sortord.Order { return s.order }
+
+// Open consumes the input and prepares the merge. This is where standard
+// replacement selection breaks the pipeline: nothing is emitted until all
+// input has been read. On error, any run files already written are removed.
+func (s *SRS) Open() error {
+	if err := s.open(); err != nil {
+		s.removeTemps()
+		return err
+	}
+	return nil
+}
+
+func (s *SRS) open() error {
+	if s.opened {
+		return fmt.Errorf("xsort: SRS opened twice")
+	}
+	s.opened = true
+	if err := s.input.Open(); err != nil {
+		return err
+	}
+	cmp := s.ks.Compare
+	h := newRunHeap(cmp, &s.stats.Comparisons)
+	budget := s.cfg.memoryBytes()
+
+	// Phase 1: fill the heap up to the memory budget.
+	inputDone := false
+	for h.memBytes() < budget {
+		t, ok, err := s.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			inputDone = true
+			break
+		}
+		s.stats.TuplesIn++
+		h.push(runEntry{tag: 0, t: t})
+	}
+	s.trackPeak(h.memBytes())
+
+	if inputDone {
+		// Whole input fits in memory: drain the heap, no disk I/O.
+		s.inMem = true
+		s.memOut = make([]types.Tuple, 0, h.len())
+		for h.len() > 0 {
+			s.memOut = append(s.memOut, h.pop().t)
+		}
+		return nil
+	}
+
+	// Phase 2: replacement selection. Pop the minimum of the current run,
+	// write it out, replace it with the next input tuple — tagged for the
+	// current run if it can still be emitted in order, else for the next.
+	currentRun := 0
+	runFile := s.newTemp()
+	w := storage.NewTupleWriter(runFile)
+	var lastOut types.Tuple
+
+	finishRun := func() {
+		w.Close()
+		s.runs = append(s.runs, runFile)
+		s.stats.RunsGenerated++
+	}
+
+	for {
+		if h.len() == 0 {
+			break
+		}
+		e := h.peek()
+		if e.tag != currentRun {
+			// Current run exhausted: start the next one.
+			finishRun()
+			currentRun++
+			runFile = s.newTemp()
+			w = storage.NewTupleWriter(runFile)
+			lastOut = nil
+		}
+		e = h.pop()
+		if err := w.Write(e.t); err != nil {
+			return err
+		}
+		lastOut = e.t
+		if !inputDone {
+			t, ok, err := s.input.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				inputDone = true
+			} else {
+				s.stats.TuplesIn++
+				tag := currentRun
+				s.stats.Comparisons++
+				if cmp(t, lastOut) < 0 {
+					tag = currentRun + 1
+				}
+				h.push(runEntry{tag: tag, t: t})
+				s.trackPeak(h.memBytes())
+			}
+		}
+	}
+	finishRun()
+
+	// Phase 3: reduce runs to fan-in and set up the final merge.
+	runs, err := reduceRuns(s.cfg, s.runs, cmp, &s.stats)
+	if err != nil {
+		return err
+	}
+	s.runs = runs
+	s.merger, err = newRunMerger(runs, cmp, &s.stats.Comparisons)
+	return err
+}
+
+// newTemp creates a run file and remembers it for cleanup.
+func (s *SRS) newTemp() *storage.File {
+	f := s.cfg.Disk.CreateTemp(s.cfg.TempPrefix, storage.KindRun)
+	s.temps = append(s.temps, f)
+	return f
+}
+
+// removeTemps deletes every run file this sort created (idempotent). Both
+// lists are covered: temps holds run-formation files, runs may additionally
+// hold merged files produced by reduceRuns.
+func (s *SRS) removeTemps() {
+	for _, f := range s.temps {
+		s.cfg.Disk.Remove(f.Name())
+	}
+	for _, f := range s.runs {
+		s.cfg.Disk.Remove(f.Name())
+	}
+	s.temps = nil
+	s.runs = nil
+}
+
+func (s *SRS) trackPeak(b int64) {
+	if b > s.stats.PeakMemBytes {
+		s.stats.PeakMemBytes = b
+	}
+}
+
+// Next returns the next tuple in sorted order.
+func (s *SRS) Next() (types.Tuple, bool, error) {
+	if s.inMem {
+		if s.memPos >= len(s.memOut) {
+			return nil, false, nil
+		}
+		t := s.memOut[s.memPos]
+		s.memPos++
+		s.stats.TuplesOut++
+		return t, true, nil
+	}
+	t, ok, err := s.merger.next()
+	if ok {
+		s.stats.TuplesOut++
+	}
+	return t, ok, err
+}
+
+// Close releases run files and closes the input.
+func (s *SRS) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.removeTemps()
+	return s.input.Close()
+}

@@ -1,0 +1,457 @@
+package xsort
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pyro/internal/iter"
+	"pyro/internal/sortord"
+	"pyro/internal/storage"
+	"pyro/internal/types"
+)
+
+var sortSchema = types.NewSchema(
+	types.Column{Name: "c1", Kind: types.KindInt},
+	types.Column{Name: "c2", Kind: types.KindInt},
+	types.Column{Name: "c3", Kind: types.KindString},
+)
+
+// genRows returns n rows; c1 cycles over dist1 values in ascending blocks
+// (so the stream is sorted on c1), c2 is random, c3 is a small payload.
+func genRows(n, dist1 int, rng *rand.Rand) []types.Tuple {
+	rows := make([]types.Tuple, n)
+	per := n / dist1
+	if per == 0 {
+		per = 1
+	}
+	for i := range rows {
+		rows[i] = types.NewTuple(
+			types.NewInt(int64(i/per)),
+			types.NewInt(rng.Int63n(1_000_000)),
+			types.NewString("payload"),
+		)
+	}
+	return rows
+}
+
+func shuffled(rows []types.Tuple, rng *rand.Rand) []types.Tuple {
+	out := append([]types.Tuple(nil), rows...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// countingIter wraps an iterator and counts tuples pulled, to observe
+// pipelining behaviour.
+type countingIter struct {
+	inner  iter.Iterator
+	pulled int
+}
+
+func (c *countingIter) Open() error { return c.inner.Open() }
+func (c *countingIter) Next() (types.Tuple, bool, error) {
+	t, ok, err := c.inner.Next()
+	if ok {
+		c.pulled++
+	}
+	return t, ok, err
+}
+func (c *countingIter) Close() error { return c.inner.Close() }
+
+func isSorted(t *testing.T, rows []types.Tuple, o sortord.Order) {
+	t.Helper()
+	ks := types.MustKeySpec(sortSchema, o)
+	for i := 1; i < len(rows); i++ {
+		if ks.Compare(rows[i-1], rows[i]) > 0 {
+			t.Fatalf("output not sorted at %d: %v > %v", i, rows[i-1], rows[i])
+		}
+	}
+}
+
+// multiset returns an encoded multiset of the rows for permutation checks.
+func multiset(rows []types.Tuple) map[string]int {
+	m := make(map[string]int, len(rows))
+	var buf []byte
+	for _, r := range rows {
+		buf = r.Encode(buf[:0])
+		m[string(buf)]++
+	}
+	return m
+}
+
+func smallCfg(blocks int) (Config, *storage.Disk) {
+	d := storage.NewDisk(512)
+	return Config{Disk: d, MemoryBlocks: blocks}, d
+}
+
+func TestSRSInMemoryNoIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := shuffled(genRows(100, 10, rng), rng)
+	cfg, d := smallCfg(1000) // plenty of memory
+	s, err := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iter.Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSorted(t, out, sortord.New("c1", "c2"))
+	if !reflect.DeepEqual(multiset(out), multiset(rows)) {
+		t.Fatal("output not a permutation of input")
+	}
+	if d.Stats().RunTotal() != 0 {
+		t.Fatalf("in-memory sort should do no run I/O: %v", d.Stats())
+	}
+	if s.Stats().RunsGenerated != 0 {
+		t.Fatal("no runs expected")
+	}
+}
+
+func TestSRSSpillsAndMerges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := shuffled(genRows(3000, 10, rng), rng)
+	cfg, d := smallCfg(4) // tiny memory: force many runs and merge passes
+	s, err := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iter.Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSorted(t, out, sortord.New("c1", "c2"))
+	if !reflect.DeepEqual(multiset(out), multiset(rows)) {
+		t.Fatal("output not a permutation of input")
+	}
+	if s.Stats().RunsGenerated < 2 {
+		t.Fatalf("expected multiple runs, got %d", s.Stats().RunsGenerated)
+	}
+	if s.Stats().MergePasses < 1 {
+		t.Fatalf("expected merge passes with fan-in %d and %d runs",
+			cfg.fanIn(), s.Stats().RunsGenerated)
+	}
+	if d.Stats().RunTotal() == 0 {
+		t.Fatal("spilling sort must do run I/O")
+	}
+}
+
+func TestSRSSortedInputStillDoesIO(t *testing.T) {
+	// The deficiency the paper highlights: SRS on (almost) sorted input
+	// writes one giant run and reads it back.
+	rng := rand.New(rand.NewSource(3))
+	rows := genRows(2000, 20, rng) // sorted on c1 already
+	sort.SliceStable(rows, func(i, j int) bool {
+		return types.MustKeySpec(sortSchema, sortord.New("c1", "c2")).Compare(rows[i], rows[j]) < 0
+	})
+	cfg, d := smallCfg(4)
+	s, _ := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
+	out, err := iter.Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSorted(t, out, sortord.New("c1", "c2"))
+	if s.Stats().RunsGenerated != 1 {
+		t.Fatalf("replacement selection on sorted input should form exactly 1 run, got %d", s.Stats().RunsGenerated)
+	}
+	if d.Stats().RunTotal() == 0 {
+		t.Fatal("SRS still does run I/O on sorted input — that is its flaw")
+	}
+}
+
+func TestSRSBlockingBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows := shuffled(genRows(1000, 10, rng), rng)
+	ci := &countingIter{inner: iter.FromSlice(rows)}
+	cfg, _ := smallCfg(4)
+	s, _ := NewSRS(ci, sortSchema, sortord.New("c1", "c2"), cfg)
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if ci.pulled != len(rows) {
+		t.Fatalf("SRS.Open should consume the whole input, pulled %d of %d", ci.pulled, len(rows))
+	}
+	s.Close()
+}
+
+func TestSRSEmptyInputAndErrors(t *testing.T) {
+	cfg, _ := smallCfg(4)
+	s, err := NewSRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iter.Drain(s)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: %v, %d tuples", err, len(out))
+	}
+	if _, err := NewSRS(iter.FromSlice(nil), sortSchema, sortord.Empty, cfg); err == nil {
+		t.Fatal("empty order should error")
+	}
+	if _, err := NewSRS(iter.FromSlice(nil), sortSchema, sortord.New("zz"), cfg); err == nil {
+		t.Fatal("unknown attr should error")
+	}
+	if _, err := NewSRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), Config{}); err == nil {
+		t.Fatal("nil disk should error")
+	}
+	if _, err := NewSRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), Config{Disk: storage.NewDisk(0)}); err == nil {
+		t.Fatal("zero memory should error")
+	}
+}
+
+func TestMRSPipelinedNoIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := genRows(2000, 50, rng) // sorted on c1, 40 tuples per segment
+	cfg, d := smallCfg(64)
+	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iter.Drain(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSorted(t, out, sortord.New("c1", "c2"))
+	if !reflect.DeepEqual(multiset(out), multiset(rows)) {
+		t.Fatal("output not a permutation of input")
+	}
+	if d.Stats().RunTotal() != 0 {
+		t.Fatalf("MRS with small segments must do zero run I/O, did %v", d.Stats())
+	}
+	if m.Stats().Segments != 50 {
+		t.Fatalf("Segments = %d, want 50", m.Stats().Segments)
+	}
+	if m.Stats().SpilledSegs != 0 {
+		t.Fatal("no segment should spill")
+	}
+}
+
+func TestMRSEarlyOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rows := genRows(10_000, 100, rng)
+	ci := &countingIter{inner: iter.FromSlice(rows)}
+	cfg, _ := smallCfg(64)
+	m, _ := NewMRS(ci, sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+	if err := m.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := m.Next(); !ok || err != nil {
+		t.Fatalf("Next: ok=%v err=%v", ok, err)
+	}
+	// After one output tuple, only the first segment (plus one lookahead)
+	// should have been consumed — that is the pipelining benefit of Fig 8.
+	segSize := len(rows) / 100
+	if ci.pulled > segSize+1 {
+		t.Fatalf("MRS consumed %d tuples before first output; want <= %d", ci.pulled, segSize+1)
+	}
+	m.Close()
+}
+
+func TestMRSSpilledSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := genRows(4000, 2, rng) // 2 segments of 2000 tuples each
+	cfg, d := smallCfg(8)         // tiny memory: segments must spill
+	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iter.Drain(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSorted(t, out, sortord.New("c1", "c2"))
+	if !reflect.DeepEqual(multiset(out), multiset(rows)) {
+		t.Fatal("output not a permutation of input")
+	}
+	if m.Stats().SpilledSegs != 2 {
+		t.Fatalf("SpilledSegs = %d, want 2", m.Stats().SpilledSegs)
+	}
+	if d.Stats().RunTotal() == 0 {
+		t.Fatal("spilled segments must do run I/O")
+	}
+}
+
+func TestMRSPassthrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rows := genRows(100, 10, rng)
+	cfg, d := smallCfg(4)
+	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1"), sortord.New("c1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iter.Drain(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(rows) {
+		t.Fatalf("passthrough lost tuples: %d of %d", len(out), len(rows))
+	}
+	if d.Stats().Total() != 0 {
+		t.Fatal("passthrough must do no I/O")
+	}
+	if m.Stats().Comparisons != 0 {
+		t.Fatalf("passthrough made %d comparisons", m.Stats().Comparisons)
+	}
+}
+
+func TestMRSSinglSegmentDegeneratesToFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rows := shuffled(genRows(2000, 10, rng), rng)
+	cfg, _ := smallCfg(4)
+	// ε known order: whole input is one segment.
+	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.Empty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iter.Drain(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSorted(t, out, sortord.New("c1", "c2"))
+	if m.Stats().Segments != 1 {
+		t.Fatalf("Segments = %d, want 1", m.Stats().Segments)
+	}
+	if m.Stats().SpilledSegs != 1 {
+		t.Fatal("single oversized segment should spill")
+	}
+}
+
+func TestMRSValidation(t *testing.T) {
+	cfg, _ := smallCfg(4)
+	if _, err := NewMRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), sortord.New("c2"), cfg); err == nil {
+		t.Fatal("non-prefix given order should error")
+	}
+	if _, err := NewMRS(iter.FromSlice(nil), sortSchema, sortord.Empty, sortord.Empty, cfg); err == nil {
+		t.Fatal("empty target should error")
+	}
+	if _, err := NewMRS(iter.FromSlice(nil), sortSchema, sortord.New("zz"), sortord.Empty, cfg); err == nil {
+		t.Fatal("unknown attr should error")
+	}
+	m, err := NewMRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), sortord.Empty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iter.Drain(m)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: %v, %d", err, len(out))
+	}
+}
+
+func TestMRSFewerComparisonsThanSRS(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	rows := genRows(5000, 100, rng) // sorted on c1
+	cfg1, _ := smallCfg(16)
+	srs, _ := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg1)
+	if _, err := iter.Drain(srs); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, _ := smallCfg(16)
+	mrs, _ := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg2)
+	if _, err := iter.Drain(mrs); err != nil {
+		t.Fatal(err)
+	}
+	if mrs.Stats().Comparisons >= srs.Stats().Comparisons {
+		t.Fatalf("MRS comparisons (%d) should be below SRS (%d): O(n log n/k) vs O(n log n)",
+			mrs.Stats().Comparisons, srs.Stats().Comparisons)
+	}
+}
+
+func TestQuickSRSAndMRSAgreeWithReference(t *testing.T) {
+	target := sortord.New("c1", "c2", "c3")
+	ks := types.MustKeySpec(sortSchema, target)
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := r.Intn(400)
+			dist := 1 + r.Intn(10)
+			rows := make([]types.Tuple, n)
+			for i := range rows {
+				rows[i] = types.NewTuple(
+					types.NewInt(int64(r.Intn(dist))),
+					types.NewInt(r.Int63n(50)),
+					types.NewString(string(rune('a'+r.Intn(4)))),
+				)
+			}
+			// Pre-sort on c1 so MRS's precondition (input ordered on the
+			// prefix) holds.
+			sort.SliceStable(rows, func(i, j int) bool { return rows[i][0].Int() < rows[j][0].Int() })
+			vals[0] = reflect.ValueOf(rows)
+			vals[1] = reflect.ValueOf(2 + r.Intn(6)) // memory blocks
+		},
+	}
+	prop := func(rows []types.Tuple, blocks int) bool {
+		ref := append([]types.Tuple(nil), rows...)
+		sort.SliceStable(ref, func(i, j int) bool { return ks.Compare(ref[i], ref[j]) < 0 })
+
+		c1, _ := smallCfg(blocks)
+		srs, err := NewSRS(iter.FromSlice(rows), sortSchema, target, c1)
+		if err != nil {
+			return false
+		}
+		gotS, err := iter.Drain(srs)
+		if err != nil {
+			return false
+		}
+		c2, _ := smallCfg(blocks)
+		mrs, err := NewMRS(iter.FromSlice(rows), sortSchema, target, sortord.New("c1"), c2)
+		if err != nil {
+			return false
+		}
+		gotM, err := iter.Drain(mrs)
+		if err != nil {
+			return false
+		}
+		if len(gotS) != len(ref) || len(gotM) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if ks.Compare(gotS[i], ref[i]) != 0 || ks.Compare(gotM[i], ref[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMRSRunCleanupOnClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows := genRows(4000, 2, rng)
+	cfg, d := smallCfg(8)
+	m, _ := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+	if err := m.Open(); err != nil {
+		t.Fatal(err)
+	}
+	// Pull a few tuples mid-segment, then abandon.
+	for i := 0; i < 5; i++ {
+		if _, ok, err := m.Next(); !ok || err != nil {
+			t.Fatalf("Next %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Close() != nil {
+		t.Fatal("double close should be nil")
+	}
+	for _, name := range d.FileNames() {
+		t.Fatalf("run file %q leaked after Close", name)
+	}
+}
+
+func TestNewSortedHelper(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rows := shuffled(genRows(300, 5, rng), rng)
+	cfg, _ := smallCfg(64)
+	out, stats, err := NewSorted(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSorted(t, out, sortord.New("c1", "c2"))
+	if stats.TuplesIn != 300 || stats.TuplesOut != 300 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

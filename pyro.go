@@ -1,0 +1,294 @@
+// Package pyro is a cost-based query optimizer and execution engine built
+// around order optimization: it reproduces the techniques of
+// "Reducing Order Enforcement Cost in Complex Query Plans" (Guravannavar,
+// Sudarshan, Diwan, Sobhan Babu) — partial-sort enforcers, favorable-order
+// driven interesting-order selection, and 2-approximate refinement of join
+// sort orders.
+//
+// A Database bundles a simulated block device, a catalog and default
+// resources. Tables are bulk-loaded, optionally clustered and indexed with
+// covering secondary indices; queries are assembled with the Query builder,
+// optimized under a selectable heuristic (PYRO, PYRO-O⁻, PYRO-P, PYRO-O,
+// PYRO-E) and executed on the Volcano-style iterator engine:
+//
+//	db := pyro.Open(pyro.Config{})
+//	db.CreateTable("t", []pyro.Column{{Name: "a", Type: pyro.Int64}, ...},
+//	    pyro.ClusterOn("a"), rows)
+//	q := db.Scan("t").Filter(pyro.Gt(pyro.Col("a"), pyro.Int(10))).
+//	    OrderBy("a", "b")
+//	plan, _ := db.Optimize(q)
+//	rows, _ := db.Execute(plan)
+package pyro
+
+import (
+	"fmt"
+
+	"pyro/internal/catalog"
+	"pyro/internal/core"
+	"pyro/internal/cost"
+	"pyro/internal/iter"
+	"pyro/internal/sortord"
+	"pyro/internal/storage"
+	"pyro/internal/types"
+)
+
+// Type enumerates column types of the public API.
+type Type uint8
+
+// Column types.
+const (
+	Int64 Type = iota
+	Float64
+	String
+	Bool
+)
+
+func (t Type) kind() types.Kind {
+	switch t {
+	case Int64:
+		return types.KindInt
+	case Float64:
+		return types.KindFloat
+	case String:
+		return types.KindString
+	case Bool:
+		return types.KindBool
+	}
+	return types.KindNull
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type Type
+	// Width is the average width in bytes used for cost estimation
+	// (0 picks a default per type).
+	Width int
+}
+
+// Config sizes a Database.
+type Config struct {
+	// PageSize is the simulated disk block size (default 4096, matching
+	// the paper's setup).
+	PageSize int
+	// SortMemoryBlocks is M, the sort memory budget in blocks (default
+	// 10000 blocks = 40 MB at the default page size, as in the paper).
+	SortMemoryBlocks int
+}
+
+// Database is a self-contained engine instance.
+type Database struct {
+	disk *storage.Disk
+	cat  *catalog.Catalog
+	cfg  Config
+}
+
+// Open creates an empty database.
+func Open(cfg Config) *Database {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = storage.DefaultPageSize
+	}
+	if cfg.SortMemoryBlocks <= 0 {
+		cfg.SortMemoryBlocks = 10000
+	}
+	disk := storage.NewDisk(cfg.PageSize)
+	return &Database{disk: disk, cat: catalog.New(disk), cfg: cfg}
+}
+
+// ClusterOn names the clustering order for CreateTable.
+func ClusterOn(cols ...string) []string { return cols }
+
+// Value converts a Go value to an engine datum. Supported: nil, int,
+// int64, float64, string, bool.
+func Value(v any) (types.Datum, error) {
+	switch x := v.(type) {
+	case nil:
+		return types.Null, nil
+	case int:
+		return types.NewInt(int64(x)), nil
+	case int64:
+		return types.NewInt(x), nil
+	case float64:
+		return types.NewFloat(x), nil
+	case string:
+		return types.NewString(x), nil
+	case bool:
+		return types.NewBool(x), nil
+	default:
+		return types.Datum{}, fmt.Errorf("pyro: unsupported value type %T", v)
+	}
+}
+
+// CreateTable bulk-loads a table. clusterOn may be nil (heap order). Rows
+// are Go values converted via Value.
+func (db *Database) CreateTable(name string, cols []Column, clusterOn []string, rows [][]any) error {
+	tcols := make([]types.Column, len(cols))
+	for i, c := range cols {
+		tcols[i] = types.Column{Name: c.Name, Kind: c.Type.kind(), Width: c.Width}
+	}
+	schema := types.NewSchema(tcols...)
+	data := make([]types.Tuple, len(rows))
+	for i, r := range rows {
+		if len(r) != len(cols) {
+			return fmt.Errorf("pyro: row %d has %d values, table %q has %d columns", i, len(r), name, len(cols))
+		}
+		tup := make(types.Tuple, len(r))
+		for j, v := range r {
+			d, err := Value(v)
+			if err != nil {
+				return fmt.Errorf("pyro: row %d column %q: %w", i, cols[j].Name, err)
+			}
+			tup[j] = d
+		}
+		data[i] = tup
+	}
+	_, err := db.cat.CreateTable(name, schema, sortord.New(clusterOn...), data)
+	return err
+}
+
+// CreateIndex materialises a covering secondary index: key columns in
+// order, plus included non-key columns stored in the leaves.
+func (db *Database) CreateIndex(indexName, tableName string, keyCols []string, include []string) error {
+	tb, err := db.cat.Table(tableName)
+	if err != nil {
+		return err
+	}
+	_, err = db.cat.CreateIndex(indexName, tb, sortord.New(keyCols...), include)
+	return err
+}
+
+// Heuristic re-exports the optimizer variants.
+type Heuristic = core.Heuristic
+
+// Heuristic variants (the paper's §6 names).
+const (
+	PYRO       = core.HeuristicArbitrary
+	PYROOMinus = core.HeuristicFavorableExact
+	PYROP      = core.HeuristicPostgres
+	PYROO      = core.HeuristicFavorable
+	PYROE      = core.HeuristicExhaustive
+)
+
+// OptimizeOption customises an Optimize call.
+type OptimizeOption func(*core.Options)
+
+// WithHeuristic selects the interesting-order heuristic (default PYRO-O).
+func WithHeuristic(h Heuristic) OptimizeOption {
+	return func(o *core.Options) {
+		*o = core.DefaultOptions(h)
+	}
+}
+
+// WithoutPartialSort disables partial-sort enforcers (ablation).
+func WithoutPartialSort() OptimizeOption {
+	return func(o *core.Options) { o.DisablePartialSort = true }
+}
+
+// WithoutPhase2 disables the §5.2.2 plan refinement (ablation).
+func WithoutPhase2() OptimizeOption {
+	return func(o *core.Options) { o.DisablePhase2 = true }
+}
+
+// WithoutHashJoin restricts plans to sort-based joins.
+func WithoutHashJoin() OptimizeOption {
+	return func(o *core.Options) { o.DisableHashJoin = true }
+}
+
+// WithoutHashAgg restricts plans to sort-based aggregation.
+func WithoutHashAgg() OptimizeOption {
+	return func(o *core.Options) { o.DisableHashAgg = true }
+}
+
+// Plan is an optimized physical plan bound to its database.
+type Plan struct {
+	db    *Database
+	inner *core.Plan
+	stats core.Stats
+}
+
+// Explain renders the plan tree with costs, cardinalities and sort orders.
+func (p *Plan) Explain() string { return p.inner.Format() }
+
+// EstimatedCost returns the cost model's estimate in I/O units.
+func (p *Plan) EstimatedCost() float64 { return p.inner.Cost }
+
+// OptimizerStats returns counters from the optimization run.
+func (p *Plan) OptimizerStats() core.Stats { return p.stats }
+
+// Optimize plans a query. The default configuration is the paper's PYRO-O:
+// favorable orders, partial sorts and phase-2 refinement enabled.
+func (db *Database) Optimize(q *Query, opts ...OptimizeOption) (*Plan, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	options := core.DefaultOptions(core.HeuristicFavorable)
+	for _, o := range opts {
+		o(&options)
+	}
+	options.Model = cost.DefaultModel()
+	options.Model.PageSize = db.cfg.PageSize
+	options.Model.MemoryBlocks = int64(db.cfg.SortMemoryBlocks)
+	res, err := core.Optimize(q.node, options)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{db: db, inner: res.Plan, stats: res.Stats}, nil
+}
+
+// Rows is a fully materialised query result.
+type Rows struct {
+	Columns []string
+	Data    [][]any
+}
+
+// Execute compiles and runs a plan, returning all result rows.
+func (db *Database) Execute(p *Plan) (*Rows, error) {
+	if p.db != db {
+		return nil, fmt.Errorf("pyro: plan belongs to a different database")
+	}
+	op, err := core.Build(p.inner, core.BuildConfig{
+		Disk:             db.disk,
+		SortMemoryBlocks: db.cfg.SortMemoryBlocks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tuples, err := iter.Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{Columns: p.inner.Schema.Names(), Data: make([][]any, len(tuples))}
+	for i, t := range tuples {
+		row := make([]any, len(t))
+		for j, d := range t {
+			row[j] = datumValue(d)
+		}
+		out.Data[i] = row
+	}
+	return out, nil
+}
+
+func datumValue(d types.Datum) any {
+	switch d.Kind() {
+	case types.KindNull:
+		return nil
+	case types.KindInt:
+		return d.Int()
+	case types.KindFloat:
+		return d.Float()
+	case types.KindString:
+		return d.Str()
+	case types.KindBool:
+		return d.Bool()
+	}
+	return nil
+}
+
+// IOStats is a snapshot of simulated disk activity.
+type IOStats = storage.IOStats
+
+// IOStats returns the disk's cumulative I/O counters.
+func (db *Database) IOStats() IOStats { return db.disk.Stats() }
+
+// ResetIOStats zeroes the disk's I/O counters (call before a measured run).
+func (db *Database) ResetIOStats() { db.disk.ResetStats() }

@@ -1,0 +1,106 @@
+package pyro
+
+import (
+	"testing"
+)
+
+// TestTopKCorrectness: LIMIT over ORDER BY returns the first K rows of the
+// full ordering.
+func TestTopKCorrectness(t *testing.T) {
+	db := openTestDB(t)
+	full, err := db.Optimize(db.Scan("items").OrderBy("i_qty", "i_order"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRows, err := db.Execute(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topk, err := db.Optimize(db.Scan("items").OrderBy("i_qty", "i_order").Limit(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kRows, err := db.Execute(topk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kRows.Data) != 25 {
+		t.Fatalf("top-k rows = %d, want 25", len(kRows.Data))
+	}
+	for i := range kRows.Data {
+		for j := range kRows.Data[i] {
+			if kRows.Data[i][j] != fullRows.Data[i][j] {
+				t.Fatalf("top-k row %d differs from full ordering", i)
+			}
+		}
+	}
+}
+
+// TestTopKEarlyTermination: with a clustering prefix available, the Top-K
+// plan uses a pipelined partial sort and touches far less data than the
+// full-sort alternative (the paper's §3.1 benefit 2).
+func TestTopKEarlyTermination(t *testing.T) {
+	db := Open(Config{SortMemoryBlocks: 64})
+	var rows [][]any
+	for i := 0; i < 50_000; i++ {
+		rows = append(rows, []any{int64(i / 500), int64(i * 7 % 10_000), int64(i)})
+	}
+	if err := db.CreateTable("big", []Column{
+		{Name: "g", Type: Int64},
+		{Name: "v", Type: Int64},
+		{Name: "pad", Type: Int64},
+	}, ClusterOn("g"), rows); err != nil {
+		t.Fatal(err)
+	}
+	q := db.Scan("big").OrderBy("g", "v").Limit(10)
+
+	partial, err := db.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.ResetIOStats()
+	if _, err := db.Execute(partial); err != nil {
+		t.Fatal(err)
+	}
+	ioPartial := db.IOStats().PageReads
+
+	fullSort, err := db.Optimize(q, WithoutPartialSort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.ResetIOStats()
+	if _, err := db.Execute(fullSort); err != nil {
+		t.Fatal(err)
+	}
+	ioFull := db.IOStats().PageReads
+
+	// The MRS plan stops after the first segment; the SRS plan must read
+	// the whole table (and its own run files) before emitting anything.
+	if ioPartial*5 > ioFull {
+		t.Fatalf("early termination missing: partial read %d pages, full %d", ioPartial, ioFull)
+	}
+}
+
+func TestLimitValidation(t *testing.T) {
+	db := openTestDB(t)
+	if err := db.Scan("orders").Limit(-1).Err(); err == nil {
+		t.Fatal("negative limit should error")
+	}
+	plan, err := db.Optimize(db.Scan("orders").Limit(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Execute(plan)
+	if err != nil || len(rows.Data) != 0 {
+		t.Fatalf("limit 0: %d rows, err %v", len(rows.Data), err)
+	}
+	// Limit larger than input returns everything.
+	plan2, err := db.Optimize(db.Scan("orders").Limit(1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := db.Execute(plan2)
+	if err != nil || len(rows2.Data) != 200 {
+		t.Fatalf("oversized limit: %d rows", len(rows2.Data))
+	}
+}
