@@ -1,0 +1,31 @@
+# pyro — build/test entry points. CI (.github/workflows/ci.yml) invokes
+# exactly these targets so local runs and CI runs are identical.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: a smoke test that the benchmark
+# harness itself stays healthy, not a measurement.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt test race bench

@@ -13,6 +13,7 @@ import (
 	"pyro/internal/iter"
 	"pyro/internal/storage"
 	"pyro/internal/workload"
+	"pyro/internal/xsort"
 )
 
 func q3World(b *testing.B) (*catalog.Catalog, *storage.Disk) {
@@ -28,6 +29,10 @@ func q3World(b *testing.B) (*catalog.Catalog, *storage.Disk) {
 }
 
 func benchQ3Execution(b *testing.B, mutate func(*core.Options)) {
+	benchQ3ExecutionCfg(b, mutate, func(*core.BuildConfig) {})
+}
+
+func benchQ3ExecutionCfg(b *testing.B, mutate func(*core.Options), mutateBuild func(*core.BuildConfig)) {
 	cat, disk := q3World(b)
 	q3, err := workload.Query3(cat)
 	if err != nil {
@@ -42,10 +47,12 @@ func benchQ3Execution(b *testing.B, mutate func(*core.Options)) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	bcfg := core.BuildConfig{Disk: disk, SortMemoryBlocks: 32}
+	mutateBuild(&bcfg)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		op, err := core.Build(res.Plan, core.BuildConfig{Disk: disk, SortMemoryBlocks: 32})
+		op, err := core.Build(res.Plan, bcfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,6 +70,26 @@ func BenchmarkAblationPartialSortOn(b *testing.B) {
 
 func BenchmarkAblationPartialSortOff(b *testing.B) {
 	benchQ3Execution(b, func(o *core.Options) { o.DisablePartialSort = true })
+}
+
+// BenchmarkAblationNormalizedKeysOn/Off isolate the normalized-key sort
+// engine end to end on the Query 3 merge-join plan: every enforcer in the
+// plan switches between encoded byte-string keys and the field comparator.
+func BenchmarkAblationNormalizedKeysOn(b *testing.B) {
+	benchQ3ExecutionCfg(b, func(*core.Options) {}, func(*core.BuildConfig) {})
+}
+
+func BenchmarkAblationNormalizedKeysOff(b *testing.B) {
+	benchQ3ExecutionCfg(b, func(*core.Options) {},
+		func(c *core.BuildConfig) { c.SortKeys = xsort.KeyComparator })
+}
+
+// BenchmarkAblationSortParallelismOff pins MRS segment sorting to one
+// goroutine (the serial paper algorithm); the On arm is the GOMAXPROCS
+// default of BenchmarkAblationNormalizedKeysOn.
+func BenchmarkAblationSortParallelismOff(b *testing.B) {
+	benchQ3ExecutionCfg(b, func(*core.Options) {},
+		func(c *core.BuildConfig) { c.SortParallelism = 1 })
 }
 
 // BenchmarkAblationPhase2On/Off isolate the §5.2.2 refinement on the Query

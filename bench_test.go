@@ -149,6 +149,108 @@ func BenchmarkMRSSort(b *testing.B) {
 	}
 }
 
+// keyBenchRows returns rows whose sort key is the realistic hard case for
+// the comparator path: a composite (int, string, int) key with shared
+// string prefixes, so every field comparison walks type switches and
+// common prefixes. c1 carries the MRS segment order.
+func keyBenchRows(n int, segments int64) []types.Tuple {
+	rng := rand.New(rand.NewSource(2))
+	per := int64(n) / segments
+	if per < 1 {
+		per = 1
+	}
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		rows[i] = types.NewTuple(
+			types.NewInt(int64(i)/per),
+			types.NewInt(rng.Int63n(1_000)),
+			types.NewString(fmt.Sprintf("customer-%03d-%04d", rng.Intn(100), rng.Intn(10_000))),
+		)
+	}
+	return rows
+}
+
+// BenchmarkSRSSortKeys isolates the normalized-key engine on the full-sort
+// path: identical input and memory budget, encoded byte-string keys vs the
+// field-by-field comparator, on a composite (string, int) key.
+func BenchmarkSRSSortKeys(b *testing.B) {
+	rows := keyBenchRows(50_000, 100)
+	for _, mode := range []struct {
+		name string
+		keys xsort.KeyMode
+	}{{"encoded", xsort.KeyEncoded}, {"comparator", xsort.KeyComparator}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := storage.NewDisk(0)
+				s, err := xsort.NewSRS(iter.FromSlice(rows), sortBenchSchema,
+					sortord.New("c3", "c2", "c1"),
+					xsort.Config{Disk: d, MemoryBlocks: 256, Keys: mode.keys})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := iter.Drain(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMRSSortKeys isolates the normalized-key engine on the
+// partial-sort path. Parallelism is pinned to 1 so the delta is purely
+// encoded vs comparator key comparisons.
+func BenchmarkMRSSortKeys(b *testing.B) {
+	rows := keyBenchRows(50_000, 100)
+	for _, mode := range []struct {
+		name string
+		keys xsort.KeyMode
+	}{{"encoded", xsort.KeyEncoded}, {"comparator", xsort.KeyComparator}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := storage.NewDisk(0)
+				m, err := xsort.NewMRS(iter.FromSlice(rows), sortBenchSchema,
+					sortord.New("c1", "c3", "c2"), sortord.New("c1"),
+					xsort.Config{Disk: d, MemoryBlocks: 256, Keys: mode.keys, Parallelism: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := iter.Drain(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMRSSortParallelism measures the bounded worker pool on MRS's
+// independent in-memory segment sorts (encoded keys in both arms; p0 is the
+// GOMAXPROCS default).
+func BenchmarkMRSSortParallelism(b *testing.B) {
+	rows := sortBenchRows(200_000, 50) // 4000-tuple segments: enough work per segment to amortize dispatch
+	for _, par := range []struct {
+		name string
+		p    int
+	}{{"p1", 1}, {"p2", 2}, {"p4", 4}, {"pmax", 0}} {
+		b.Run(par.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := storage.NewDisk(0)
+				m, err := xsort.NewMRS(iter.FromSlice(rows), sortBenchSchema,
+					sortord.New("c1", "c2"), sortord.New("c1"),
+					xsort.Config{Disk: d, MemoryBlocks: 2048, Parallelism: par.p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := iter.Drain(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMRSSortPerSegmentAblation replaces the shared replacement-
 // selection machinery with MRS's per-segment sort on ε known order
 // (single-segment degenerate case), isolating the cost of segmentation.

@@ -1,0 +1,3 @@
+module pyro
+
+go 1.24

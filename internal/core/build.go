@@ -13,6 +13,13 @@ type BuildConfig struct {
 	Disk *storage.Disk
 	// SortMemoryBlocks is the per-sort memory budget (M).
 	SortMemoryBlocks int
+	// SortParallelism bounds concurrent MRS segment sorts per enforcer
+	// (0 = GOMAXPROCS, 1 = serial).
+	SortParallelism int
+	// SortKeys selects normalized-key (default) or field-comparator key
+	// comparison in the sort enforcers; the comparator path exists for
+	// ablation.
+	SortKeys xsort.KeyMode
 }
 
 // Build compiles a physical plan into an executable operator tree.
@@ -35,7 +42,12 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 		}
 		children[i] = op
 	}
-	xcfg := xsort.Config{Disk: cfg.Disk, MemoryBlocks: cfg.SortMemoryBlocks}
+	xcfg := xsort.Config{
+		Disk:         cfg.Disk,
+		MemoryBlocks: cfg.SortMemoryBlocks,
+		Parallelism:  cfg.SortParallelism,
+		Keys:         cfg.SortKeys,
+	}
 
 	switch p.Kind {
 	case OpTableScan:

@@ -6,17 +6,25 @@ import (
 	"pyro/internal/xsort"
 )
 
+// sorter is the common surface of the xsort operators the enforcer wraps.
+type sorter interface {
+	Open() error
+	Next() (types.Tuple, bool, error)
+	Close() error
+	Stats() *xsort.SortStats
+}
+
 // Sort is the order-enforcer operator. It wraps either SRS (standard
 // replacement selection, used when nothing is known about the input order)
 // or MRS (the paper's modified replacement selection, used when the input
 // is known to carry a prefix of the target order — the "partial sort
-// enforcer" of §3.2).
+// enforcer" of §3.2). The wrapped sort inherits the Config's key mode and
+// parallelism knobs unchanged.
 type Sort struct {
 	child  Operator
 	target sortord.Order
 	given  sortord.Order
-	srs    *xsort.SRS
-	mrs    *xsort.MRS
+	impl   sorter
 }
 
 // NewSortSRS builds a full sort using standard replacement selection,
@@ -27,7 +35,7 @@ func NewSortSRS(child Operator, target sortord.Order, cfg xsort.Config) (*Sort, 
 	if err != nil {
 		return nil, err
 	}
-	return &Sort{child: child, target: target.Clone(), given: sortord.Empty, srs: s}, nil
+	return &Sort{child: child, target: target.Clone(), given: sortord.Empty, impl: s}, nil
 }
 
 // NewSortMRS builds a partial sort: given is the order known to hold on the
@@ -37,7 +45,7 @@ func NewSortMRS(child Operator, target, given sortord.Order, cfg xsort.Config) (
 	if err != nil {
 		return nil, err
 	}
-	return &Sort{child: child, target: target.Clone(), given: given.Clone(), mrs: m}, nil
+	return &Sort{child: child, target: target.Clone(), given: given.Clone(), impl: m}, nil
 }
 
 // Schema returns the child schema (sorting is schema-preserving).
@@ -49,37 +57,18 @@ func (s *Sort) Target() sortord.Order { return s.target }
 // Given returns the input order the enforcer exploits (ε for SRS).
 func (s *Sort) Given() sortord.Order { return s.given }
 
-// IsPartial reports whether this is a partial-sort enforcer.
-func (s *Sort) IsPartial() bool { return s.mrs != nil && !s.given.IsEmpty() }
+// IsPartial reports whether this is a partial-sort enforcer: only
+// NewSortMRS records a non-empty given order.
+func (s *Sort) IsPartial() bool { return !s.given.IsEmpty() }
 
 // SortStats exposes the underlying sort's work counters.
-func (s *Sort) SortStats() *xsort.SortStats {
-	if s.srs != nil {
-		return s.srs.Stats()
-	}
-	return s.mrs.Stats()
-}
+func (s *Sort) SortStats() *xsort.SortStats { return s.impl.Stats() }
 
 // Open opens the underlying sort (for SRS this consumes the whole input).
-func (s *Sort) Open() error {
-	if s.srs != nil {
-		return s.srs.Open()
-	}
-	return s.mrs.Open()
-}
+func (s *Sort) Open() error { return s.impl.Open() }
 
 // Next returns the next tuple in target order.
-func (s *Sort) Next() (types.Tuple, bool, error) {
-	if s.srs != nil {
-		return s.srs.Next()
-	}
-	return s.mrs.Next()
-}
+func (s *Sort) Next() (types.Tuple, bool, error) { return s.impl.Next() }
 
 // Close releases sort resources and closes the child.
-func (s *Sort) Close() error {
-	if s.srs != nil {
-		return s.srs.Close()
-	}
-	return s.mrs.Close()
-}
+func (s *Sort) Close() error { return s.impl.Close() }

@@ -148,22 +148,26 @@ func (s *Schema) String() string {
 }
 
 // KeySpec is a precomputed comparator for a sort order over a schema: the
-// column ordinals to compare, most significant first.
+// column ordinals to compare, most significant first, with their declared
+// kinds (used by the keys package to build normalized-key codecs without
+// re-resolving the schema).
 type KeySpec struct {
 	Ordinals []int
+	Kinds    []Kind
 	Order    sortord.Order
 }
 
 // MakeKeySpec resolves a sort order against a schema. It returns an error if
 // any attribute is missing.
 func MakeKeySpec(s *Schema, o sortord.Order) (KeySpec, error) {
-	ks := KeySpec{Ordinals: make([]int, len(o)), Order: o.Clone()}
+	ks := KeySpec{Ordinals: make([]int, len(o)), Kinds: make([]Kind, len(o)), Order: o.Clone()}
 	for i, a := range o {
 		ord, ok := s.Ordinal(a)
 		if !ok {
 			return KeySpec{}, fmt.Errorf("types: sort attribute %q not in schema %v", a, s.Names())
 		}
 		ks.Ordinals[i] = ord
+		ks.Kinds[i] = s.Col(ord).Kind
 	}
 	return ks, nil
 }
@@ -191,6 +195,18 @@ func (ks KeySpec) Compare(a, b Tuple) int {
 // ComparePrefix compares only the first k key attributes.
 func (ks KeySpec) ComparePrefix(a, b Tuple, k int) int {
 	for _, ord := range ks.Ordinals[:k] {
+		if c := a[ord].Compare(b[ord]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// CompareSuffix compares only the key attributes from position k on. MRS
+// uses this within a partial-sort segment, where the first k attributes are
+// equal by construction.
+func (ks KeySpec) CompareSuffix(a, b Tuple, k int) int {
+	for _, ord := range ks.Ordinals[k:] {
 		if c := a[ord].Compare(b[ord]); c != 0 {
 			return c
 		}

@@ -1,26 +1,26 @@
 package xsort
 
-import "pyro/internal/types"
-
 // runEntry is a heap element during replacement-selection run formation:
 // tuples tagged for the current run sort before tuples deferred to the next.
 type runEntry struct {
 	tag int // run number this tuple belongs to
-	t   types.Tuple
+	kt  keyed
 }
 
 // runHeap is a binary min-heap over (tag, key). Key comparisons are counted
 // into *comparisons; tag comparisons are not (they are integer checks, not
-// the multi-attribute comparisons the paper's analysis counts).
+// the multi-attribute comparisons the paper's analysis counts). Key bytes
+// are excluded from memBytes so the M-block budget keeps the paper's
+// tuple-size arithmetic regardless of key mode.
 type runHeap struct {
 	entries     []runEntry
-	cmp         func(a, b types.Tuple) int
+	ky          *keyer
 	comparisons *int64
 	bytes       int64
 }
 
-func newRunHeap(cmp func(a, b types.Tuple) int, comparisons *int64) *runHeap {
-	return &runHeap{cmp: cmp, comparisons: comparisons}
+func newRunHeap(ky *keyer, comparisons *int64) *runHeap {
+	return &runHeap{ky: ky, comparisons: comparisons}
 }
 
 func (h *runHeap) len() int { return len(h.entries) }
@@ -33,7 +33,7 @@ func (h *runHeap) less(i, j int) bool {
 		return a.tag < b.tag
 	}
 	*h.comparisons++
-	return h.cmp(a.t, b.t) < 0
+	return h.ky.compare(a.kt, b.kt) < 0
 }
 
 func (h *runHeap) swap(i, j int) {
@@ -42,7 +42,7 @@ func (h *runHeap) swap(i, j int) {
 
 func (h *runHeap) push(e runEntry) {
 	h.entries = append(h.entries, e)
-	h.bytes += int64(e.t.MemSize())
+	h.bytes += int64(e.kt.t.MemSize())
 	h.siftUp(len(h.entries) - 1)
 }
 
@@ -52,7 +52,7 @@ func (h *runHeap) pop() runEntry {
 	last := len(h.entries) - 1
 	h.entries[0] = h.entries[last]
 	h.entries = h.entries[:last]
-	h.bytes -= int64(top.t.MemSize())
+	h.bytes -= int64(top.kt.t.MemSize())
 	if last > 0 {
 		h.siftDown(0)
 	}

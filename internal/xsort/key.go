@@ -1,0 +1,97 @@
+package xsort
+
+import (
+	"bytes"
+	"sort"
+
+	"pyro/internal/keys"
+	"pyro/internal/types"
+)
+
+// keyed is a tuple paired with its normalized sort key. In encoded mode the
+// key is an order-preserving byte string (see package keys) and comparisons
+// are a single bytes.Compare; in comparator mode key is nil and comparisons
+// fall back to the field-by-field comparator. Keys are never decoded: the
+// tuple rides along and is what gets emitted or spilled.
+type keyed struct {
+	key []byte
+	t   types.Tuple
+}
+
+// keyer produces and compares keyed tuples for one sort operator. wrap is
+// not safe for concurrent use (it reuses a scratch buffer and an arena);
+// compare is pure and may be called from parallel segment sorters.
+type keyer struct {
+	codec   *keys.Codec                // nil => comparator mode
+	cmp     func(a, b types.Tuple) int // comparator mode / fallback
+	scratch []byte
+	arena   []byte // current arena block; keys are copied in to batch allocations
+}
+
+const arenaBlockSize = 64 << 10
+
+// newKeyer builds a keyer for the given mode. codec may be nil even in
+// encoded mode (unsupported key shape), in which case the comparator is
+// used — callers pass the codec they managed to build.
+func newKeyer(mode KeyMode, codec *keys.Codec, cmp func(a, b types.Tuple) int) *keyer {
+	if mode == KeyComparator {
+		codec = nil
+	}
+	return &keyer{codec: codec, cmp: cmp}
+}
+
+// encoded reports whether keys are normalized byte strings.
+func (k *keyer) encoded() bool { return k.codec != nil }
+
+// wrap attaches t's sort key. Keys are encoded into a reused scratch buffer
+// and then copied into a block arena, so per-tuple allocations are batched;
+// earlier keys stay valid because a full block is simply abandoned to the
+// garbage collector when the next one is carved.
+func (k *keyer) wrap(t types.Tuple) keyed {
+	if k.codec == nil {
+		return keyed{t: t}
+	}
+	k.scratch = k.codec.Append(k.scratch[:0], t)
+	n := len(k.scratch)
+	if cap(k.arena)-len(k.arena) < n {
+		size := arenaBlockSize
+		if n > size {
+			size = n
+		}
+		k.arena = make([]byte, 0, size)
+	}
+	start := len(k.arena)
+	k.arena = append(k.arena, k.scratch...)
+	return keyed{key: k.arena[start:len(k.arena):len(k.arena)], t: t}
+}
+
+// compare orders two keyed tuples. Callers count comparisons; compare does
+// not touch shared state and is safe to call concurrently.
+func (k *keyer) compare(a, b keyed) int {
+	if k.codec != nil {
+		return bytes.Compare(a.key, b.key)
+	}
+	return k.cmp(a.t, b.t)
+}
+
+// sortKeyed stable-sorts buf under the keyer, returning the emission order
+// as a permutation of indices and the number of key comparisons performed.
+// Sorting indices instead of the 48-byte keyed entries keeps the sort's
+// data movement to 4-byte swaps with no write barriers (the entries hold
+// pointers); emission then reads buf through the permutation — the
+// decode-free design: a key is only ever compared, never decoded, and the
+// index leads back to the tuple. The count is returned rather than
+// accumulated so parallel segment sorts can tally locally and publish once,
+// keeping SortStats free of atomics and its totals deterministic.
+func sortKeyed(buf []keyed, ky *keyer) ([]int32, int64) {
+	order := make([]int32, len(buf))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	var comparisons int64
+	sort.SliceStable(order, func(i, j int) bool {
+		comparisons++
+		return ky.compare(buf[order[i]], buf[order[j]]) < 0
+	})
+	return order, comparisons
+}

@@ -6,22 +6,23 @@ import (
 )
 
 // mergeCursor is one input of a multiway merge: a run reader plus its
-// lookahead tuple.
+// lookahead tuple, wrapped with its normalized key (re-encoded on read —
+// one encode per tuple buys log(fan-in) cheap byte comparisons in the heap).
 type mergeCursor struct {
 	r    *storage.TupleReader
-	head types.Tuple
+	head keyed
 }
 
 // runMerger merges sorted run files into a single sorted stream. It uses a
 // loser-free simple binary heap of cursors; comparisons are counted.
 type runMerger struct {
 	cursors     []*mergeCursor
-	cmp         func(a, b types.Tuple) int
+	ky          *keyer
 	comparisons *int64
 }
 
-func newRunMerger(runs []*storage.File, cmp func(a, b types.Tuple) int, comparisons *int64) (*runMerger, error) {
-	m := &runMerger{cmp: cmp, comparisons: comparisons}
+func newRunMerger(runs []*storage.File, ky *keyer, comparisons *int64) (*runMerger, error) {
+	m := &runMerger{ky: ky, comparisons: comparisons}
 	for _, f := range runs {
 		c := &mergeCursor{r: storage.NewTupleReader(f)}
 		t, ok, err := c.r.Next()
@@ -31,7 +32,7 @@ func newRunMerger(runs []*storage.File, cmp func(a, b types.Tuple) int, comparis
 		if !ok {
 			continue // empty run
 		}
-		c.head = t
+		c.head = ky.wrap(t)
 		m.cursors = append(m.cursors, c)
 	}
 	// Heapify.
@@ -43,7 +44,7 @@ func newRunMerger(runs []*storage.File, cmp func(a, b types.Tuple) int, comparis
 
 func (m *runMerger) less(i, j int) bool {
 	*m.comparisons++
-	return m.cmp(m.cursors[i].head, m.cursors[j].head) < 0
+	return m.ky.compare(m.cursors[i].head, m.cursors[j].head) < 0
 }
 
 func (m *runMerger) siftDown(i int) {
@@ -71,13 +72,13 @@ func (m *runMerger) next() (types.Tuple, bool, error) {
 		return nil, false, nil
 	}
 	top := m.cursors[0]
-	out := top.head
+	out := top.head.t
 	t, ok, err := top.r.Next()
 	if err != nil {
 		return nil, false, err
 	}
 	if ok {
-		top.head = t
+		top.head = m.ky.wrap(t)
 		m.siftDown(0)
 	} else {
 		last := len(m.cursors) - 1
@@ -94,7 +95,7 @@ func (m *runMerger) next() (types.Tuple, bool, error) {
 // until at most fanIn remain, so the final merge can proceed with one input
 // buffer per run. Each intermediate pass reads and rewrites the data,
 // incrementing stats.MergePasses. Consumed run files are removed from disk.
-func reduceRuns(cfg Config, runs []*storage.File, cmp func(a, b types.Tuple) int, stats *SortStats) ([]*storage.File, error) {
+func reduceRuns(cfg Config, runs []*storage.File, ky *keyer, stats *SortStats) ([]*storage.File, error) {
 	fanIn := cfg.fanIn()
 	for len(runs) > fanIn {
 		stats.MergePasses++
@@ -111,7 +112,7 @@ func reduceRuns(cfg Config, runs []*storage.File, cmp func(a, b types.Tuple) int
 			}
 			merged := cfg.Disk.CreateTemp(cfg.TempPrefix, storage.KindRun)
 			w := storage.NewTupleWriter(merged)
-			m, err := newRunMerger(group, cmp, &stats.Comparisons)
+			m, err := newRunMerger(group, ky, &stats.Comparisons)
 			if err != nil {
 				cfg.Disk.Remove(merged.Name())
 				return nil, err

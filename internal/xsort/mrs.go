@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pyro/internal/iter"
+	"pyro/internal/keys"
 	"pyro/internal/sortord"
 	"pyro/internal/storage"
 	"pyro/internal/types"
@@ -24,6 +25,22 @@ import (
 // With k = 0 (no known prefix) the whole input is a single segment and MRS
 // degenerates to a load-sort-merge external sort, matching the paper's
 // observation that MRS converges to SRS at the one-segment extreme (Fig 9).
+//
+// Because segments are mutually independent, their sorts are embarrassingly
+// parallel. With Config.Parallelism = P > 1, in-memory segment sorts run on
+// a bounded pool of worker goroutines while the consumer goroutine keeps
+// reading ahead — at most P segments beyond the one being emitted, read in
+// small quanta interleaved with emission so all input consumption stays on
+// the consumer goroutine (the input iterator is never touched concurrently).
+// Emission order is preserved by a FIFO of segment futures. The paper's
+// pipelining guarantee survives in the bounded form: segment i begins
+// emitting before segment i+P+1 has been read, and the first segment is
+// always collected strictly demand-driven, so early output is retained.
+// With P = 1 reading is strictly demand-driven exactly as in the serial
+// paper algorithm: segment i is fully emitted before segment i+1 is read
+// past its first tuple. Spilled (oversized) segments are always sorted and
+// merged on the consumer goroutine — the pool accelerates the in-memory
+// common case the paper's analysis centres on.
 type MRS struct {
 	input  iter.Iterator
 	schema *types.Schema
@@ -31,23 +48,60 @@ type MRS struct {
 	given  sortord.Order // known input order; must be a prefix of target
 	cfg    Config
 	ks     types.KeySpec // full target key
+	ky     *keyer        // suffix keyer: segment sorts compare ak+1..an only
 	prefix int           // |given|
+	par    int           // resolved segment-sort parallelism
 	stats  SortStats
 
-	// Segment state.
+	// Input state.
 	pending     types.Tuple // lookahead: first tuple of the next segment
 	inputDone   bool
 	passthrough bool // given == target: nothing to do
 
-	// Emission state: either an in-memory buffer or a per-segment merge.
-	buf     []types.Tuple
-	bufPos  int
-	merging *runMerger
-	segRuns []*storage.File
+	// Segment pipeline: col accumulates the segment currently being read;
+	// segq holds collected segments in input order (sorting or sorted);
+	// cur is the segment being emitted.
+	col  *segCollector
+	segq []*segment
+	cur  *segment
+
+	liveBytes int64 // buffered tuple bytes across all live segments
+	pumpErr   error // read-ahead failure, surfaced on the next Next call
 
 	opened bool
 	closed bool
 }
+
+// segCollector accumulates one partial-sort segment as it is read.
+type segCollector struct {
+	first    types.Tuple // segment representative for prefix comparisons
+	buf      []keyed
+	memBytes int64
+	spilled  bool
+	runs     []*storage.File
+}
+
+// segment is a collected segment queued for emission. In-memory segments
+// sorted on a worker publish their comparison count through done; the
+// consumer folds it into SortStats when the segment reaches the head of
+// the queue, keeping the stats single-writer and their totals deterministic.
+type segment struct {
+	buf         []keyed
+	order       []int32 // emission permutation over buf (in-memory segments)
+	memBytes    int64
+	comparisons int64
+	done        chan struct{} // non-nil iff sorted asynchronously
+	spilled     bool
+	runs        []*storage.File
+
+	pos     int
+	merging *runMerger
+}
+
+// pumpQuantum is how many input tuples one emitted tuple "buys" of
+// read-ahead in parallel mode; small enough that lookahead grows gradually
+// and the early-output property stays tight.
+const pumpQuantum = 64
 
 // NewMRS builds a partial-order-exploiting sort. given must be a prefix of
 // target (ε is allowed and yields single-segment behaviour); if given equals
@@ -66,8 +120,17 @@ func NewMRS(input iter.Iterator, schema *types.Schema, target, given sortord.Ord
 	if err != nil {
 		return nil, err
 	}
+	// As in NewSRS: an unencodable key shape degrades to the comparator,
+	// it never fails the sort.
+	codec, _ := keys.FromKeySpec(ks)
 	if cfg.TempPrefix == "" {
 		cfg.TempPrefix = "mrs"
+	}
+	prefix := given.Len()
+	suffixCmp := func(a, b types.Tuple) int { return ks.CompareSuffix(a, b, prefix) }
+	var suffixCodec *keys.Codec
+	if codec != nil {
+		suffixCodec = codec.Suffix(prefix)
 	}
 	return &MRS{
 		input:       input,
@@ -76,8 +139,10 @@ func NewMRS(input iter.Iterator, schema *types.Schema, target, given sortord.Ord
 		given:       given.Clone(),
 		cfg:         cfg,
 		ks:          ks,
-		prefix:      given.Len(),
-		passthrough: given.Len() == target.Len(),
+		ky:          newKeyer(cfg.Keys, suffixCodec, suffixCmp),
+		prefix:      prefix,
+		par:         cfg.parallelism(),
+		passthrough: prefix == target.Len(),
 	}, nil
 }
 
@@ -110,19 +175,7 @@ func (m *MRS) Open() error {
 	return nil
 }
 
-// suffixCompare compares tuples on the target suffix only (attributes
-// k+1..n): within a segment the prefix attributes are equal by definition,
-// which is where MRS saves comparisons.
-func (m *MRS) suffixCompare(a, b types.Tuple) int {
-	for _, ord := range m.ks.Ordinals[m.prefix:] {
-		if c := a[ord].Compare(b[ord]); c != 0 {
-			return c
-		}
-	}
-	return 0
-}
-
-// samePrefix reports whether t belongs to the segment started by first.
+// samePrefix reports whether b belongs to the segment started by a.
 func (m *MRS) samePrefix(a, b types.Tuple) bool {
 	m.stats.Comparisons++
 	return m.ks.ComparePrefix(a, b, m.prefix) == 0
@@ -130,35 +183,36 @@ func (m *MRS) samePrefix(a, b types.Tuple) bool {
 
 // Next returns the next tuple of the target order.
 func (m *MRS) Next() (types.Tuple, bool, error) {
+	if m.pumpErr != nil {
+		return nil, false, m.pumpErr
+	}
 	for {
-		// Serve from the current segment's in-memory buffer.
-		if m.buf != nil {
-			if m.bufPos < len(m.buf) {
-				t := m.buf[m.bufPos]
-				m.bufPos++
-				m.stats.TuplesOut++
-				return t, true, nil
-			}
-			m.buf = nil
-			m.bufPos = 0
-		}
-		// Serve from the current segment's run merge.
-		if m.merging != nil {
-			t, ok, err := m.merging.next()
+		// Serve from the segment at the head of the pipeline.
+		if m.cur != nil {
+			t, ok, err := m.emit()
 			if err != nil {
 				return nil, false, err
 			}
 			if ok {
 				m.stats.TuplesOut++
+				// A read-ahead failure must not swallow the tuple already
+				// taken from the current segment: deliver t now, surface
+				// the error on the next call.
+				m.pumpErr = m.pump()
 				return t, true, nil
 			}
-			m.merging = nil
-			for _, f := range m.segRuns {
-				m.cfg.Disk.Remove(f.Name())
-			}
-			m.segRuns = nil
+			m.release(m.cur)
+			m.cur = nil
 		}
-		// Load the next segment.
+		// Adopt the next collected segment, waiting out its sort.
+		if len(m.segq) > 0 {
+			seg := m.segq[0]
+			m.segq = m.segq[1:]
+			if err := m.adopt(seg); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
 		if m.pending == nil {
 			return nil, false, nil
 		}
@@ -170,10 +224,187 @@ func (m *MRS) Next() (types.Tuple, bool, error) {
 			m.stats.TuplesOut++
 			return t, true, nil
 		}
-		if err := m.loadSegment(); err != nil {
+		// Nothing in flight: collect the next segment demand-driven.
+		seg, err := m.collect(-1)
+		if err != nil {
 			return nil, false, err
 		}
+		if seg != nil {
+			m.segq = append(m.segq, seg)
+		}
 	}
+}
+
+// emit serves the next tuple of the current segment, from its sorted buffer
+// or its per-segment run merge.
+func (m *MRS) emit() (types.Tuple, bool, error) {
+	s := m.cur
+	if s.merging != nil {
+		return s.merging.next()
+	}
+	if s.pos >= len(s.order) {
+		return nil, false, nil
+	}
+	t := s.buf[s.order[s.pos]].t
+	s.pos++
+	return t, true, nil
+}
+
+// adopt makes seg the current emission head: waits for an asynchronous sort
+// to finish (folding its comparison count into the stats) or, for a spilled
+// segment, reduces and opens its run merge.
+func (m *MRS) adopt(seg *segment) error {
+	if seg.done != nil {
+		<-seg.done
+		m.stats.Comparisons += seg.comparisons
+	}
+	if seg.spilled {
+		runs, err := reduceRuns(m.cfg, seg.runs, m.ky, &m.stats)
+		if err == nil {
+			seg.runs = runs
+			seg.merging, err = newRunMerger(runs, m.ky, &m.stats.Comparisons)
+		}
+		if err != nil {
+			// seg is already off the queue: remove its surviving runs here
+			// or they outlive Close (Remove is idempotent for files that a
+			// partial reduceRuns pass already consumed).
+			for _, f := range seg.runs {
+				m.cfg.Disk.Remove(f.Name())
+			}
+			seg.runs = nil
+			return err
+		}
+	}
+	m.cur = seg
+	return nil
+}
+
+// release drops an exhausted segment: its buffer memory leaves the
+// accounting and its run files (if any) are removed.
+func (m *MRS) release(seg *segment) {
+	m.liveBytes -= seg.memBytes
+	seg.buf = nil
+	seg.order = nil
+	for _, f := range seg.runs {
+		m.cfg.Disk.Remove(f.Name())
+	}
+	seg.runs = nil
+}
+
+// pump advances read-ahead in parallel mode: after each emitted tuple the
+// consumer reads up to pumpQuantum more input tuples, dispatching completed
+// segments to the worker pool, as long as fewer than Parallelism segments
+// are queued beyond the one being emitted AND the buffered tuples across
+// all live segments stay under the memory budget. The budget gate keeps
+// total sort memory at roughly M even with a deep pool: lookahead stops
+// growing once M is reached, so only the demand-driven path (one emitting
+// plus one collecting segment) can exceed it, as in the serial algorithm.
+func (m *MRS) pump() error {
+	if m.par <= 1 || m.pending == nil || len(m.segq) >= m.par ||
+		m.liveBytes >= m.cfg.memoryBytes() {
+		return nil
+	}
+	seg, err := m.collect(pumpQuantum)
+	if err != nil {
+		return err
+	}
+	if seg != nil {
+		m.segq = append(m.segq, seg)
+	}
+	return nil
+}
+
+// collect reads input into the current segment collector. With limit < 0 it
+// consumes the whole remaining segment; otherwise it reads at most limit
+// tuples and may leave the segment partially collected for the next call.
+// It returns a non-nil segment exactly when a segment boundary (or EOF) was
+// reached; the returned segment is already dispatched for sorting when the
+// pool is enabled.
+func (m *MRS) collect(limit int) (*segment, error) {
+	if m.pending == nil {
+		return nil, nil
+	}
+	if m.col == nil {
+		m.stats.Segments++
+		m.col = &segCollector{first: m.pending}
+	}
+	c := m.col
+	budget := m.cfg.memoryBytes()
+	read := 0
+	for {
+		t := m.pending
+		c.buf = append(c.buf, m.ky.wrap(t))
+		c.memBytes += int64(t.MemSize())
+		m.liveBytes += int64(t.MemSize())
+		if m.liveBytes > m.stats.PeakMemBytes {
+			m.stats.PeakMemBytes = m.liveBytes
+		}
+		if c.memBytes >= budget {
+			c.spilled = true
+			if err := m.flush(c); err != nil {
+				return nil, err
+			}
+		}
+		if err := m.advance(); err != nil {
+			return nil, err
+		}
+		if m.pending == nil || !m.samePrefix(c.first, m.pending) {
+			m.col = nil
+			return m.finish(c)
+		}
+		read++
+		if limit >= 0 && read >= limit {
+			return nil, nil
+		}
+	}
+}
+
+// flush sorts the collector's buffered tuples and writes them out as one
+// run of the (oversized) segment. Spill sorting happens on the consumer
+// goroutine: the worker pool is reserved for the in-memory fast path.
+func (m *MRS) flush(c *segCollector) error {
+	order, comparisons := sortKeyed(c.buf, m.ky)
+	m.stats.Comparisons += comparisons
+	f, err := writeRun(m.cfg, c.buf, order)
+	if err != nil {
+		return err
+	}
+	c.runs = append(c.runs, f)
+	m.stats.RunsGenerated++
+	c.buf = c.buf[:0]
+	m.liveBytes -= c.memBytes
+	c.memBytes = 0
+	return nil
+}
+
+// finish turns a fully read collector into a queued segment, dispatching
+// the in-memory sort to a worker when the pool is enabled.
+func (m *MRS) finish(c *segCollector) (*segment, error) {
+	if c.spilled {
+		m.stats.SpilledSegs++
+		if len(c.buf) > 0 {
+			if err := m.flush(c); err != nil {
+				for _, f := range c.runs {
+					m.cfg.Disk.Remove(f.Name())
+				}
+				return nil, err
+			}
+		}
+		return &segment{spilled: true, runs: c.runs}, nil
+	}
+	seg := &segment{buf: c.buf, memBytes: c.memBytes}
+	if m.par > 1 {
+		seg.done = make(chan struct{})
+		go func() {
+			seg.order, seg.comparisons = sortKeyed(seg.buf, m.ky)
+			close(seg.done)
+		}()
+	} else {
+		var comparisons int64
+		seg.order, comparisons = sortKeyed(seg.buf, m.ky)
+		m.stats.Comparisons += comparisons
+	}
+	return seg, nil
 }
 
 // advance pulls the next input tuple into pending (nil at EOF).
@@ -196,84 +427,31 @@ func (m *MRS) advance() error {
 	return nil
 }
 
-// loadSegment consumes one partial-sort segment from the input and prepares
-// it for emission (in-memory buffer or per-segment run merge).
-func (m *MRS) loadSegment() error {
-	m.stats.Segments++
-	first := m.pending
-	budget := m.cfg.memoryBytes()
-	var memBytes int64
-	buf := make([]types.Tuple, 0, 64)
-	spilled := false
-
-	flush := func() error {
-		sortBuffer(buf, m.suffixCompare, &m.stats.Comparisons)
-		f, err := writeRun(m.cfg, buf)
-		if err != nil {
-			return err
-		}
-		m.segRuns = append(m.segRuns, f)
-		m.stats.RunsGenerated++
-		buf = buf[:0]
-		memBytes = 0
-		return nil
-	}
-
-	for {
-		t := m.pending
-		buf = append(buf, t)
-		memBytes += int64(t.MemSize())
-		if memBytes > m.stats.PeakMemBytes {
-			m.stats.PeakMemBytes = memBytes
-		}
-		if memBytes >= budget {
-			spilled = true
-			if err := flush(); err != nil {
-				return err
-			}
-		}
-		if err := m.advance(); err != nil {
-			return err
-		}
-		if m.pending == nil || !m.samePrefix(first, m.pending) {
-			break
-		}
-	}
-
-	if !spilled {
-		// Common case: the whole segment fits in memory — sort on the
-		// suffix only, serve from the buffer, no disk I/O.
-		sortBuffer(buf, m.suffixCompare, &m.stats.Comparisons)
-		m.buf = buf
-		m.bufPos = 0
-		return nil
-	}
-
-	// Oversized segment: flush the tail and merge this segment's runs.
-	m.stats.SpilledSegs++
-	if len(buf) > 0 {
-		if err := flush(); err != nil {
-			return err
-		}
-	}
-	runs, err := reduceRuns(m.cfg, m.segRuns, m.suffixCompare, &m.stats)
-	if err != nil {
-		return err
-	}
-	m.segRuns = runs
-	m.merging, err = newRunMerger(runs, m.suffixCompare, &m.stats.Comparisons)
-	return err
-}
-
-// Close releases any remaining run files and closes the input.
+// Close releases any remaining run files — of the emitting segment, of
+// queued segments, and of a partially collected spilling segment — and
+// closes the input. In-flight segment sorts finish on their own and are
+// reclaimed by the garbage collector.
 func (m *MRS) Close() error {
 	if m.closed {
 		return nil
 	}
 	m.closed = true
-	for _, f := range m.segRuns {
-		m.cfg.Disk.Remove(f.Name())
+	if m.cur != nil {
+		m.release(m.cur)
+		m.cur = nil
 	}
-	m.segRuns = nil
+	for _, seg := range m.segq {
+		for _, f := range seg.runs {
+			m.cfg.Disk.Remove(f.Name())
+		}
+		seg.runs = nil
+	}
+	m.segq = nil
+	if m.col != nil {
+		for _, f := range m.col.runs {
+			m.cfg.Disk.Remove(f.Name())
+		}
+		m.col = nil
+	}
 	return m.input.Close()
 }

@@ -1,0 +1,260 @@
+package xsort
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pyro/internal/iter"
+	"pyro/internal/sortord"
+	"pyro/internal/types"
+)
+
+// TestMRSParallelMatchesSerial: the parallel segment pipeline must be a pure
+// scheduling change — same output sequence and same comparison count as the
+// serial path, for both in-memory and spilling workloads.
+func TestMRSParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cases := []struct {
+		name   string
+		rows   []types.Tuple
+		blocks int
+	}{
+		{"inmemory", genRows(8000, 80, rng), 64},
+		{"spilling", genRows(8000, 4, rng), 8},
+		{"tinysegs", genRows(500, 250, rng), 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(par int) ([]types.Tuple, *SortStats) {
+				cfg, _ := smallCfg(tc.blocks)
+				cfg.Parallelism = par
+				m, err := NewMRS(iter.FromSlice(tc.rows), sortSchema,
+					sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := iter.Drain(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out, m.Stats()
+			}
+			serialOut, serialStats := run(1)
+			parOut, parStats := run(8)
+			if len(serialOut) != len(parOut) {
+				t.Fatalf("parallel lost tuples: %d vs %d", len(parOut), len(serialOut))
+			}
+			ks := types.MustKeySpec(sortSchema, sortord.New("c1", "c2"))
+			for i := range serialOut {
+				if ks.Compare(serialOut[i], parOut[i]) != 0 {
+					t.Fatalf("order diverges at %d: %v vs %v", i, serialOut[i], parOut[i])
+				}
+			}
+			if serialStats.Comparisons != parStats.Comparisons {
+				t.Fatalf("comparison counts diverge: serial %d, parallel %d — parallelism must not change the work counted",
+					serialStats.Comparisons, parStats.Comparisons)
+			}
+			if serialStats.Segments != parStats.Segments || serialStats.SpilledSegs != parStats.SpilledSegs {
+				t.Fatalf("segment stats diverge: serial %+v, parallel %+v", serialStats, parStats)
+			}
+		})
+	}
+}
+
+// TestMRSParallelPipelining: with Parallelism = P, reading ahead is bounded —
+// at every point of the drain the consumer has read at most the emitted
+// tuples plus P+2 segments' worth of lookahead (P queued, one emitting, one
+// partially collected) plus one pump quantum. In particular the first output
+// appears after roughly one segment, not after the whole input: early output
+// survives parallelism.
+func TestMRSParallelPipelining(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const n, segments, par = 20_000, 100, 4
+	segSize := n / segments
+	rows := genRows(n, segments, rng)
+	ci := &countingIter{inner: iter.FromSlice(rows)}
+	cfg, d := smallCfg(64)
+	cfg.Parallelism = par
+	m, err := NewMRS(ci, sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	bound := func(emitted int) int {
+		return emitted + (par+2)*segSize + pumpQuantum + 1
+	}
+	emitted := 0
+	for {
+		_, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		emitted++
+		if emitted == 1 && ci.pulled > bound(0) {
+			t.Fatalf("first output after %d tuples read; want <= %d (early output lost)", ci.pulled, bound(0))
+		}
+		if ci.pulled > bound(emitted) {
+			t.Fatalf("lookahead unbounded: emitted %d but read %d (> %d)", emitted, ci.pulled, bound(emitted))
+		}
+	}
+	if emitted != n {
+		t.Fatalf("drained %d of %d tuples", emitted, n)
+	}
+	if d.Stats().RunTotal() != 0 {
+		t.Fatalf("in-memory parallel MRS must do no run I/O: %v", d.Stats())
+	}
+}
+
+// TestMRSParallelCleanup: closing a parallel MRS mid-stream — with spilled
+// runs live for the emitting segment, queued segments, and a partially
+// collected one — must leave no run files behind.
+func TestMRSParallelCleanup(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rows := genRows(6000, 3, rng) // 3 big segments
+	cfg, d := smallCfg(8)         // tiny memory: all segments spill
+	cfg.Parallelism = 4
+	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Open(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok, err := m.Next(); !ok || err != nil {
+			t.Fatalf("Next %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range d.FileNames() {
+		t.Fatalf("run file %q leaked after Close", name)
+	}
+}
+
+// TestEncodedAndComparatorKeysAgree: the normalized-key path must be
+// invisible except for speed — identical output sequence and identical
+// SortStats for both SRS and MRS on the same input.
+func TestEncodedAndComparatorKeysAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	rows := genRows(5000, 25, rng)
+	shuffledRows := shuffled(rows, rand.New(rand.NewSource(25)))
+
+	t.Run("srs", func(t *testing.T) {
+		run := func(mode KeyMode) ([]types.Tuple, *SortStats) {
+			cfg, _ := smallCfg(8)
+			cfg.Keys = mode
+			s, err := NewSRS(iter.FromSlice(shuffledRows), sortSchema, sortord.New("c1", "c2"), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := iter.Drain(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out, s.Stats()
+		}
+		encOut, encStats := run(KeyEncoded)
+		cmpOut, cmpStats := run(KeyComparator)
+		if !reflect.DeepEqual(multiset(encOut), multiset(cmpOut)) {
+			t.Fatal("encoded and comparator SRS disagree on output multiset")
+		}
+		isSorted(t, encOut, sortord.New("c1", "c2"))
+		if *encStats != *cmpStats {
+			t.Fatalf("SRS stats diverge between key modes:\n encoded    %+v\n comparator %+v", encStats, cmpStats)
+		}
+	})
+
+	t.Run("mrs", func(t *testing.T) {
+		run := func(mode KeyMode) ([]types.Tuple, *SortStats) {
+			cfg, _ := smallCfg(16)
+			cfg.Keys = mode
+			cfg.Parallelism = 1
+			m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := iter.Drain(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out, m.Stats()
+		}
+		encOut, encStats := run(KeyEncoded)
+		cmpOut, cmpStats := run(KeyComparator)
+		if len(encOut) != len(cmpOut) {
+			t.Fatalf("output sizes diverge: %d vs %d", len(encOut), len(cmpOut))
+		}
+		// MRS segment sorts are stable in both modes, so the sequences must
+		// match tuple for tuple, not just as multisets.
+		for i := range encOut {
+			if !reflect.DeepEqual(encOut[i], cmpOut[i]) {
+				t.Fatalf("sequences diverge at %d: %v vs %v", i, encOut[i], cmpOut[i])
+			}
+		}
+		if *encStats != *cmpStats {
+			t.Fatalf("MRS stats diverge between key modes:\n encoded    %+v\n comparator %+v", encStats, cmpStats)
+		}
+	})
+}
+
+// TestUnencodableKeyFallsBackToComparator: a key column the codec cannot
+// encode (a NULL-typed column, e.g. a projected NULL literal) must not fail
+// the sort — both operators silently degrade to the field comparator, in
+// either key mode.
+func TestUnencodableKeyFallsBackToComparator(t *testing.T) {
+	schema := types.NewSchema(
+		types.Column{Name: "k", Kind: types.KindInt},
+		types.Column{Name: "n", Kind: types.KindNull},
+	)
+	rows := []types.Tuple{
+		types.NewTuple(types.NewInt(3), types.Null),
+		types.NewTuple(types.NewInt(1), types.Null),
+		types.NewTuple(types.NewInt(2), types.Null),
+	}
+	for _, mode := range []KeyMode{KeyEncoded, KeyComparator} {
+		cfg, _ := smallCfg(16)
+		cfg.Keys = mode
+		s, err := NewSRS(iter.FromSlice(rows), schema, sortord.New("k", "n"), cfg)
+		if err != nil {
+			t.Fatalf("mode %d: NewSRS: %v", mode, err)
+		}
+		out, err := iter.Drain(s)
+		if err != nil || len(out) != 3 || out[0][0].Int() != 1 {
+			t.Fatalf("mode %d: SRS out=%v err=%v", mode, out, err)
+		}
+		cfg2, _ := smallCfg(16)
+		cfg2.Keys = mode
+		m, err := NewMRS(iter.FromSlice(rows), schema, sortord.New("n", "k"), sortord.New("n"), cfg2)
+		if err != nil {
+			t.Fatalf("mode %d: NewMRS: %v", mode, err)
+		}
+		out, err = iter.Drain(m)
+		if err != nil || len(out) != 3 || out[0][0].Int() != 1 {
+			t.Fatalf("mode %d: MRS out=%v err=%v", mode, out, err)
+		}
+	}
+}
+
+// TestMRSParallelismValidation: negative parallelism is rejected; 0 resolves
+// to GOMAXPROCS.
+func TestMRSParallelismValidation(t *testing.T) {
+	cfg, _ := smallCfg(4)
+	cfg.Parallelism = -1
+	if _, err := NewMRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), sortord.Empty, cfg); err == nil {
+		t.Fatal("negative parallelism should error")
+	}
+	cfg.Parallelism = 0
+	if cfg.parallelism() < 1 {
+		t.Fatalf("default parallelism resolved to %d", cfg.parallelism())
+	}
+}

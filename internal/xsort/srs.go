@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pyro/internal/iter"
+	"pyro/internal/keys"
 	"pyro/internal/sortord"
 	"pyro/internal/storage"
 	"pyro/internal/types"
@@ -14,12 +15,16 @@ import (
 // size for random input, one run for sorted input), reduces them to at most
 // fan-in runs, and Next serves tuples from the final merge. When the whole
 // input fits in memory no run is written and the sort is CPU-only.
+//
+// Each input tuple's sort key is normalized once on entry (Config.Keys);
+// every heap and merge comparison is then a single byte-string compare.
 type SRS struct {
 	input  iter.Iterator
 	schema *types.Schema
 	order  sortord.Order
 	cfg    Config
 	ks     types.KeySpec
+	ky     *keyer
 	stats  SortStats
 
 	// In-memory fast path.
@@ -47,10 +52,21 @@ func NewSRS(input iter.Iterator, schema *types.Schema, o sortord.Order, cfg Conf
 	if err != nil {
 		return nil, err
 	}
+	// A nil codec (key shape the encoder does not support, e.g. a NULL
+	// literal column) falls back to the field comparator inside newKeyer;
+	// the sort itself must never fail over the key representation.
+	codec, _ := keys.FromKeySpec(ks)
 	if cfg.TempPrefix == "" {
 		cfg.TempPrefix = "srs"
 	}
-	return &SRS{input: input, schema: schema, order: o.Clone(), cfg: cfg, ks: ks}, nil
+	return &SRS{
+		input:  input,
+		schema: schema,
+		order:  o.Clone(),
+		cfg:    cfg,
+		ks:     ks,
+		ky:     newKeyer(cfg.Keys, codec, ks.Compare),
+	}, nil
 }
 
 // Stats returns the operator's work counters (valid after Open).
@@ -78,8 +94,7 @@ func (s *SRS) open() error {
 	if err := s.input.Open(); err != nil {
 		return err
 	}
-	cmp := s.ks.Compare
-	h := newRunHeap(cmp, &s.stats.Comparisons)
+	h := newRunHeap(s.ky, &s.stats.Comparisons)
 	budget := s.cfg.memoryBytes()
 
 	// Phase 1: fill the heap up to the memory budget.
@@ -94,7 +109,7 @@ func (s *SRS) open() error {
 			break
 		}
 		s.stats.TuplesIn++
-		h.push(runEntry{tag: 0, t: t})
+		h.push(runEntry{tag: 0, kt: s.ky.wrap(t)})
 	}
 	s.trackPeak(h.memBytes())
 
@@ -103,7 +118,7 @@ func (s *SRS) open() error {
 		s.inMem = true
 		s.memOut = make([]types.Tuple, 0, h.len())
 		for h.len() > 0 {
-			s.memOut = append(s.memOut, h.pop().t)
+			s.memOut = append(s.memOut, h.pop().kt.t)
 		}
 		return nil
 	}
@@ -114,7 +129,7 @@ func (s *SRS) open() error {
 	currentRun := 0
 	runFile := s.newTemp()
 	w := storage.NewTupleWriter(runFile)
-	var lastOut types.Tuple
+	var lastOut keyed
 
 	finishRun := func() {
 		w.Close()
@@ -133,13 +148,13 @@ func (s *SRS) open() error {
 			currentRun++
 			runFile = s.newTemp()
 			w = storage.NewTupleWriter(runFile)
-			lastOut = nil
+			lastOut = keyed{}
 		}
 		e = h.pop()
-		if err := w.Write(e.t); err != nil {
+		if err := w.Write(e.kt.t); err != nil {
 			return err
 		}
-		lastOut = e.t
+		lastOut = e.kt
 		if !inputDone {
 			t, ok, err := s.input.Next()
 			if err != nil {
@@ -149,12 +164,13 @@ func (s *SRS) open() error {
 				inputDone = true
 			} else {
 				s.stats.TuplesIn++
+				kt := s.ky.wrap(t)
 				tag := currentRun
 				s.stats.Comparisons++
-				if cmp(t, lastOut) < 0 {
+				if s.ky.compare(kt, lastOut) < 0 {
 					tag = currentRun + 1
 				}
-				h.push(runEntry{tag: tag, t: t})
+				h.push(runEntry{tag: tag, kt: kt})
 				s.trackPeak(h.memBytes())
 			}
 		}
@@ -162,12 +178,12 @@ func (s *SRS) open() error {
 	finishRun()
 
 	// Phase 3: reduce runs to fan-in and set up the final merge.
-	runs, err := reduceRuns(s.cfg, s.runs, cmp, &s.stats)
+	runs, err := reduceRuns(s.cfg, s.runs, s.ky, &s.stats)
 	if err != nil {
 		return err
 	}
 	s.runs = runs
-	s.merger, err = newRunMerger(runs, cmp, &s.stats.Comparisons)
+	s.merger, err = newRunMerger(runs, s.ky, &s.stats.Comparisons)
 	return err
 }
 

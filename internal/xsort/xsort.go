@@ -14,13 +14,23 @@
 //     been read, giving pipelined execution, early output, and fewer
 //     comparisons (suffix-only within a segment).
 //
+// Key comparisons default to normalized keys: each tuple's sort key is
+// encoded once (package keys) into an order-preserving byte string, so a
+// comparison is a single bytes.Compare instead of a typed field walk.
+// Config.Keys selects the legacy comparator path for ablation. Both paths
+// count comparisons at identical call sites, so SortStats totals are the
+// same in either mode and the golden/ablation expectations stay meaningful.
+//
+// MRS additionally sorts independent in-memory segments on a bounded worker
+// pool (Config.Parallelism); see mrs.go for the pipelining contract.
+//
 // Both operators charge every run-file page transfer to the disk's IOStats
 // (attributed to KindRun) and count key comparisons in SortStats.
 package xsort
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
 
 	"pyro/internal/iter"
 	"pyro/internal/sortord"
@@ -40,6 +50,18 @@ type SortStats struct {
 	TuplesOut     int64
 }
 
+// KeyMode selects how sort keys are compared.
+type KeyMode uint8
+
+const (
+	// KeyEncoded (the default) compares normalized byte-string keys with
+	// bytes.Compare; each tuple is encoded once on entry.
+	KeyEncoded KeyMode = iota
+	// KeyComparator compares tuples field by field through the resolved
+	// KeySpec — the pre-normalized-key path, kept for ablation.
+	KeyComparator
+)
+
 // Config carries the resources available to a sort operator.
 type Config struct {
 	Disk *storage.Disk
@@ -48,6 +70,15 @@ type Config struct {
 	MemoryBlocks int
 	// TempPrefix names the run files for debuggability.
 	TempPrefix string
+	// Keys selects normalized-key (default) or comparator key comparison.
+	Keys KeyMode
+	// Parallelism bounds how many MRS in-memory segments may be sorted
+	// concurrently. 0 means runtime.GOMAXPROCS(0); 1 means fully serial,
+	// strictly demand-driven reading (the paper's original behaviour).
+	// Read-ahead stops once buffered tuples reach the MemoryBlocks budget,
+	// so parallelism deepens the pipeline without multiplying M.
+	// SRS is unaffected: its replacement-selection heap is sequential.
+	Parallelism int
 }
 
 func (c Config) memoryBytes() int64 {
@@ -62,6 +93,13 @@ func (c Config) fanIn() int {
 	return f
 }
 
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // validate checks configuration invariants shared by SRS and MRS.
 func (c Config) validate() error {
 	if c.Disk == nil {
@@ -70,23 +108,25 @@ func (c Config) validate() error {
 	if c.MemoryBlocks <= 0 {
 		return fmt.Errorf("xsort: MemoryBlocks must be positive, got %d", c.MemoryBlocks)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("xsort: Parallelism must be non-negative, got %d", c.Parallelism)
+	}
 	return nil
 }
 
-// sortBuffer sorts tuples in place by cmp, counting comparisons into stats.
-func sortBuffer(tuples []types.Tuple, cmp func(a, b types.Tuple) int, comparisons *int64) {
-	sort.SliceStable(tuples, func(i, j int) bool {
-		*comparisons++
-		return cmp(tuples[i], tuples[j]) < 0
-	})
-}
-
-// writeRun writes tuples to a fresh run file and returns it.
-func writeRun(cfg Config, tuples []types.Tuple) (*storage.File, error) {
+// writeRun writes the tuples of a keyed buffer to a fresh run file in the
+// given emission order.
+func writeRun(cfg Config, buf []keyed, order []int32) (*storage.File, error) {
 	f := cfg.Disk.CreateTemp(cfg.TempPrefix, storage.KindRun)
-	if err := storage.WriteAll(f, tuples); err != nil {
-		return nil, err
+	w := storage.NewTupleWriter(f)
+	for _, idx := range order {
+		if err := w.Write(buf[idx].t); err != nil {
+			w.Close()
+			cfg.Disk.Remove(f.Name())
+			return nil, err
+		}
 	}
+	w.Close()
 	return f, nil
 }
 

@@ -232,6 +232,10 @@ func TestMRSEarlyOutput(t *testing.T) {
 	rows := genRows(10_000, 100, rng)
 	ci := &countingIter{inner: iter.FromSlice(rows)}
 	cfg, _ := smallCfg(64)
+	// Parallelism 1 pins the paper's strictly demand-driven reading; the
+	// bounded-lookahead guarantee of the parallel path is covered in
+	// parallel_test.go.
+	cfg.Parallelism = 1
 	m, _ := NewMRS(ci, sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
 	if err := m.Open(); err != nil {
 		t.Fatal(err)

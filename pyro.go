@@ -74,6 +74,9 @@ type Config struct {
 	// SortMemoryBlocks is M, the sort memory budget in blocks (default
 	// 10000 blocks = 40 MB at the default page size, as in the paper).
 	SortMemoryBlocks int
+	// SortParallelism bounds how many partial-sort segments an MRS
+	// enforcer sorts concurrently (0 = GOMAXPROCS, 1 = serial).
+	SortParallelism int
 }
 
 // Database is a self-contained engine instance.
@@ -249,6 +252,7 @@ func (db *Database) Execute(p *Plan) (*Rows, error) {
 	op, err := core.Build(p.inner, core.BuildConfig{
 		Disk:             db.disk,
 		SortMemoryBlocks: db.cfg.SortMemoryBlocks,
+		SortParallelism:  db.cfg.SortParallelism,
 	})
 	if err != nil {
 		return nil, err
