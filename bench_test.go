@@ -251,6 +251,66 @@ func BenchmarkMRSSortParallelism(b *testing.B) {
 	}
 }
 
+// BenchmarkSRSHeapReplacementSelection isolates the replacement-selection
+// heap: a spill-heavy SRS whose Open-phase cost is dominated by heap
+// push/pop traffic (every input tuple passes through the heap once).
+// The heap permutes int32 slots over stable entry storage rather than
+// swapping 56-byte entries; this benchmark guards that win.
+func BenchmarkSRSHeapReplacementSelection(b *testing.B) {
+	rows := sortBenchRows(100_000, 1) // single segment: pure heap churn
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := storage.NewDisk(0)
+		s, err := xsort.NewSRS(iter.FromSlice(rows), sortBenchSchema,
+			sortord.New("c2", "c1"), xsort.Config{Disk: d, MemoryBlocks: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := iter.Drain(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpillParallelism measures the concurrent spill subsystem end to
+// end on an oversized-segment MRS workload: run formation on worker flush
+// jobs into per-segment arenas, overlapped run reduction, final merge.
+// s1 is the paper's serial spill path; comparison and I/O counts are
+// identical in every arm (asserted by TestGoldenParallelSpillAgrees), so
+// the delta is pure scheduling.
+func BenchmarkSpillParallelism(b *testing.B) {
+	rows := sortBenchRows(200_000, 4) // 4 oversized segments at 64 blocks
+	for _, par := range []struct {
+		name string
+		p    int
+	}{{"s1", 1}, {"s2", 2}, {"s4", 4}, {"smax", 0}} {
+		b.Run(par.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := storage.NewDisk(0)
+				m, err := xsort.NewMRS(iter.FromSlice(rows), sortBenchSchema,
+					sortord.New("c1", "c2"), sortord.New("c1"),
+					xsort.Config{Disk: d, MemoryBlocks: 64, SpillParallelism: par.p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := iter.Drain(m); err != nil {
+					b.Fatal(err)
+				}
+				if par.p == 1 && m.Stats().SpillRunsParallel != 0 {
+					b.Fatal("serial arm ran parallel spills")
+				}
+				if par.p > 1 && m.Stats().SpillRunsSerial != 0 {
+					b.Fatal("parallel arm ran serial spills")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMRSSortPerSegmentAblation replaces the shared replacement-
 // selection machinery with MRS's per-segment sort on ε known order
 // (single-segment degenerate case), isolating the cost of segmentation.

@@ -16,6 +16,12 @@ type BuildConfig struct {
 	// SortParallelism bounds concurrent MRS segment sorts per enforcer
 	// (0 = GOMAXPROCS, 1 = serial).
 	SortParallelism int
+	// SortSpillParallelism bounds concurrent spill jobs (run formation and
+	// run-reduction merges) per enforcer when a sort exceeds its memory
+	// budget (0 = inherit SortParallelism, 1 = the paper's serial spill
+	// path). Each enforcer spills into private storage arenas, so
+	// enforcers in one plan never contend on spill state.
+	SortSpillParallelism int
 	// SortKeys selects normalized-key (default) or field-comparator key
 	// comparison in the sort enforcers; the comparator path exists for
 	// ablation.
@@ -43,10 +49,11 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 		children[i] = op
 	}
 	xcfg := xsort.Config{
-		Disk:         cfg.Disk,
-		MemoryBlocks: cfg.SortMemoryBlocks,
-		Parallelism:  cfg.SortParallelism,
-		Keys:         cfg.SortKeys,
+		Disk:             cfg.Disk,
+		MemoryBlocks:     cfg.SortMemoryBlocks,
+		Parallelism:      cfg.SortParallelism,
+		SpillParallelism: cfg.SortSpillParallelism,
+		Keys:             cfg.SortKeys,
 	}
 
 	switch p.Kind {

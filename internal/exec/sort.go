@@ -7,6 +7,12 @@ import (
 )
 
 // sorter is the common surface of the xsort operators the enforcer wraps.
+// Construction is arena-aware: both implementations spill through private
+// storage.SpillArena namespaces (per sort for SRS, per oversized segment
+// for MRS) created from the Config's Disk, so multiple enforcers in one
+// plan — and multiple spill workers in one enforcer — never contend on
+// temp names or a ledger mutex, while the disk's IOStats totals remain
+// exactly what the serial algorithm would have charged.
 type sorter interface {
 	Open() error
 	Next() (types.Tuple, bool, error)
@@ -63,6 +69,12 @@ func (s *Sort) IsPartial() bool { return !s.given.IsEmpty() }
 
 // SortStats exposes the underlying sort's work counters.
 func (s *Sort) SortStats() *xsort.SortStats { return s.impl.Stats() }
+
+// Spilled reports whether the sort exceeded its memory budget and wrote
+// runs (valid once the sort has consumed its input). Harness tables use it
+// to annotate which regime — pipelined in-memory or external spill — a
+// measurement exercised.
+func (s *Sort) Spilled() bool { return s.impl.Stats().RunsGenerated > 0 }
 
 // Open opens the underlying sort (for SRS this consumes the whole input).
 func (s *Sort) Open() error { return s.impl.Open() }

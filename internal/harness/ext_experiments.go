@@ -50,7 +50,7 @@ func runTopK(w io.Writer, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		rs, err := buildAndMeasure(disk, res.Plan, sortBlocks)
+		rs, err := buildAndMeasure(disk, res.Plan, sortBlocks, scale)
 		if err != nil {
 			return err
 		}
@@ -122,7 +122,7 @@ func runDeferredFetch(w io.Writer, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		rs, err := buildAndMeasure(disk, plan, sortBlocks)
+		rs, err := buildAndMeasure(disk, plan, sortBlocks, scale)
 		if err != nil {
 			return err
 		}

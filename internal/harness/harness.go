@@ -23,9 +23,16 @@ import (
 )
 
 // Scale shrinks or grows every experiment's dataset (1 = defaults tuned
-// for seconds-long runs).
+// for seconds-long runs) and carries the sort-execution knobs the CLI
+// exposes, so every experiment runs under the same regime.
 type Scale struct {
 	Factor float64
+	// SortParallelism bounds concurrent MRS segment sorts per enforcer
+	// (0 = GOMAXPROCS, 1 = the paper's serial algorithm).
+	SortParallelism int
+	// SpillParallelism bounds concurrent spill jobs per enforcer
+	// (0 = inherit SortParallelism, 1 = serial spilling).
+	SpillParallelism int
 }
 
 // DefaultScale returns Factor 1.
@@ -122,9 +129,14 @@ func measure(disk *storage.Disk, op exec.Operator) (runStats, error) {
 	return rs, nil
 }
 
-// buildAndMeasure compiles a plan and executes it.
-func buildAndMeasure(disk *storage.Disk, plan *core.Plan, sortBlocks int) (runStats, error) {
-	op, err := core.Build(plan, core.BuildConfig{Disk: disk, SortMemoryBlocks: sortBlocks})
+// buildAndMeasure compiles a plan and executes it under scale's sort knobs.
+func buildAndMeasure(disk *storage.Disk, plan *core.Plan, sortBlocks int, scale Scale) (runStats, error) {
+	op, err := core.Build(plan, core.BuildConfig{
+		Disk:                 disk,
+		SortMemoryBlocks:     sortBlocks,
+		SortParallelism:      scale.SortParallelism,
+		SortSpillParallelism: scale.SpillParallelism,
+	})
 	if err != nil {
 		return runStats{}, err
 	}
@@ -135,6 +147,22 @@ func ms(d time.Duration) string {
 	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000.0)
 }
 
+// sortRegime labels which execution regime a sort enforcer exercised —
+// pipelined in-memory, serial spilling, or worker-pool spilling — so
+// experiment tables distinguish measurements that silently serialized on
+// the spill path from ones that ran it concurrently.
+func sortRegime(s *exec.Sort) string {
+	st := s.SortStats()
+	switch {
+	case !s.Spilled():
+		return "in-memory"
+	case st.SpillRunsParallel > 0:
+		return "spill-par"
+	default:
+		return "spill-serial"
+	}
+}
+
 // sortedProjection builds IndexScan -> Project(cols) for the sort
 // experiments.
 func sortedProjection(ix *catalog.Index, cols []string) (exec.Operator, error) {
@@ -142,9 +170,14 @@ func sortedProjection(ix *catalog.Index, cols []string) (exec.Operator, error) {
 	return exec.NewProjectNames(scan, cols)
 }
 
-// mkSortConfig builds an xsort config on the disk.
-func mkSortConfig(disk *storage.Disk, blocks int) xsort.Config {
-	return xsort.Config{Disk: disk, MemoryBlocks: blocks}
+// mkSortConfig builds an xsort config on the disk under scale's sort knobs.
+func mkSortConfig(disk *storage.Disk, blocks int, scale Scale) xsort.Config {
+	return xsort.Config{
+		Disk:             disk,
+		MemoryBlocks:     blocks,
+		Parallelism:      scale.SortParallelism,
+		SpillParallelism: scale.SpillParallelism,
+	}
 }
 
 // RunAll executes every experiment in paper order.

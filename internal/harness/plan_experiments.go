@@ -79,7 +79,7 @@ func RunB1(w io.Writer, scale Scale) error {
 			return err
 		}
 		plans[v.name] = res.Plan
-		rs, err := buildAndMeasure(disk, res.Plan, sortBlocks)
+		rs, err := buildAndMeasure(disk, res.Plan, sortBlocks, scale)
 		if err != nil {
 			return err
 		}
@@ -138,7 +138,7 @@ func RunB2(w io.Writer, scale Scale) error {
 				orders = append(orders, p.LeftKey.String())
 			}
 		})
-		rs, err := buildAndMeasure(disk, res.Plan, sortBlocks)
+		rs, err := buildAndMeasure(disk, res.Plan, sortBlocks, scale)
 		if err != nil {
 			return err
 		}

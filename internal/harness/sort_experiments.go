@@ -38,7 +38,7 @@ func RunA1(w io.Writer, scale Scale) error {
 	if err != nil {
 		return err
 	}
-	srs, err := exec.NewSortSRS(proj, target, mkSortConfig(disk, sortBlocks))
+	srs, err := exec.NewSortSRS(proj, target, mkSortConfig(disk, sortBlocks, scale))
 	if err != nil {
 		return err
 	}
@@ -54,7 +54,7 @@ func RunA1(w io.Writer, scale Scale) error {
 	if err != nil {
 		return err
 	}
-	mrs, err := exec.NewSortMRS(proj2, target, sortord.New("l_suppkey"), mkSortConfig(disk, sortBlocks))
+	mrs, err := exec.NewSortMRS(proj2, target, sortord.New("l_suppkey"), mkSortConfig(disk, sortBlocks, scale))
 	if err != nil {
 		return err
 	}
@@ -95,9 +95,9 @@ func RunA2(w io.Writer, scale Scale) error {
 		scan := exec.NewTableScan(tb)
 		var err error
 		if useMRS {
-			op, err = exec.NewSortMRS(scan, target, sortord.New("c1"), mkSortConfig(disk, sortBlocks))
+			op, err = exec.NewSortMRS(scan, target, sortord.New("c1"), mkSortConfig(disk, sortBlocks, scale))
 		} else {
-			op, err = exec.NewSortSRS(scan, target, mkSortConfig(disk, sortBlocks))
+			op, err = exec.NewSortSRS(scan, target, mkSortConfig(disk, sortBlocks, scale))
 		}
 		if err != nil {
 			return nil, err
@@ -156,7 +156,7 @@ func RunA3(w io.Writer, scale Scale) error {
 	const sortBlocks = 32 // ~few thousand buffered tuples
 	target := sortord.New("c1", "c2")
 
-	t := &table{header: []string{"seg_rows", "SRS_ms", "SRS_run_io", "MRS_ms", "MRS_run_io", "MRS_spilled_segs"}}
+	t := &table{header: []string{"seg_rows", "SRS_ms", "SRS_run_io", "MRS_ms", "MRS_run_io", "MRS_regime", "MRS_spilled_segs"}}
 	for i := int64(1); i <= rows; i *= 10 {
 		disk := storage.NewDisk(0)
 		cat := catalog.New(disk)
@@ -164,7 +164,7 @@ func RunA3(w io.Writer, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		srs, err := exec.NewSortSRS(exec.NewTableScan(tb), target, mkSortConfig(disk, sortBlocks))
+		srs, err := exec.NewSortSRS(exec.NewTableScan(tb), target, mkSortConfig(disk, sortBlocks, scale))
 		if err != nil {
 			return err
 		}
@@ -172,7 +172,7 @@ func RunA3(w io.Writer, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		mrs, err := exec.NewSortMRS(exec.NewTableScan(tb), target, sortord.New("c1"), mkSortConfig(disk, sortBlocks))
+		mrs, err := exec.NewSortMRS(exec.NewTableScan(tb), target, sortord.New("c1"), mkSortConfig(disk, sortBlocks, scale))
 		if err != nil {
 			return err
 		}
@@ -184,7 +184,8 @@ func RunA3(w io.Writer, scale Scale) error {
 			return fmt.Errorf("A3: row loss at segment %d", i)
 		}
 		t.add(fmt.Sprint(i), ms(rsS.elapsed), fmt.Sprint(rsS.io.RunTotal()),
-			ms(rsM.elapsed), fmt.Sprint(rsM.io.RunTotal()), fmt.Sprint(mrs.SortStats().SpilledSegs))
+			ms(rsM.elapsed), fmt.Sprint(rsM.io.RunTotal()), sortRegime(mrs),
+			fmt.Sprint(mrs.SortStats().SpilledSegs))
 	}
 	t.write(w)
 	fmt.Fprintf(w, "paper: MRS run I/O is zero while segments fit in memory, then converges to SRS\n")
@@ -225,7 +226,7 @@ func RunA4(w io.Writer, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		rs, err := buildAndMeasure(disk, res.Plan, sortBlocks)
+		rs, err := buildAndMeasure(disk, res.Plan, sortBlocks, scale)
 		if err != nil {
 			return err
 		}
@@ -273,7 +274,7 @@ func RunExample1(w io.Writer, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		rs, err := buildAndMeasure(disk, res.Plan, sortBlocks)
+		rs, err := buildAndMeasure(disk, res.Plan, sortBlocks, scale)
 		if err != nil {
 			return err
 		}

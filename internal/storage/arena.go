@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SpillArena is an isolated temp-file namespace handed to one spill
+// producer (a sort worker or one spilled segment). Files created in an
+// arena charge the arena's own lock-free ledger and are invisible to other
+// arenas, so concurrent run formation across workers shares no mutable
+// state beyond atomic counters. Releasing the arena merges its ledger into
+// the disk's global one and drops its files; because the counters are
+// monotone sums, the global totals after release equal what a serial
+// execution charging the global ledger directly would have produced — the
+// property that keeps the paper's I/O-count assertions valid under
+// parallelism.
+//
+// The holder may share one arena across goroutines (CreateTemp/Remove are
+// mutex-guarded, page I/O is lock-free), but Release must not race with
+// in-flight I/O on the arena's files: late charges would land in a ledger
+// that has already merged and be lost.
+type SpillArena struct {
+	disk  *Disk
+	id    int64
+	stats ledger
+
+	mu       sync.Mutex
+	files    map[string]*File
+	nextTemp int
+	released bool
+}
+
+// NewArena registers a fresh spill arena on the disk.
+func (d *Disk) NewArena() *SpillArena {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextArena++
+	a := &SpillArena{disk: d, id: d.nextArena, files: make(map[string]*File)}
+	d.arenas[a.id] = a
+	return a
+}
+
+// PageSize returns the disk's block size.
+func (a *SpillArena) PageSize() int { return a.disk.pageSize }
+
+// Stats returns a snapshot of this arena's ledger (its share of the disk
+// totals while live; zeroed into the global ledger on release).
+func (a *SpillArena) Stats() IOStats { return a.stats.snapshot() }
+
+// CreateTemp creates a uniquely named temp file inside the arena. Names
+// carry the arena id so concurrent arenas can never collide with each other
+// or with the disk's global temp namespace.
+func (a *SpillArena) CreateTemp(prefix string, kind FileKind) *File {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.released {
+		panic("storage: CreateTemp on a released SpillArena")
+	}
+	a.nextTemp++
+	name := fmt.Sprintf("%s.a%d.tmp%d", prefix, a.id, a.nextTemp)
+	f := a.disk.newFile(name, kind, &a.stats)
+	a.files[name] = f
+	return f
+}
+
+// Remove deletes the named arena file (no-op when absent, like Disk.Remove).
+func (a *SpillArena) Remove(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.files, name)
+}
+
+// Release merges the arena's ledger into the disk's global one, drops any
+// remaining files (spill files are transient by definition) and deregisters
+// the arena. Idempotent; a released arena must not be used again.
+func (a *SpillArena) Release() {
+	a.disk.mu.Lock()
+	if _, live := a.disk.arenas[a.id]; !live {
+		a.disk.mu.Unlock()
+		return
+	}
+	delete(a.disk.arenas, a.id)
+	a.disk.stats.add(a.stats.snapshot())
+	a.disk.mu.Unlock()
+
+	a.mu.Lock()
+	a.released = true
+	a.files = nil
+	a.mu.Unlock()
+}
+
+// fileNames lists the arena's files (caller holds no lock; used by
+// Disk.FileNames for leak checks).
+func (a *SpillArena) fileNames() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.files))
+	for n := range a.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// totalPages sums the arena files' allocated pages.
+func (a *SpillArena) totalPages() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, f := range a.files {
+		n += f.NumPages()
+	}
+	return n
+}

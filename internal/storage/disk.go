@@ -5,6 +5,13 @@
 // exact accounting of block transfers — not wall-clock disk latency — is the
 // property the substitution must preserve (see DESIGN.md).
 //
+// The device is a thin sharded front-end: page I/O charges a lock-free
+// atomic ledger and never takes the device-wide mutex (which guards only
+// the file registry). Concurrent spill producers get per-worker SpillArenas
+// — isolated temp namespaces with their own atomic ledgers that merge back
+// into the global ledger on release — so parallel external sorting contends
+// on nothing.
+//
 // The default page size is 4 KiB, matching the paper's setup ("We assume a
 // disk block size of 4K bytes").
 package storage
@@ -13,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the simulated disk block size in bytes.
@@ -61,6 +69,62 @@ func (s *IOStats) String() string {
 		s.PageReads, s.PageWrites, s.RunPageReads, s.RunPageWrites, s.Seeks)
 }
 
+// ledger is a lock-free IOStats accumulator. Files charge transfers with
+// plain atomic adds, so page I/O from concurrent sort workers never
+// serializes on a mutex; snapshots sum monotone counters and are exact
+// whenever the ledger is quiescent (which is when tests assert on it).
+type ledger struct {
+	pageReads     atomic.Int64
+	pageWrites    atomic.Int64
+	runPageReads  atomic.Int64
+	runPageWrites atomic.Int64
+	seeks         atomic.Int64
+}
+
+func (l *ledger) charge(kind FileKind, reads, writes int64, seek bool) {
+	if reads != 0 {
+		l.pageReads.Add(reads)
+		if kind == KindRun {
+			l.runPageReads.Add(reads)
+		}
+	}
+	if writes != 0 {
+		l.pageWrites.Add(writes)
+		if kind == KindRun {
+			l.runPageWrites.Add(writes)
+		}
+	}
+	if seek {
+		l.seeks.Add(1)
+	}
+}
+
+func (l *ledger) snapshot() IOStats {
+	return IOStats{
+		PageReads:     l.pageReads.Load(),
+		PageWrites:    l.pageWrites.Load(),
+		RunPageReads:  l.runPageReads.Load(),
+		RunPageWrites: l.runPageWrites.Load(),
+		Seeks:         l.seeks.Load(),
+	}
+}
+
+func (l *ledger) add(s IOStats) {
+	l.pageReads.Add(s.PageReads)
+	l.pageWrites.Add(s.PageWrites)
+	l.runPageReads.Add(s.RunPageReads)
+	l.runPageWrites.Add(s.RunPageWrites)
+	l.seeks.Add(s.Seeks)
+}
+
+func (l *ledger) reset() {
+	l.pageReads.Store(0)
+	l.pageWrites.Store(0)
+	l.runPageReads.Store(0)
+	l.runPageWrites.Store(0)
+	l.seeks.Store(0)
+}
+
 // FileKind labels a file for I/O attribution.
 type FileKind uint8
 
@@ -71,16 +135,31 @@ const (
 	KindRun
 )
 
+// TempSpace is the capability to create and remove temporary files — the
+// surface external sorting needs from the storage layer. It is satisfied by
+// the Disk itself (global namespace) and by SpillArena (an isolated
+// per-worker namespace), so run formation and merging code is agnostic to
+// which shard its spill files land in.
+type TempSpace interface {
+	CreateTemp(prefix string, kind FileKind) *File
+	Remove(name string)
+	PageSize() int
+}
+
 // Disk is a simulated block device: a set of named paged files plus an
 // IOStats ledger. A Disk is safe for concurrent use by multiple goroutines;
-// the engine itself is single-threaded per query but tests exercise
-// concurrent workloads.
+// page transfers charge a lock-free atomic ledger, and the mutex guards only
+// the file/arena registry. Stats reports the global ledger plus every live
+// arena's, so I/O-count assertions hold no matter which shard did the work.
 type Disk struct {
-	mu       sync.Mutex
 	pageSize int
-	files    map[string]*File
-	stats    IOStats
-	nextTemp int
+	stats    ledger
+
+	mu        sync.Mutex
+	files     map[string]*File
+	arenas    map[int64]*SpillArena
+	nextTemp  int
+	nextArena int64
 }
 
 // NewDisk returns an empty disk with the given page size (0 => default).
@@ -88,31 +167,50 @@ func NewDisk(pageSize int) *Disk {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
-	return &Disk{pageSize: pageSize, files: make(map[string]*File)}
+	return &Disk{
+		pageSize: pageSize,
+		files:    make(map[string]*File),
+		arenas:   make(map[int64]*SpillArena),
+	}
 }
 
 // PageSize returns the block size in bytes.
 func (d *Disk) PageSize() int { return d.pageSize }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters: the global ledger plus the
+// ledgers of all live arenas (released arenas have already merged in).
+// The whole snapshot happens under the registry mutex so it cannot race an
+// arena Release into counting that arena's I/O zero or two times.
 func (d *Disk) Stats() IOStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.stats
+	s := d.stats.snapshot()
+	for _, a := range d.arenas {
+		s.Add(a.stats.snapshot())
+	}
+	return s
 }
 
-// ResetStats zeroes the I/O counters.
+// ResetStats zeroes the I/O counters, including live arenas'.
 func (d *Disk) ResetStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.stats = IOStats{}
+	d.stats.reset()
+	for _, a := range d.arenas {
+		a.stats.reset()
+	}
+}
+
+// newFile builds a file charging the given ledger.
+func (d *Disk) newFile(name string, kind FileKind, l *ledger) *File {
+	return &File{ledger: l, pageSize: d.pageSize, name: name, kind: kind}
 }
 
 // Create creates (or truncates) a named file of the given kind.
 func (d *Disk) Create(name string, kind FileKind) *File {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	f := &File{disk: d, name: name, kind: kind}
+	f := d.newFile(name, kind, &d.stats)
 	d.files[name] = f
 	return f
 }
@@ -123,12 +221,13 @@ func (d *Disk) CreateTemp(prefix string, kind FileKind) *File {
 	defer d.mu.Unlock()
 	d.nextTemp++
 	name := fmt.Sprintf("%s.tmp%d", prefix, d.nextTemp)
-	f := &File{disk: d, name: name, kind: kind}
+	f := d.newFile(name, kind, &d.stats)
 	d.files[name] = f
 	return f
 }
 
-// Open returns the named file, or an error if absent.
+// Open returns the named file, or an error if absent. Arena files are not
+// visible here: an arena's namespace is private to its holder.
 func (d *Disk) Open(name string) (*File, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -147,7 +246,8 @@ func (d *Disk) Remove(name string) {
 	delete(d.files, name)
 }
 
-// FileNames lists files in deterministic order (for tests and tools).
+// FileNames lists files in deterministic order (for tests and tools),
+// including files inside live arenas — a leaked spill file is still a leak.
 func (d *Disk) FileNames() []string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -155,42 +255,37 @@ func (d *Disk) FileNames() []string {
 	for n := range d.files {
 		out = append(out, n)
 	}
+	for _, a := range d.arenas {
+		out = append(out, a.fileNames()...)
+	}
 	sort.Strings(out)
 	return out
 }
 
-// TotalPages returns the number of allocated pages across all files.
+// TotalPages returns the number of allocated pages across all files,
+// including live arenas'.
 func (d *Disk) TotalPages() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := 0
 	for _, f := range d.files {
-		n += len(f.pages)
+		n += f.NumPages()
+	}
+	for _, a := range d.arenas {
+		n += a.totalPages()
 	}
 	return n
 }
 
-func (d *Disk) charge(kind FileKind, reads, writes int64, seek bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats.PageReads += reads
-	d.stats.PageWrites += writes
-	if kind == KindRun {
-		d.stats.RunPageReads += reads
-		d.stats.RunPageWrites += writes
-	}
-	if seek {
-		d.stats.Seeks++
-	}
-}
-
-// File is a paged file on the simulated disk.
+// File is a paged file on the simulated disk. Its transfers charge the
+// ledger it was created under — the disk's global one, or a SpillArena's.
 type File struct {
-	disk  *Disk
-	name  string
-	kind  FileKind
-	mu    sync.Mutex
-	pages [][]byte
+	ledger   *ledger
+	pageSize int
+	name     string
+	kind     FileKind
+	mu       sync.Mutex
+	pages    [][]byte
 }
 
 // Name returns the file's name.
@@ -198,6 +293,9 @@ func (f *File) Name() string { return f.name }
 
 // Kind returns the file's I/O attribution kind.
 func (f *File) Kind() FileKind { return f.kind }
+
+// PageSize returns the block size this file was created with.
+func (f *File) PageSize() int { return f.pageSize }
 
 // NumPages returns the number of allocated pages.
 func (f *File) NumPages() int {
@@ -209,8 +307,8 @@ func (f *File) NumPages() int {
 // AppendPage writes a new page at the end of the file and charges one block
 // write. The page contents are copied.
 func (f *File) AppendPage(data []byte) int {
-	if len(data) > f.disk.pageSize {
-		panic(fmt.Sprintf("storage: page of %d bytes exceeds page size %d", len(data), f.disk.pageSize))
+	if len(data) > f.pageSize {
+		panic(fmt.Sprintf("storage: page of %d bytes exceeds page size %d", len(data), f.pageSize))
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -218,7 +316,7 @@ func (f *File) AppendPage(data []byte) int {
 	f.pages = append(f.pages, cp)
 	n := len(f.pages)
 	f.mu.Unlock()
-	f.disk.charge(f.kind, 0, 1, false)
+	f.ledger.charge(f.kind, 0, 1, false)
 	return n - 1
 }
 
@@ -233,12 +331,12 @@ func (f *File) ReadPage(i int) ([]byte, error) {
 	}
 	p := f.pages[i]
 	f.mu.Unlock()
-	f.disk.charge(f.kind, 1, 0, false)
+	f.ledger.charge(f.kind, 1, 0, false)
 	return p, nil
 }
 
 // Seek records a random repositioning (merge-run switches, index probes).
-func (f *File) Seek() { f.disk.charge(f.kind, 0, 0, true) }
+func (f *File) Seek() { f.ledger.charge(f.kind, 0, 0, true) }
 
 // Truncate drops all pages without charging I/O (models deallocation).
 func (f *File) Truncate() {

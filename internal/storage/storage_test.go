@@ -273,3 +273,187 @@ func TestQuickWriteReadAnyTuples(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Spill-arena concurrency -----------------------------------------------
+
+func TestArenaNamespaceIsolation(t *testing.T) {
+	d := NewDisk(0)
+	a := d.NewArena()
+	b := d.NewArena()
+	fa := a.CreateTemp("run", KindRun)
+	fb := b.CreateTemp("run", KindRun)
+	if fa.Name() == fb.Name() {
+		t.Fatalf("arena temp names collide: %q", fa.Name())
+	}
+	// Arena files are invisible to the global namespace but visible to the
+	// leak check.
+	if _, err := d.Open(fa.Name()); err == nil {
+		t.Fatal("arena file should not be openable through the global namespace")
+	}
+	if names := d.FileNames(); len(names) != 2 {
+		t.Fatalf("FileNames should include arena files, got %v", names)
+	}
+	// Removing through the wrong arena is a no-op; through the right one it
+	// deletes.
+	b.Remove(fa.Name())
+	a.Remove(fa.Name())
+	if names := d.FileNames(); len(names) != 1 || names[0] != fb.Name() {
+		t.Fatalf("after removes: %v", names)
+	}
+	a.Release()
+	b.Release()
+	if names := d.FileNames(); len(names) != 0 {
+		t.Fatalf("release should drop arena files, got %v", names)
+	}
+}
+
+func TestArenaStatsMergeOnRelease(t *testing.T) {
+	d := NewDisk(128)
+	a := d.NewArena()
+	f := a.CreateTemp("run", KindRun)
+	f.AppendPage([]byte{1})
+	if _, err := f.ReadPage(0); err != nil {
+		t.Fatal(err)
+	}
+	f.Seek()
+	// Live arena I/O is already part of the disk totals.
+	want := IOStats{PageReads: 1, PageWrites: 1, RunPageReads: 1, RunPageWrites: 1, Seeks: 1}
+	if got := d.Stats(); got != want {
+		t.Fatalf("live stats = %+v, want %+v", got, want)
+	}
+	if got := a.Stats(); got != want {
+		t.Fatalf("arena stats = %+v, want %+v", got, want)
+	}
+	a.Release()
+	a.Release() // idempotent: must not double-merge
+	if got := d.Stats(); got != want {
+		t.Fatalf("post-release stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestArenaResetStatsCoversLiveArenas(t *testing.T) {
+	d := NewDisk(128)
+	a := d.NewArena()
+	a.CreateTemp("run", KindRun).AppendPage([]byte{1})
+	d.Create("t", KindData).AppendPage([]byte{2})
+	if d.Stats().PageWrites != 2 {
+		t.Fatalf("stats = %+v", d.Stats())
+	}
+	d.ResetStats()
+	if got := d.Stats(); got.Total() != 0 {
+		t.Fatalf("ResetStats left %+v", got)
+	}
+	a.Release()
+	if got := d.Stats(); got.Total() != 0 {
+		t.Fatalf("release after reset re-added I/O: %+v", got)
+	}
+}
+
+func TestReleasedArenaCreatePanics(t *testing.T) {
+	d := NewDisk(0)
+	a := d.NewArena()
+	a.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CreateTemp on a released arena should panic")
+		}
+	}()
+	a.CreateTemp("run", KindRun)
+}
+
+// TestConcurrentArenaWriters is the race-detector gate for the spill
+// subsystem's central claim: N workers spilling into their own arenas share
+// no mutable state beyond atomic counters, and the merged ledger equals
+// what the same work charges when done serially.
+func TestConcurrentArenaWriters(t *testing.T) {
+	const workers, pagesEach = 8, 40
+	work := func(parallel bool) IOStats {
+		d := NewDisk(64)
+		run := func(a *SpillArena) {
+			f := a.CreateTemp("spill", KindRun)
+			for i := 0; i < pagesEach; i++ {
+				f.AppendPage([]byte{byte(i)})
+			}
+			for i := 0; i < pagesEach; i++ {
+				if _, err := f.ReadPage(i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			f.Seek()
+		}
+		if parallel {
+			var wg sync.WaitGroup
+			arenas := make([]*SpillArena, workers)
+			for g := 0; g < workers; g++ {
+				arenas[g] = d.NewArena()
+			}
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func(a *SpillArena) {
+					defer wg.Done()
+					run(a)
+				}(arenas[g])
+			}
+			wg.Wait()
+			// Release half before snapshotting: totals must not care
+			// whether a ledger has merged yet.
+			for g := 0; g < workers/2; g++ {
+				arenas[g].Release()
+			}
+			s := d.Stats()
+			for g := workers / 2; g < workers; g++ {
+				arenas[g].Release()
+			}
+			if after := d.Stats(); after != s {
+				t.Errorf("release changed totals: %+v -> %+v", s, after)
+			}
+			return s
+		}
+		for g := 0; g < workers; g++ {
+			a := d.NewArena()
+			run(a)
+			a.Release()
+		}
+		return d.Stats()
+	}
+	serial := work(false)
+	parallel := work(true)
+	if serial != parallel {
+		t.Fatalf("parallel arena totals diverge from serial:\n serial   %+v\n parallel %+v", serial, parallel)
+	}
+	if serial.RunPageWrites != workers*pagesEach {
+		t.Fatalf("run writes = %d, want %d", serial.RunPageWrites, workers*pagesEach)
+	}
+}
+
+// TestConcurrentArenaSharedByWorkers exercises one arena shared by several
+// goroutines (MRS flush jobs of a single spilled segment do this): temp
+// creation must stay collision-free and the ledger exact.
+func TestConcurrentArenaSharedByWorkers(t *testing.T) {
+	d := NewDisk(64)
+	a := d.NewArena()
+	const workers, files = 6, 20
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < files; i++ {
+				f := a.CreateTemp("seg", KindRun)
+				f.AppendPage([]byte{1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(a.fileNames()); got != workers*files {
+		t.Fatalf("arena holds %d files, want %d (name collision?)", got, workers*files)
+	}
+	if got := d.Stats().RunPageWrites; got != workers*files {
+		t.Fatalf("run writes = %d, want %d", got, workers*files)
+	}
+	a.Release()
+	if names := d.FileNames(); len(names) != 0 {
+		t.Fatalf("leaked %v", names)
+	}
+}

@@ -21,7 +21,7 @@ type TupleWriter struct {
 
 // NewTupleWriter starts writing at the end of f.
 func NewTupleWriter(f *File) *TupleWriter {
-	return &TupleWriter{file: f, buf: make([]byte, 2, f.disk.pageSize)}
+	return &TupleWriter{file: f, buf: make([]byte, 2, f.pageSize)}
 }
 
 // PageStarts returns, for each page written so far, the index of its first
@@ -33,10 +33,10 @@ func (w *TupleWriter) PageStarts() []int64 {
 // Write appends one tuple, flushing a full page as needed.
 func (w *TupleWriter) Write(t types.Tuple) error {
 	sz := t.EncodedSize()
-	if 2+sz > w.file.disk.pageSize {
-		return fmt.Errorf("storage: tuple of %d bytes exceeds page capacity %d", sz, w.file.disk.pageSize-2)
+	if 2+sz > w.file.pageSize {
+		return fmt.Errorf("storage: tuple of %d bytes exceeds page capacity %d", sz, w.file.pageSize-2)
 	}
-	if len(w.buf)+sz > w.file.disk.pageSize {
+	if len(w.buf)+sz > w.file.pageSize {
 		w.flush()
 	}
 	w.buf = t.Encode(w.buf)

@@ -7,13 +7,22 @@ type runEntry struct {
 	kt  keyed
 }
 
-// runHeap is a binary min-heap over (tag, key). Key comparisons are counted
-// into *comparisons; tag comparisons are not (they are integer checks, not
-// the multi-attribute comparisons the paper's analysis counts). Key bytes
-// are excluded from memBytes so the M-block budget keeps the paper's
-// tuple-size arithmetic regardless of key mode.
+// runHeap is a binary min-heap over (tag, key). The heap order is an int32
+// slot permutation over stable entry storage — the same treatment that
+// moved MRS segment sorts to index sorting: every sift swaps one 4-byte
+// index instead of a 56-byte entry (whose key and tuple slices also drag
+// write barriers through the heap). Freed slots are recycled, so
+// replacement selection's push-one-pop-one steady state never grows the
+// entry array past the memory budget.
+//
+// Key comparisons are counted into *comparisons; tag comparisons are not
+// (they are integer checks, not the multi-attribute comparisons the paper's
+// analysis counts). Key bytes are excluded from memBytes so the M-block
+// budget keeps the paper's tuple-size arithmetic regardless of key mode.
 type runHeap struct {
-	entries     []runEntry
+	entries     []runEntry // slot-stable storage; holes are reused via free
+	heap        []int32    // heap order: slots into entries
+	free        []int32    // recycled slots
 	ky          *keyer
 	comparisons *int64
 	bytes       int64
@@ -23,12 +32,12 @@ func newRunHeap(ky *keyer, comparisons *int64) *runHeap {
 	return &runHeap{ky: ky, comparisons: comparisons}
 }
 
-func (h *runHeap) len() int { return len(h.entries) }
+func (h *runHeap) len() int { return len(h.heap) }
 
 func (h *runHeap) memBytes() int64 { return h.bytes }
 
 func (h *runHeap) less(i, j int) bool {
-	a, b := h.entries[i], h.entries[j]
+	a, b := &h.entries[h.heap[i]], &h.entries[h.heap[j]]
 	if a.tag != b.tag {
 		return a.tag < b.tag
 	}
@@ -37,21 +46,33 @@ func (h *runHeap) less(i, j int) bool {
 }
 
 func (h *runHeap) swap(i, j int) {
-	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
 }
 
 func (h *runHeap) push(e runEntry) {
-	h.entries = append(h.entries, e)
+	var slot int32
+	if n := len(h.free); n > 0 {
+		slot = h.free[n-1]
+		h.free = h.free[:n-1]
+		h.entries[slot] = e
+	} else {
+		slot = int32(len(h.entries))
+		h.entries = append(h.entries, e)
+	}
+	h.heap = append(h.heap, slot)
 	h.bytes += int64(e.kt.t.MemSize())
-	h.siftUp(len(h.entries) - 1)
+	h.siftUp(len(h.heap) - 1)
 }
 
 // pop removes and returns the minimum entry.
 func (h *runHeap) pop() runEntry {
-	top := h.entries[0]
-	last := len(h.entries) - 1
-	h.entries[0] = h.entries[last]
-	h.entries = h.entries[:last]
+	slot := h.heap[0]
+	top := h.entries[slot]
+	h.entries[slot] = runEntry{} // drop tuple/key references for the GC
+	h.free = append(h.free, slot)
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.heap = h.heap[:last]
 	h.bytes -= int64(top.kt.t.MemSize())
 	if last > 0 {
 		h.siftDown(0)
@@ -60,7 +81,7 @@ func (h *runHeap) pop() runEntry {
 }
 
 // peek returns the minimum entry without removing it.
-func (h *runHeap) peek() runEntry { return h.entries[0] }
+func (h *runHeap) peek() runEntry { return h.entries[h.heap[0]] }
 
 func (h *runHeap) siftUp(i int) {
 	for i > 0 {
@@ -74,7 +95,7 @@ func (h *runHeap) siftUp(i int) {
 }
 
 func (h *runHeap) siftDown(i int) {
-	n := len(h.entries)
+	n := len(h.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i

@@ -43,6 +43,12 @@ func newKeyer(mode KeyMode, codec *keys.Codec, cmp func(a, b types.Tuple) int) *
 // encoded reports whether keys are normalized byte strings.
 func (k *keyer) encoded() bool { return k.codec != nil }
 
+// clone returns a keyer with the same codec and comparator but private
+// scratch buffers. Workers that need wrap — run merges re-encode keys as
+// they read tuples back — must each hold their own clone; sharing one
+// keyer across goroutines is only safe for compare.
+func (k *keyer) clone() *keyer { return &keyer{codec: k.codec, cmp: k.cmp} }
+
 // wrap attaches t's sort key. Keys are encoded into a reused scratch buffer
 // and then copied into a block arena, so per-tuple allocations are batched;
 // earlier keys stay valid because a full block is simply abandoned to the

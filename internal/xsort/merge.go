@@ -1,6 +1,8 @@
 package xsort
 
 import (
+	"sync"
+
 	"pyro/internal/storage"
 	"pyro/internal/types"
 )
@@ -91,53 +93,116 @@ func (m *runMerger) next() (types.Tuple, bool, error) {
 	return out, true, nil
 }
 
+// mergeGroup merges a group of runs into one fresh run in ns, removing the
+// consumed inputs on success. The comparison count is returned rather than
+// accumulated so concurrent group merges can tally locally and the caller
+// can fold counts in deterministic group order. The keyer is cloned first:
+// merging re-encodes keys as tuples come off disk (keyer.wrap mutates
+// scratch buffers), and group merges run concurrently.
+func mergeGroup(ns storage.TempSpace, prefix string, group []*storage.File, ky *keyer) (*storage.File, int64, error) {
+	ky = ky.clone()
+	var comparisons int64
+	merged := ns.CreateTemp(prefix, storage.KindRun)
+	w := storage.NewTupleWriter(merged)
+	m, err := newRunMerger(group, ky, &comparisons)
+	if err != nil {
+		ns.Remove(merged.Name())
+		return nil, comparisons, err
+	}
+	for {
+		t, ok, err := m.next()
+		if err != nil {
+			ns.Remove(merged.Name())
+			return nil, comparisons, err
+		}
+		if !ok {
+			break
+		}
+		if err := w.Write(t); err != nil {
+			ns.Remove(merged.Name())
+			return nil, comparisons, err
+		}
+	}
+	w.Close()
+	for _, g := range group {
+		ns.Remove(g.Name())
+	}
+	return merged, comparisons, nil
+}
+
 // reduceRuns repeatedly merges groups of up to fanIn runs into larger runs
 // until at most fanIn remain, so the final merge can proceed with one input
 // buffer per run. Each intermediate pass reads and rewrites the data,
-// incrementing stats.MergePasses. Consumed run files are removed from disk.
-func reduceRuns(cfg Config, runs []*storage.File, ky *keyer, stats *SortStats) ([]*storage.File, error) {
+// incrementing stats.MergePasses; consumed run files are removed from ns.
+//
+// With SpillParallelism > 1 the groups of one pass — mutually independent
+// by construction — merge concurrently on worker goroutines. Grouping is
+// identical to the serial pass (consecutive runs, left to right) and each
+// group's comparison count folds into stats in group order, so comparison
+// and I/O totals match the serial path exactly.
+func reduceRuns(cfg Config, ns storage.TempSpace, runs []*storage.File, ky *keyer, stats *SortStats) ([]*storage.File, error) {
 	fanIn := cfg.fanIn()
+	par := cfg.spillParallelism()
 	for len(runs) > fanIn {
 		stats.MergePasses++
-		var next []*storage.File
-		for lo := 0; lo < len(runs); lo += fanIn {
-			hi := lo + fanIn
-			if hi > len(runs) {
-				hi = len(runs)
+		nGroups := numGroups(fanIn, len(runs))
+		next := make([]*storage.File, nGroups)
+		counts := make([]int64, nGroups)
+		errs := make([]error, nGroups)
+		if par <= 1 {
+			for g := 0; g < nGroups; g++ {
+				next[g], counts[g], errs[g] = reduceOneGroup(cfg, ns, runs, g, ky)
 			}
-			group := runs[lo:hi]
-			if len(group) == 1 {
-				next = append(next, group[0])
-				continue
+		} else {
+			sem := make(chan struct{}, par)
+			var wg sync.WaitGroup
+			for g := 0; g < nGroups; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					next[g], counts[g], errs[g] = reduceOneGroup(cfg, ns, runs, g, ky)
+				}(g)
 			}
-			merged := cfg.Disk.CreateTemp(cfg.TempPrefix, storage.KindRun)
-			w := storage.NewTupleWriter(merged)
-			m, err := newRunMerger(group, ky, &stats.Comparisons)
-			if err != nil {
-				cfg.Disk.Remove(merged.Name())
-				return nil, err
+			wg.Wait()
+		}
+		for g := 0; g < nGroups; g++ {
+			stats.Comparisons += counts[g]
+			if errs[g] != nil {
+				return nil, errs[g]
 			}
-			for {
-				t, ok, err := m.next()
-				if err != nil {
-					cfg.Disk.Remove(merged.Name())
-					return nil, err
-				}
-				if !ok {
-					break
-				}
-				if err := w.Write(t); err != nil {
-					cfg.Disk.Remove(merged.Name())
-					return nil, err
-				}
-			}
-			w.Close()
-			for _, g := range group {
-				cfg.Disk.Remove(g.Name())
-			}
-			next = append(next, merged)
 		}
 		runs = next
 	}
 	return runs, nil
+}
+
+// groupBounds returns the half-open run range of the g-th fan-in group of
+// one reduction pass over n runs. Every reduction path — serial, parallel,
+// and the pipelined harvest in MRS — must group through this function:
+// identical grouping is what keeps comparison and I/O totals independent
+// of parallelism (the golden tests' invariant).
+func groupBounds(g, fanIn, n int) (lo, hi int) {
+	lo = g * fanIn
+	hi = lo + fanIn
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// numGroups returns how many fan-in groups one reduction pass over n runs
+// forms.
+func numGroups(fanIn, n int) int { return (n + fanIn - 1) / fanIn }
+
+// reduceOneGroup merges the g-th fan-in group of runs (a single-run group
+// passes through unmerged, as in the serial algorithm).
+func reduceOneGroup(cfg Config, ns storage.TempSpace, runs []*storage.File, g int, ky *keyer) (*storage.File, int64, error) {
+	lo, hi := groupBounds(g, cfg.fanIn(), len(runs))
+	group := runs[lo:hi]
+	if len(group) == 1 {
+		return group[0], 0, nil
+	}
+	return mergeGroup(ns, cfg.TempPrefix, group, ky)
 }

@@ -38,9 +38,21 @@ import (
 // always collected strictly demand-driven, so early output is retained.
 // With P = 1 reading is strictly demand-driven exactly as in the serial
 // paper algorithm: segment i is fully emitted before segment i+1 is read
-// past its first tuple. Spilled (oversized) segments are always sorted and
-// merged on the consumer goroutine — the pool accelerates the in-memory
-// common case the paper's analysis centres on.
+// past its first tuple.
+//
+// Oversized (spilling) segments are concurrent too. Each spilled segment
+// owns a storage.SpillArena — an isolated temp namespace with a lock-free
+// I/O ledger — and with Config.SpillParallelism = S > 1 its run formation
+// moves off the consumer: every time a memory batch fills, the batch is
+// handed to a flush job that sorts it and writes the run into the arena
+// while the consumer keeps reading the segment (input consumption still
+// never leaves the consumer goroutine). At most S flush jobs are in flight,
+// bounding transient memory at S batches. When the segment reaches the head
+// of the emission queue, its first run-reduction pass overlaps the tail of
+// run formation: each fan-in group of runs merges (on worker goroutines,
+// grouped exactly as the serial pass would) as soon as its member runs
+// land. With S = 1 spilled segments sort, spill and merge inline on the
+// consumer goroutine — the paper's serial algorithm, unchanged.
 type MRS struct {
 	input  iter.Iterator
 	schema *types.Schema
@@ -51,6 +63,7 @@ type MRS struct {
 	ky     *keyer        // suffix keyer: segment sorts compare ak+1..an only
 	prefix int           // |given|
 	par    int           // resolved segment-sort parallelism
+	spar   int           // resolved spill parallelism
 	stats  SortStats
 
 	// Input state.
@@ -78,8 +91,36 @@ type segCollector struct {
 	buf      []keyed
 	memBytes int64
 	spilled  bool
-	runs     []*storage.File
+	sp       *spillState // non-nil once the segment has spilled
 }
+
+// spillState is the spill side of one oversized segment: its private arena
+// and the runs formed into it. In serial mode (SpillParallelism 1) runs
+// holds files written inline; in parallel mode jobs holds the in-flight and
+// completed flush jobs, harvested in dispatch order by the consumer.
+type spillState struct {
+	arena  *storage.SpillArena
+	runs   []*storage.File // serial-mode formation runs
+	jobs   []*flushJob     // parallel-mode formation jobs, dispatch order
+	reaped int             // jobs whose buffers the consumer has returned to the budget
+}
+
+// flushJob is one parallel run-formation unit: sort one memory batch of an
+// oversized segment and write it to the segment's arena. All fields other
+// than buf/memBytes are written by the worker before close(done) and read
+// by the consumer only after <-done.
+type flushJob struct {
+	buf         []keyed
+	memBytes    int64
+	done        chan struct{}
+	file        *storage.File
+	comparisons int64
+	err         error
+}
+
+// inflight counts dispatched jobs whose completion the consumer has not yet
+// observed.
+func (sp *spillState) inflight() int { return len(sp.jobs) - sp.reaped }
 
 // segment is a collected segment queued for emission. In-memory segments
 // sorted on a worker publish their comparison count through done; the
@@ -92,7 +133,7 @@ type segment struct {
 	comparisons int64
 	done        chan struct{} // non-nil iff sorted asynchronously
 	spilled     bool
-	runs        []*storage.File
+	sp          *spillState
 
 	pos     int
 	merging *runMerger
@@ -142,6 +183,7 @@ func NewMRS(input iter.Iterator, schema *types.Schema, target, given sortord.Ord
 		ky:          newKeyer(cfg.Keys, suffixCodec, suffixCmp),
 		prefix:      prefix,
 		par:         cfg.parallelism(),
+		spar:        cfg.spillParallelism(),
 		passthrough: prefix == target.Len(),
 	}, nil
 }
@@ -259,19 +301,18 @@ func (m *MRS) adopt(seg *segment) error {
 		m.stats.Comparisons += seg.comparisons
 	}
 	if seg.spilled {
-		runs, err := reduceRuns(m.cfg, seg.runs, m.ky, &m.stats)
+		runs, err := m.segmentRuns(seg.sp)
 		if err == nil {
-			seg.runs = runs
+			runs, err = reduceRuns(m.cfg, seg.sp.arena, runs, m.ky, &m.stats)
+		}
+		if err == nil {
+			seg.sp.runs = runs
 			seg.merging, err = newRunMerger(runs, m.ky, &m.stats.Comparisons)
 		}
 		if err != nil {
-			// seg is already off the queue: remove its surviving runs here
-			// or they outlive Close (Remove is idempotent for files that a
-			// partial reduceRuns pass already consumed).
-			for _, f := range seg.runs {
-				m.cfg.Disk.Remove(f.Name())
-			}
-			seg.runs = nil
+			// seg is already off the queue: releasing its arena here drops
+			// any surviving runs, or they would outlive Close.
+			m.releaseSpill(seg.sp)
 			return err
 		}
 	}
@@ -279,16 +320,161 @@ func (m *MRS) adopt(seg *segment) error {
 	return nil
 }
 
+// segmentRuns produces the full ordered run list of a spilled segment. In
+// serial mode the runs are already on disk. In parallel mode it performs
+// the pipelined harvest: when the segment holds more runs than the merge
+// fan-in, the first reduction pass is dispatched group by group as member
+// runs land, overlapping reduction with the tail of run formation; the
+// remaining passes (rare) fall to reduceRuns afterwards. Comparison counts
+// fold in deterministic order — formation jobs first (dispatch order), then
+// merge groups (group order) — so totals equal the serial path's.
+func (m *MRS) segmentRuns(sp *spillState) ([]*storage.File, error) {
+	if len(sp.jobs) == 0 {
+		return sp.runs, nil
+	}
+	fanIn := m.cfg.fanIn()
+	if len(sp.jobs) <= fanIn {
+		// No reduction needed: wait out the jobs in dispatch order.
+		if err := m.harvestJobs(sp); err != nil {
+			return nil, err
+		}
+		runs := make([]*storage.File, len(sp.jobs))
+		for i, j := range sp.jobs {
+			runs[i] = j.file
+		}
+		return runs, nil
+	}
+
+	// Pipelined first pass: each fan-in group of formation jobs merges as
+	// soon as its members land, while later jobs may still be running.
+	// Groups are consecutive in dispatch order — exactly the serial pass.
+	m.stats.MergePasses++
+	type groupRes struct {
+		out         *storage.File
+		comparisons int64
+		err         error
+		done        chan struct{}
+	}
+	nGroups := numGroups(fanIn, len(sp.jobs))
+	groups := make([]*groupRes, nGroups)
+	sem := make(chan struct{}, m.spar)
+	for g := 0; g < nGroups; g++ {
+		lo, hi := groupBounds(g, fanIn, len(sp.jobs))
+		res := &groupRes{done: make(chan struct{})}
+		groups[g] = res
+		go func(jobs []*flushJob, res *groupRes) {
+			defer close(res.done)
+			files := make([]*storage.File, 0, len(jobs))
+			for _, j := range jobs {
+				<-j.done
+				if j.err != nil {
+					res.err = j.err
+					return
+				}
+				files = append(files, j.file)
+			}
+			if len(files) == 1 {
+				// Single-run group passes through, as in the serial pass.
+				res.out = files[0]
+				return
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res.out, res.comparisons, res.err = mergeGroup(sp.arena, m.cfg.TempPrefix, files, m.ky)
+		}(sp.jobs[lo:hi], res)
+	}
+
+	// Fold formation comparisons in dispatch order, then group merges in
+	// group order; wait everything out even on error so the arena can be
+	// released without racing in-flight writers.
+	err := m.harvestJobs(sp)
+	runs := make([]*storage.File, 0, nGroups)
+	for _, res := range groups {
+		<-res.done
+		m.stats.Comparisons += res.comparisons
+		if res.err != nil && err == nil {
+			err = res.err
+		}
+		runs = append(runs, res.out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// reapJob observes job i's completion (blocking until the worker is done)
+// and returns its buffer bytes to the memory budget exactly once — the
+// reaped index is the single guard for that invariant; every wait-and-reap
+// site goes through here.
+func (m *MRS) reapJob(sp *spillState, i int) *flushJob {
+	j := sp.jobs[i]
+	<-j.done
+	if i >= sp.reaped {
+		m.liveBytes -= j.memBytes
+		sp.reaped = i + 1
+	}
+	return j
+}
+
+// harvestJobs waits out every formation job in dispatch order, folding its
+// comparison count and returning its buffer bytes to the memory budget.
+// The first job error is returned after all jobs have completed.
+func (m *MRS) harvestJobs(sp *spillState) error {
+	var firstErr error
+	for i := range sp.jobs {
+		j := m.reapJob(sp, i)
+		m.stats.Comparisons += j.comparisons
+		if j.err != nil && firstErr == nil {
+			firstErr = j.err
+		}
+	}
+	return firstErr
+}
+
+// reapDone returns the buffers of already-completed jobs (in dispatch
+// order, without blocking) to the memory budget, so read-ahead is gated on
+// actual buffered bytes rather than on batches a worker has already spilled.
+func (m *MRS) reapDone(sp *spillState) {
+	if sp == nil {
+		return
+	}
+	for sp.reaped < len(sp.jobs) {
+		select {
+		case <-sp.jobs[sp.reaped].done:
+			m.reapJob(sp, sp.reaped)
+		default:
+			return
+		}
+	}
+}
+
+// releaseSpill waits out any in-flight spill work and releases the
+// segment's arena, dropping its files and merging its I/O ledger into the
+// disk's. Waiting first is what makes release safe: an arena must not
+// disappear under a worker still writing runs into it.
+func (m *MRS) releaseSpill(sp *spillState) {
+	if sp == nil {
+		return
+	}
+	for i := range sp.jobs {
+		m.reapJob(sp, i)
+	}
+	if sp.arena != nil {
+		sp.arena.Release()
+		sp.arena = nil
+	}
+	sp.runs = nil
+}
+
 // release drops an exhausted segment: its buffer memory leaves the
-// accounting and its run files (if any) are removed.
+// accounting and its spill arena (if any) is released.
 func (m *MRS) release(seg *segment) {
 	m.liveBytes -= seg.memBytes
 	seg.buf = nil
 	seg.order = nil
-	for _, f := range seg.runs {
-		m.cfg.Disk.Remove(f.Name())
-	}
-	seg.runs = nil
+	m.releaseSpill(seg.sp)
+	seg.sp = nil
 }
 
 // pump advances read-ahead in parallel mode: after each emitted tuple the
@@ -300,8 +486,20 @@ func (m *MRS) release(seg *segment) {
 // growing once M is reached, so only the demand-driven path (one emitting
 // plus one collecting segment) can exceed it, as in the serial algorithm.
 func (m *MRS) pump() error {
-	if m.par <= 1 || m.pending == nil || len(m.segq) >= m.par ||
-		m.liveBytes >= m.cfg.memoryBytes() {
+	if m.par <= 1 || m.pending == nil || len(m.segq) >= m.par {
+		return nil
+	}
+	// Buffers that spill workers have already written out no longer hold
+	// memory; reap them — for the collecting segment and for queued spilled
+	// segments awaiting adoption — before consulting the budget gate, or
+	// phantom bytes would throttle read-ahead until the next adopt.
+	for _, seg := range m.segq {
+		m.reapDone(seg.sp)
+	}
+	if m.col != nil {
+		m.reapDone(m.col.sp)
+	}
+	if m.liveBytes >= m.cfg.memoryBytes() {
 		return nil
 	}
 	seg, err := m.collect(pumpQuantum)
@@ -359,20 +557,54 @@ func (m *MRS) collect(limit int) (*segment, error) {
 	}
 }
 
-// flush sorts the collector's buffered tuples and writes them out as one
-// run of the (oversized) segment. Spill sorting happens on the consumer
-// goroutine: the worker pool is reserved for the in-memory fast path.
+// flush turns the collector's buffered tuples into one run of the
+// (oversized) segment, written into the segment's spill arena. With
+// SpillParallelism 1 the batch is sorted and written inline on the consumer
+// goroutine (the paper's serial algorithm); otherwise the batch is handed
+// to a flush job on the worker pool and the consumer keeps reading, with at
+// most SpillParallelism jobs in flight.
 func (m *MRS) flush(c *segCollector) error {
-	order, comparisons := sortKeyed(c.buf, m.ky)
-	m.stats.Comparisons += comparisons
-	f, err := writeRun(m.cfg, c.buf, order)
-	if err != nil {
-		return err
+	if c.sp == nil {
+		c.sp = &spillState{arena: m.cfg.Disk.NewArena()}
 	}
-	c.runs = append(c.runs, f)
+	if m.spar <= 1 {
+		order, comparisons := sortKeyed(c.buf, m.ky)
+		m.stats.Comparisons += comparisons
+		f, err := writeRun(c.sp.arena, m.cfg.TempPrefix, c.buf, order)
+		if err != nil {
+			return err
+		}
+		c.sp.runs = append(c.sp.runs, f)
+		m.stats.RunsGenerated++
+		m.stats.SpillRunsSerial++
+		c.buf = c.buf[:0]
+		m.liveBytes -= c.memBytes
+		c.memBytes = 0
+		return nil
+	}
+
+	// Backpressure: with SpillParallelism jobs already in flight, wait for
+	// the oldest before dispatching another, bounding transient memory at
+	// SpillParallelism batches.
+	m.reapDone(c.sp)
+	for c.sp.inflight() >= m.spar {
+		m.reapJob(c.sp, c.sp.reaped)
+	}
+	job := &flushJob{buf: c.buf, memBytes: c.memBytes, done: make(chan struct{})}
+	c.sp.jobs = append(c.sp.jobs, job)
 	m.stats.RunsGenerated++
-	c.buf = c.buf[:0]
-	m.liveBytes -= c.memBytes
+	m.stats.SpillRunsParallel++
+	arena, prefix, ky := c.sp.arena, m.cfg.TempPrefix, m.ky
+	go func() {
+		defer close(job.done)
+		order, comparisons := sortKeyed(job.buf, ky)
+		job.comparisons = comparisons
+		job.file, job.err = writeRun(arena, prefix, job.buf, order)
+		job.buf = nil // batch is on disk; release it before the consumer reaps
+	}()
+	// The batch's bytes stay in liveBytes until the job completes and is
+	// reaped; hand the collector a fresh buffer.
+	c.buf = nil
 	c.memBytes = 0
 	return nil
 }
@@ -384,13 +616,11 @@ func (m *MRS) finish(c *segCollector) (*segment, error) {
 		m.stats.SpilledSegs++
 		if len(c.buf) > 0 {
 			if err := m.flush(c); err != nil {
-				for _, f := range c.runs {
-					m.cfg.Disk.Remove(f.Name())
-				}
+				m.releaseSpill(c.sp)
 				return nil, err
 			}
 		}
-		return &segment{spilled: true, runs: c.runs}, nil
+		return &segment{spilled: true, sp: c.sp}, nil
 	}
 	seg := &segment{buf: c.buf, memBytes: c.memBytes}
 	if m.par > 1 {
@@ -427,10 +657,11 @@ func (m *MRS) advance() error {
 	return nil
 }
 
-// Close releases any remaining run files — of the emitting segment, of
-// queued segments, and of a partially collected spilling segment — and
-// closes the input. In-flight segment sorts finish on their own and are
-// reclaimed by the garbage collector.
+// Close releases any remaining spill arenas — of the emitting segment, of
+// queued segments, and of a partially collected spilling segment — waiting
+// out their in-flight flush jobs first, and closes the input. In-flight
+// in-memory segment sorts finish on their own and are reclaimed by the
+// garbage collector.
 func (m *MRS) Close() error {
 	if m.closed {
 		return nil
@@ -441,16 +672,12 @@ func (m *MRS) Close() error {
 		m.cur = nil
 	}
 	for _, seg := range m.segq {
-		for _, f := range seg.runs {
-			m.cfg.Disk.Remove(f.Name())
-		}
-		seg.runs = nil
+		m.releaseSpill(seg.sp)
+		seg.sp = nil
 	}
 	m.segq = nil
 	if m.col != nil {
-		for _, f := range m.col.runs {
-			m.cfg.Disk.Remove(f.Name())
-		}
+		m.releaseSpill(m.col.sp)
 		m.col = nil
 	}
 	return m.input.Close()

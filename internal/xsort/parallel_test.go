@@ -7,6 +7,7 @@ import (
 
 	"pyro/internal/iter"
 	"pyro/internal/sortord"
+	"pyro/internal/storage"
 	"pyro/internal/types"
 )
 
@@ -26,8 +27,8 @@ func TestMRSParallelMatchesSerial(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			run := func(par int) ([]types.Tuple, *SortStats) {
-				cfg, _ := smallCfg(tc.blocks)
+			run := func(par int) ([]types.Tuple, *SortStats, storage.IOStats) {
+				cfg, d := smallCfg(tc.blocks)
 				cfg.Parallelism = par
 				m, err := NewMRS(iter.FromSlice(tc.rows), sortSchema,
 					sortord.New("c1", "c2"), sortord.New("c1"), cfg)
@@ -38,10 +39,13 @@ func TestMRSParallelMatchesSerial(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				return out, m.Stats()
+				if names := d.FileNames(); len(names) != 0 {
+					t.Fatalf("par=%d leaked run files %v", par, names)
+				}
+				return out, m.Stats(), d.Stats()
 			}
-			serialOut, serialStats := run(1)
-			parOut, parStats := run(8)
+			serialOut, serialStats, serialIO := run(1)
+			parOut, parStats, parIO := run(8)
 			if len(serialOut) != len(parOut) {
 				t.Fatalf("parallel lost tuples: %d vs %d", len(parOut), len(serialOut))
 			}
@@ -57,6 +61,20 @@ func TestMRSParallelMatchesSerial(t *testing.T) {
 			}
 			if serialStats.Segments != parStats.Segments || serialStats.SpilledSegs != parStats.SpilledSegs {
 				t.Fatalf("segment stats diverge: serial %+v, parallel %+v", serialStats, parStats)
+			}
+			if serialStats.RunsGenerated != parStats.RunsGenerated || serialStats.MergePasses != parStats.MergePasses {
+				t.Fatalf("run structure diverges: serial %+v, parallel %+v", serialStats, parStats)
+			}
+			// Parallel spilling must charge exactly the serial path's I/O.
+			if serialIO != parIO {
+				t.Fatalf("IOStats diverge: serial %+v, parallel %+v", serialIO, parIO)
+			}
+			// Regime counters: every spill run is serial at P=1, parallel at P>1.
+			if serialStats.SpillRunsParallel != 0 || serialStats.SpillRunsSerial != serialStats.RunsGenerated {
+				t.Fatalf("serial spill regime miscounted: %+v", serialStats)
+			}
+			if parStats.SpillRunsSerial != 0 || parStats.SpillRunsParallel != parStats.RunsGenerated {
+				t.Fatalf("parallel spill regime miscounted: %+v", parStats)
 			}
 		})
 	}
@@ -246,7 +264,8 @@ func TestUnencodableKeyFallsBackToComparator(t *testing.T) {
 }
 
 // TestMRSParallelismValidation: negative parallelism is rejected; 0 resolves
-// to GOMAXPROCS.
+// to GOMAXPROCS; spill parallelism inherits the resolved segment
+// parallelism unless set explicitly.
 func TestMRSParallelismValidation(t *testing.T) {
 	cfg, _ := smallCfg(4)
 	cfg.Parallelism = -1
@@ -254,7 +273,53 @@ func TestMRSParallelismValidation(t *testing.T) {
 		t.Fatal("negative parallelism should error")
 	}
 	cfg.Parallelism = 0
+	cfg.SpillParallelism = -1
+	if _, err := NewMRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), sortord.Empty, cfg); err == nil {
+		t.Fatal("negative spill parallelism should error")
+	}
+	if _, err := NewSRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), cfg); err == nil {
+		t.Fatal("negative spill parallelism should error for SRS too")
+	}
+	cfg.SpillParallelism = 0
 	if cfg.parallelism() < 1 {
 		t.Fatalf("default parallelism resolved to %d", cfg.parallelism())
+	}
+	if cfg.spillParallelism() != cfg.parallelism() {
+		t.Fatalf("spill parallelism %d should inherit parallelism %d",
+			cfg.spillParallelism(), cfg.parallelism())
+	}
+	cfg.SpillParallelism = 3
+	if cfg.spillParallelism() != 3 {
+		t.Fatalf("explicit spill parallelism ignored: %d", cfg.spillParallelism())
+	}
+}
+
+// TestMRSSpillParallelismOverride: SpillParallelism=1 pins the spill path
+// to the consumer goroutine even when segment sorts run on the pool — the
+// regime counters must show it, and output/stats must still match.
+func TestMRSSpillParallelismOverride(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rows := genRows(6000, 3, rng)
+	cfg, d := smallCfg(8)
+	cfg.Parallelism = 4
+	cfg.SpillParallelism = 1
+	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iter.Drain(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSorted(t, out, sortord.New("c1", "c2"))
+	st := m.Stats()
+	if st.SpilledSegs == 0 {
+		t.Fatal("workload must spill for this test to mean anything")
+	}
+	if st.SpillRunsParallel != 0 || st.SpillRunsSerial != st.RunsGenerated {
+		t.Fatalf("SpillParallelism=1 must keep spilling serial: %+v", st)
+	}
+	if names := d.FileNames(); len(names) != 0 {
+		t.Fatalf("leaked run files %v", names)
 	}
 }

@@ -18,6 +18,11 @@ import (
 //
 // Each input tuple's sort key is normalized once on entry (Config.Keys);
 // every heap and merge comparison is then a single byte-string compare.
+// Run formation is inherently sequential (one replacement-selection heap),
+// but the run-reduction passes merge independent groups concurrently when
+// SpillParallelism > 1. All spill files live in one SpillArena, whose
+// release on Close (or error) both cleans them up and folds their I/O into
+// the disk's global ledger.
 type SRS struct {
 	input  iter.Iterator
 	schema *types.Schema
@@ -34,7 +39,7 @@ type SRS struct {
 
 	merger *runMerger
 	runs   []*storage.File
-	temps  []*storage.File // every temp created, for cleanup on error/Close
+	arena  *storage.SpillArena // lazily created spill namespace; owns all temps
 	opened bool
 	closed bool
 }
@@ -177,8 +182,9 @@ func (s *SRS) open() error {
 	}
 	finishRun()
 
-	// Phase 3: reduce runs to fan-in and set up the final merge.
-	runs, err := reduceRuns(s.cfg, s.runs, s.ky, &s.stats)
+	// Phase 3: reduce runs to fan-in and set up the final merge. Groups
+	// within a pass merge concurrently under SpillParallelism.
+	runs, err := reduceRuns(s.cfg, s.arena, s.runs, s.ky, &s.stats)
 	if err != nil {
 		return err
 	}
@@ -187,24 +193,23 @@ func (s *SRS) open() error {
 	return err
 }
 
-// newTemp creates a run file and remembers it for cleanup.
+// newTemp creates a run file in the sort's spill arena (created on first
+// spill; an in-memory sort never allocates one).
 func (s *SRS) newTemp() *storage.File {
-	f := s.cfg.Disk.CreateTemp(s.cfg.TempPrefix, storage.KindRun)
-	s.temps = append(s.temps, f)
-	return f
+	if s.arena == nil {
+		s.arena = s.cfg.Disk.NewArena()
+	}
+	return s.arena.CreateTemp(s.cfg.TempPrefix, storage.KindRun)
 }
 
-// removeTemps deletes every run file this sort created (idempotent). Both
-// lists are covered: temps holds run-formation files, runs may additionally
-// hold merged files produced by reduceRuns.
+// removeTemps releases the spill arena, dropping every run file this sort
+// created — formation runs and reduction outputs alike — and merging the
+// arena's I/O ledger into the disk's (idempotent).
 func (s *SRS) removeTemps() {
-	for _, f := range s.temps {
-		s.cfg.Disk.Remove(f.Name())
+	if s.arena != nil {
+		s.arena.Release()
+		s.arena = nil
 	}
-	for _, f := range s.runs {
-		s.cfg.Disk.Remove(f.Name())
-	}
-	s.temps = nil
 	s.runs = nil
 }
 

@@ -22,10 +22,21 @@
 // same in either mode and the golden/ablation expectations stay meaningful.
 //
 // MRS additionally sorts independent in-memory segments on a bounded worker
-// pool (Config.Parallelism); see mrs.go for the pipelining contract.
+// pool (Config.Parallelism); see mrs.go for the pipelining contract. The
+// spill path is concurrent too (Config.SpillParallelism): an oversized MRS
+// segment's memory batches are sorted and written as runs by worker
+// goroutines, each into a per-segment storage.SpillArena, and run reduction
+// overlaps run formation; SRS parallelizes its run-reduction merge passes
+// the same way. With SpillParallelism 1 both operators run the paper's
+// serial algorithm bit for bit.
 //
 // Both operators charge every run-file page transfer to the disk's IOStats
-// (attributed to KindRun) and count key comparisons in SortStats.
+// (attributed to KindRun, accumulated lock-free in per-arena ledgers that
+// merge into the global ledger) and count key comparisons in SortStats.
+// Comparison and I/O totals are identical at every parallelism level: the
+// same batches form the same runs, the same groups merge in the same pass
+// structure, and per-job counts fold into SortStats in deterministic order
+// on the consumer goroutine.
 package xsort
 
 import (
@@ -48,6 +59,17 @@ type SortStats struct {
 	PeakMemBytes  int64 // high-water mark of buffered tuple bytes
 	TuplesIn      int64
 	TuplesOut     int64
+
+	// SpillRunsSerial and SpillRunsParallel split MRS spill-run formation
+	// by regime: runs sorted and written inline on the consumer goroutine
+	// (SpillParallelism 1, the paper's serial algorithm) versus runs formed
+	// by worker-pool flush jobs into per-segment spill arenas. Before the
+	// spill subsystem went concurrent, an oversized segment silently
+	// serialized the whole pipeline even with Parallelism > 1; benchmarks
+	// read these counters to tell the two regimes apart instead of
+	// guessing from wall-clock shape.
+	SpillRunsSerial   int
+	SpillRunsParallel int
 }
 
 // KeyMode selects how sort keys are compared.
@@ -77,8 +99,20 @@ type Config struct {
 	// strictly demand-driven reading (the paper's original behaviour).
 	// Read-ahead stops once buffered tuples reach the MemoryBlocks budget,
 	// so parallelism deepens the pipeline without multiplying M.
-	// SRS is unaffected: its replacement-selection heap is sequential.
+	// SRS run formation is unaffected: its replacement-selection heap is
+	// inherently sequential.
 	Parallelism int
+	// SpillParallelism bounds each stage of spill work independently: at
+	// most this many run-forming sorts of an oversized segment's memory
+	// batches in flight, and at most this many run-reduction group merges
+	// at once (during the pipelined harvest the two stages overlap, so up
+	// to twice this many spill goroutines can briefly coexist). 0 inherits
+	// the resolved Parallelism; 1 keeps the entire spill path on the
+	// consumer goroutine (the paper's serial algorithm, and the pre-arena
+	// behaviour). Values above 1 let each worker form runs into its own
+	// spill arena, multiplying transient sort memory by up to the same
+	// factor (each in-flight flush holds one MemoryBlocks-sized batch).
+	SpillParallelism int
 }
 
 func (c Config) memoryBytes() int64 {
@@ -100,6 +134,13 @@ func (c Config) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+func (c Config) spillParallelism() int {
+	if c.SpillParallelism > 0 {
+		return c.SpillParallelism
+	}
+	return c.parallelism()
+}
+
 // validate checks configuration invariants shared by SRS and MRS.
 func (c Config) validate() error {
 	if c.Disk == nil {
@@ -111,18 +152,22 @@ func (c Config) validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("xsort: Parallelism must be non-negative, got %d", c.Parallelism)
 	}
+	if c.SpillParallelism < 0 {
+		return fmt.Errorf("xsort: SpillParallelism must be non-negative, got %d", c.SpillParallelism)
+	}
 	return nil
 }
 
-// writeRun writes the tuples of a keyed buffer to a fresh run file in the
-// given emission order.
-func writeRun(cfg Config, buf []keyed, order []int32) (*storage.File, error) {
-	f := cfg.Disk.CreateTemp(cfg.TempPrefix, storage.KindRun)
+// writeRun writes the tuples of a keyed buffer to a fresh run file in ns —
+// the sort's spill arena, so concurrent writers from different segments or
+// workers never share a namespace or a ledger mutex.
+func writeRun(ns storage.TempSpace, prefix string, buf []keyed, order []int32) (*storage.File, error) {
+	f := ns.CreateTemp(prefix, storage.KindRun)
 	w := storage.NewTupleWriter(f)
 	for _, idx := range order {
 		if err := w.Write(buf[idx].t); err != nil {
 			w.Close()
-			cfg.Disk.Remove(f.Name())
+			ns.Remove(f.Name())
 			return nil, err
 		}
 	}

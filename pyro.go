@@ -77,6 +77,13 @@ type Config struct {
 	// SortParallelism bounds how many partial-sort segments an MRS
 	// enforcer sorts concurrently (0 = GOMAXPROCS, 1 = serial).
 	SortParallelism int
+	// SortSpillParallelism bounds how many spill jobs — run-forming sorts
+	// of an oversized sort's memory batches and run-reduction merges — run
+	// concurrently per enforcer (0 = inherit SortParallelism, 1 = the
+	// paper's serial spill algorithm). Spill files live in per-sort
+	// storage arenas with lock-free I/O accounting, so I/O totals are
+	// identical at every parallelism level.
+	SortSpillParallelism int
 }
 
 // Database is a self-contained engine instance.
@@ -250,9 +257,10 @@ func (db *Database) Execute(p *Plan) (*Rows, error) {
 		return nil, fmt.Errorf("pyro: plan belongs to a different database")
 	}
 	op, err := core.Build(p.inner, core.BuildConfig{
-		Disk:             db.disk,
-		SortMemoryBlocks: db.cfg.SortMemoryBlocks,
-		SortParallelism:  db.cfg.SortParallelism,
+		Disk:                 db.disk,
+		SortMemoryBlocks:     db.cfg.SortMemoryBlocks,
+		SortParallelism:      db.cfg.SortParallelism,
+		SortSpillParallelism: db.cfg.SortSpillParallelism,
 	})
 	if err != nil {
 		return nil, err

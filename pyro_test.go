@@ -287,3 +287,58 @@ func TestExprBuilders(t *testing.T) {
 		t.Fatal("LogicalString empty")
 	}
 }
+
+// TestSpillParallelismEndToEnd drives the public API through a spilling
+// ORDER BY at serial and parallel spill settings: identical rows in
+// identical order, identical I/O totals — the whole-stack version of the
+// xsort golden tests.
+func TestSpillParallelismEndToEnd(t *testing.T) {
+	run := func(spillPar int) (*Rows, IOStats) {
+		db := Open(Config{
+			SortMemoryBlocks:     2, // force the sort to spill
+			SortParallelism:      4,
+			SortSpillParallelism: spillPar,
+		})
+		var rows [][]any
+		for i := 0; i < 4000; i++ {
+			rows = append(rows, []any{int64(i / 2000), int64((i * 7919) % 4000), "pad-pad-pad"})
+		}
+		if err := db.CreateTable("t", []Column{
+			{Name: "a", Type: Int64},
+			{Name: "b", Type: Int64},
+			{Name: "c", Type: String, Width: 12},
+		}, ClusterOn("a"), rows); err != nil {
+			t.Fatal(err)
+		}
+		q := db.Scan("t").OrderBy("a", "b")
+		plan, err := db.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.ResetIOStats()
+		out, err := db.Execute(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, db.IOStats()
+	}
+	serialRows, serialIO := run(1)
+	parRows, parIO := run(4)
+	if len(serialRows.Data) != 4000 || len(parRows.Data) != len(serialRows.Data) {
+		t.Fatalf("row counts: serial %d, parallel %d", len(serialRows.Data), len(parRows.Data))
+	}
+	for i := range serialRows.Data {
+		for j := range serialRows.Data[i] {
+			if serialRows.Data[i][j] != parRows.Data[i][j] {
+				t.Fatalf("row %d col %d diverges: %v vs %v", i, j,
+					serialRows.Data[i][j], parRows.Data[i][j])
+			}
+		}
+	}
+	if serialIO.RunTotal() == 0 {
+		t.Fatal("workload must spill for this test to mean anything")
+	}
+	if serialIO != parIO {
+		t.Fatalf("IOStats diverge: serial %+v, parallel %+v", serialIO, parIO)
+	}
+}
