@@ -2,8 +2,12 @@
 # exactly these targets so local runs and CI runs are identical.
 
 GO ?= go
+# bench-ab sampling: raise locally (e.g. ABCOUNT=5 ABTIME=2s) for stable
+# deltas; CI keeps the cheap smoke defaults.
+ABCOUNT ?= 1
+ABTIME ?= 1x
 
-.PHONY: build test race bench fmt vet ci
+.PHONY: build test race bench bench-ab fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +23,18 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# A/B ablations — key mode (encoded vs comparator) and run formation
+# (compare vs radix vs adaptive) — with a benchstat-style delta table, so
+# a regression in either arm is visible at a glance. The bench run lands
+# in a temp file first: piping straight into the formatter would let a
+# failing benchmark exit 0 through the pipe.
+bench-ab:
+	@out=$$(mktemp); \
+	if ! $(GO) test -run '^$$' -bench 'RunFormation|SortKeys' -benchtime $(ABTIME) -count $(ABCOUNT) . > $$out 2>&1; then \
+		cat $$out; rm -f $$out; exit 1; \
+	fi; \
+	$(GO) run ./cmd/pyro-abdiff < $$out; rc=$$?; rm -f $$out; exit $$rc
+
 fmt:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
@@ -28,4 +44,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt test race bench
+ci: build vet fmt test race bench bench-ab

@@ -172,7 +172,10 @@ func keyBenchRows(n int, segments int64) []types.Tuple {
 
 // BenchmarkSRSSortKeys isolates the normalized-key engine on the full-sort
 // path: identical input and memory budget, encoded byte-string keys vs the
-// field-by-field comparator, on a composite (string, int) key.
+// field-by-field comparator, on a composite (string, int) key. Run
+// formation is pinned to the comparison sort so the delta stays a pure
+// key-representation measurement (adaptive would radix-sort the encoded
+// arm only; the RunFormation benchmarks measure that separately).
 func BenchmarkSRSSortKeys(b *testing.B) {
 	rows := keyBenchRows(50_000, 100)
 	for _, mode := range []struct {
@@ -185,7 +188,8 @@ func BenchmarkSRSSortKeys(b *testing.B) {
 				d := storage.NewDisk(0)
 				s, err := xsort.NewSRS(iter.FromSlice(rows), sortBenchSchema,
 					sortord.New("c3", "c2", "c1"),
-					xsort.Config{Disk: d, MemoryBlocks: 256, Keys: mode.keys})
+					xsort.Config{Disk: d, MemoryBlocks: 256, Keys: mode.keys,
+						RunFormation: xsort.RunFormCompare})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -212,7 +216,8 @@ func BenchmarkMRSSortKeys(b *testing.B) {
 				d := storage.NewDisk(0)
 				m, err := xsort.NewMRS(iter.FromSlice(rows), sortBenchSchema,
 					sortord.New("c1", "c3", "c2"), sortord.New("c1"),
-					xsort.Config{Disk: d, MemoryBlocks: 256, Keys: mode.keys, Parallelism: 1})
+					xsort.Config{Disk: d, MemoryBlocks: 256, Keys: mode.keys, Parallelism: 1,
+						RunFormation: xsort.RunFormCompare})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -222,6 +227,118 @@ func BenchmarkMRSSortKeys(b *testing.B) {
 			}
 		})
 	}
+}
+
+// runFormationArms runs one sort benchmark once per run-formation mode, so
+// `-bench RunFormation` (and make bench-ab) reports compare-vs-radix deltas
+// on identical inputs. Output order, run structure and I/O are identical
+// across arms (asserted by TestGoldenRadixAgrees / TestRunFormationModesAgree);
+// the delta is purely how the sorted order is produced.
+func runFormationArms(b *testing.B, run func(b *testing.B, rf xsort.RunFormation)) {
+	for _, arm := range []struct {
+		name string
+		rf   xsort.RunFormation
+	}{{"compare", xsort.RunFormCompare}, {"radix", xsort.RunFormRadix}, {"adaptive", xsort.RunFormAdaptive}} {
+		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			run(b, arm.rf)
+		})
+	}
+}
+
+// BenchmarkMRSPartialSortRunFormation is the MRS hot path the radix engine
+// targets: in-memory partial-sort segments on a composite (string, int)
+// suffix key. Parallelism is pinned to 1 so the delta is the segment sort
+// alone.
+func BenchmarkMRSPartialSortRunFormation(b *testing.B) {
+	rows := keyBenchRows(50_000, 100)
+	runFormationArms(b, func(b *testing.B, rf xsort.RunFormation) {
+		for i := 0; i < b.N; i++ {
+			d := storage.NewDisk(0)
+			m, err := xsort.NewMRS(iter.FromSlice(rows), sortBenchSchema,
+				sortord.New("c1", "c3", "c2"), sortord.New("c1"),
+				xsort.Config{Disk: d, MemoryBlocks: 2048, Parallelism: 1, RunFormation: rf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := iter.Drain(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMRSSpilledSortRunFormation measures radix run formation where
+// runs actually hit disk: oversized segments whose memory batches are
+// sorted and spilled, then merged. Spilling is serial so the arms differ
+// only in batch-sort algorithm, not scheduling.
+func BenchmarkMRSSpilledSortRunFormation(b *testing.B) {
+	rows := keyBenchRows(50_000, 4)
+	runFormationArms(b, func(b *testing.B, rf xsort.RunFormation) {
+		for i := 0; i < b.N; i++ {
+			d := storage.NewDisk(0)
+			m, err := xsort.NewMRS(iter.FromSlice(rows), sortBenchSchema,
+				sortord.New("c1", "c3", "c2"), sortord.New("c1"),
+				xsort.Config{Disk: d, MemoryBlocks: 64, Parallelism: 1, SpillParallelism: 1, RunFormation: rf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := iter.Drain(m); err != nil {
+				b.Fatal(err)
+			}
+			if rf == xsort.RunFormRadix && m.Stats().RadixPasses == 0 {
+				b.Fatal("radix arm did no radix work")
+			}
+		}
+	})
+}
+
+// BenchmarkSRSSortRunFormation measures the SRS in-memory fast path: the
+// whole input fits, so the compare arm builds and drains a replacement-
+// selection heap while the radix arm byte-bucket sorts the fill directly.
+func BenchmarkSRSSortRunFormation(b *testing.B) {
+	rows := keyBenchRows(50_000, 100)
+	runFormationArms(b, func(b *testing.B, rf xsort.RunFormation) {
+		for i := 0; i < b.N; i++ {
+			d := storage.NewDisk(0)
+			s, err := xsort.NewSRS(iter.FromSlice(rows), sortBenchSchema,
+				sortord.New("c3", "c2", "c1"),
+				xsort.Config{Disk: d, MemoryBlocks: 4096, RunFormation: rf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := iter.Drain(s); err != nil {
+				b.Fatal(err)
+			}
+			if s.Stats().RunsGenerated != 0 {
+				b.Fatal("workload must stay in memory")
+			}
+		}
+	})
+}
+
+// BenchmarkSRSSpilledSortRunFormation: spilled SRS, where radix only seeds
+// the initial heap fill (replacement selection itself stays comparison-
+// based) — the honest small-delta companion to the in-memory case.
+func BenchmarkSRSSpilledSortRunFormation(b *testing.B) {
+	rows := keyBenchRows(50_000, 100)
+	runFormationArms(b, func(b *testing.B, rf xsort.RunFormation) {
+		for i := 0; i < b.N; i++ {
+			d := storage.NewDisk(0)
+			s, err := xsort.NewSRS(iter.FromSlice(rows), sortBenchSchema,
+				sortord.New("c3", "c2", "c1"),
+				xsort.Config{Disk: d, MemoryBlocks: 256, RunFormation: rf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := iter.Drain(s); err != nil {
+				b.Fatal(err)
+			}
+			if s.Stats().RunsGenerated == 0 {
+				b.Fatal("workload must spill")
+			}
+		}
+	})
 }
 
 // BenchmarkMRSSortParallelism measures the bounded worker pool on MRS's

@@ -1,0 +1,117 @@
+// Command pyro-abdiff turns `go test -bench` output into a benchstat-style
+// A/B table: sub-benchmarks of one parent (BenchmarkFoo/compare,
+// BenchmarkFoo/radix, ...) are grouped, repeated -count runs are averaged,
+// and every arm is reported as a delta against the parent's first arm.
+//
+//	go test -run '^$' -bench 'RunFormation|SortKeys' -count 3 . | pyro-abdiff
+//
+// It exists so the Makefile's bench-ab target (and the CI bench-smoke job)
+// can surface regressions in either arm of the key-mode and run-formation
+// ablations without external tooling.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// sample is one arm's accumulated ns/op measurements.
+type sample struct {
+	sum float64
+	n   int
+}
+
+func (s sample) mean() float64 { return s.sum / float64(s.n) }
+
+func main() {
+	type group struct {
+		name string
+		arms []string // insertion order
+		data map[string]*sample
+	}
+	var groups []*group
+	byName := make(map[string]*group)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		slash := strings.IndexByte(name, '/')
+		if slash < 0 {
+			continue // not an A/B sub-benchmark
+		}
+		parent := name[:slash]
+		arm := name[slash+1:]
+		// Strip the trailing -GOMAXPROCS go test appends.
+		if dash := strings.LastIndexByte(arm, '-'); dash > 0 {
+			if _, err := strconv.Atoi(arm[dash+1:]); err == nil {
+				arm = arm[:dash]
+			}
+		}
+		nsop := -1.0
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err == nil {
+					nsop = v
+				}
+				break
+			}
+		}
+		if nsop < 0 {
+			continue
+		}
+		g := byName[parent]
+		if g == nil {
+			g = &group{name: parent, data: make(map[string]*sample)}
+			byName[parent] = g
+			groups = append(groups, g)
+		}
+		s := g.data[arm]
+		if s == nil {
+			s = &sample{}
+			g.data[arm] = s
+			g.arms = append(g.arms, arm)
+		}
+		s.sum += nsop
+		s.n++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "pyro-abdiff:", err)
+		os.Exit(1)
+	}
+
+	printed := false
+	for _, g := range groups {
+		if len(g.arms) < 2 {
+			continue
+		}
+		if !printed {
+			fmt.Printf("\n=== A/B deltas (vs first arm, mean ns/op) ===\n")
+			printed = true
+		}
+		base := g.data[g.arms[0]]
+		fmt.Printf("\n%s\n", g.name)
+		for i, arm := range g.arms {
+			s := g.data[arm]
+			if i == 0 {
+				fmt.Printf("  %-12s %14.0f ns/op   (baseline, n=%d)\n", arm, s.mean(), s.n)
+				continue
+			}
+			delta := (s.mean() - base.mean()) / base.mean() * 100
+			fmt.Printf("  %-12s %14.0f ns/op   %+.1f%%\n", arm, s.mean(), delta)
+		}
+	}
+	if !printed {
+		fmt.Println("\npyro-abdiff: no A/B sub-benchmarks found in input")
+	}
+}

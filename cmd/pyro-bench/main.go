@@ -4,15 +4,19 @@
 // Usage:
 //
 //	pyro-bench [-exp all|example1|a1|a2|a3|a4|b1|b2|b3|scalability|refine] [-scale f]
-//	           [-sort-par n] [-spill-par n]
+//	           [-sort-par n] [-spill-par n] [-run-formation adaptive|compare|radix]
 //
 // -scale multiplies dataset sizes (1.0 ≈ seconds per experiment).
 // -sort-par bounds concurrent MRS segment sorts per enforcer (0 =
 // GOMAXPROCS, 1 = the paper's serial algorithm); -spill-par bounds
 // concurrent spill jobs when a sort exceeds memory (0 = inherit -sort-par,
-// 1 = serial spilling). Comparison and I/O counts are identical at every
-// setting — parallelism is a pure scheduling change — so the paper's
-// tables stay valid while wall-clock times drop on multi-core hardware.
+// 1 = serial spilling). -run-formation selects how enforcers sort
+// in-memory buffers: MSD radix partitioning of the normalized keys,
+// comparison sorts, or adaptive (the default). Comparison and I/O counts
+// are identical at every parallelism setting, and output key order, run
+// structure and I/O are identical across run-formation modes (only the
+// work accounting moves between comparisons and radix passes) — so the
+// paper's tables stay valid while wall-clock times drop.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"strings"
 
 	"pyro/internal/harness"
+	"pyro/internal/xsort"
 )
 
 func main() {
@@ -36,9 +41,15 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	sortPar := flag.Int("sort-par", 0, "MRS segment-sort parallelism (0 = GOMAXPROCS, 1 = serial)")
 	spillPar := flag.Int("spill-par", 0, "spill-path parallelism (0 = inherit -sort-par, 1 = serial)")
+	runForm := flag.String("run-formation", "adaptive", "run formation: adaptive, compare or radix")
 	flag.Parse()
 
-	s := harness.Scale{Factor: *scale, SortParallelism: *sortPar, SpillParallelism: *spillPar}
+	rf, err := xsort.ParseRunFormation(*runForm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyro-bench:", err)
+		os.Exit(2)
+	}
+	s := harness.Scale{Factor: *scale, SortParallelism: *sortPar, SpillParallelism: *spillPar, RunFormation: rf}
 	if *exp == "all" {
 		if err := harness.RunAll(os.Stdout, s); err != nil {
 			fmt.Fprintln(os.Stderr, "pyro-bench:", err)

@@ -26,6 +26,13 @@ type BuildConfig struct {
 	// comparison in the sort enforcers; the comparator path exists for
 	// ablation.
 	SortKeys xsort.KeyMode
+	// SortRunFormation selects how enforcers sort in-memory buffers:
+	// MSD radix partitioning of the encoded keys, the comparison sort, or
+	// adaptive (default — radix where it pays). Output key order, run/pass
+	// structure and I/O totals are identical in every mode; see the xsort
+	// package comment for the one caveat (SRS emission order of tuples
+	// with duplicate full sort keys).
+	SortRunFormation xsort.RunFormation
 }
 
 // Build compiles a physical plan into an executable operator tree.
@@ -54,6 +61,7 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 		Parallelism:      cfg.SortParallelism,
 		SpillParallelism: cfg.SortSpillParallelism,
 		Keys:             cfg.SortKeys,
+		RunFormation:     cfg.SortRunFormation,
 	}
 
 	switch p.Kind {

@@ -27,17 +27,28 @@ type Model struct {
 	HashWeight float64
 	// TupleWeight converts one per-tuple pipeline step into I/O units.
 	TupleWeight float64
+	// SpillParallelism is the spill-path concurrency the executor will run
+	// enforcers with (xsort.Config.SpillParallelism): above 1, an external
+	// sort forms runs on worker flush jobs and merges reduction groups
+	// concurrently, so the intermediate write-and-reread passes overlap
+	// and their effective cost shrinks by roughly that factor. 0 or 1
+	// prices the paper's serial spill path: coe(e, ε, o) = B·(2p + 1).
+	// Callers should set this from an explicitly configured parallelism
+	// only — never from GOMAXPROCS — or plan choice becomes a property of
+	// the optimizing machine.
+	SpillParallelism int
 }
 
 // DefaultModel mirrors the paper's environment: 4 KiB blocks and M = 10000
 // blocks (40 MB) of sort memory.
 func DefaultModel() Model {
 	return Model{
-		PageSize:     4096,
-		MemoryBlocks: 10000,
-		CmpWeight:    1e-5,
-		HashWeight:   5e-5,
-		TupleWeight:  1e-5,
+		PageSize:         4096,
+		MemoryBlocks:     10000,
+		CmpWeight:        1e-5,
+		HashWeight:       5e-5,
+		TupleWeight:      1e-5,
+		SpillParallelism: 1,
 	}
 }
 
@@ -49,7 +60,12 @@ func (m Model) SortCPU(rows int64) float64 {
 	return float64(rows) * math.Log2(float64(rows)) * m.CmpWeight
 }
 
-// FullSort is coe(e, ε, o): the cost of sorting from scratch.
+// FullSort is coe(e, ε, o): the cost of sorting from scratch. The paper's
+// external formula B·(2p + 1) charges two block transfers per intermediate
+// pass plus the final read; with SpillParallelism S > 1 those passes run as
+// S concurrent group merges (and run formation overlaps them), so the pass
+// term is divided by S. The final pipelined merge is a single consumer-side
+// stream and stays whole.
 func (m Model) FullSort(rows, blocks int64) float64 {
 	if rows <= 1 || blocks <= 0 {
 		return 0
@@ -61,7 +77,11 @@ func (m Model) FullSort(rows, blocks int64) float64 {
 	if passes < 1 {
 		passes = 1
 	}
-	return float64(blocks) * (2*passes + 1)
+	spill := float64(m.SpillParallelism)
+	if spill < 1 {
+		spill = 1
+	}
+	return float64(blocks) * (2*passes/spill + 1)
 }
 
 func logBase(base, x float64) float64 {

@@ -84,6 +84,73 @@ func TestMonotonicity(t *testing.T) {
 	}
 }
 
+func TestFullSortSpillParallelism(t *testing.T) {
+	serial := DefaultModel()
+	par := DefaultModel()
+	par.SpillParallelism = 4
+
+	// In-memory sorts are CPU-bound: spill pricing must not touch them.
+	if par.FullSort(1000, 100) != serial.FullSort(1000, 100) {
+		t.Fatal("spill parallelism must not reprice in-memory sorts")
+	}
+	// B = 50000, M = 10000, one pass: serial B·(2+1) = 150000; at S=4 the
+	// pass term overlaps 4-way: B·(2/4+1) = 75000.
+	if got := serial.FullSort(2_000_000, 50_000); got != 150_000 {
+		t.Fatalf("serial external sort = %f, want 150000", got)
+	}
+	if got := par.FullSort(2_000_000, 50_000); got != 75_000 {
+		t.Fatalf("parallel external sort = %f, want 75000", got)
+	}
+	// The final merge stays whole: cost never drops below one full read.
+	huge := DefaultModel()
+	huge.SpillParallelism = 1 << 20
+	if got := huge.FullSort(2_000_000, 50_000); got < 50_000 {
+		t.Fatalf("cost %f fell below the final-merge read", got)
+	}
+	// PartialSort prices its per-segment sorts through FullSort and must
+	// inherit the overlap.
+	if s, p := serial.PartialSort(2_000_000, 50_000, 2, 1), par.PartialSort(2_000_000, 50_000, 2, 1); p >= s {
+		t.Fatalf("spilling partial sort did not get cheaper: serial %f, parallel %f", s, p)
+	}
+	// A zero (unset) parallelism prices serially, like 1.
+	unset := DefaultModel()
+	unset.SpillParallelism = 0
+	if unset.FullSort(2_000_000, 50_000) != 150_000 {
+		t.Fatal("unset spill parallelism must price serially")
+	}
+}
+
+// TestSpillPricingFlipsPlanChoice is the satellite's acceptance case: the
+// same two physical alternatives — a merge join fed by an external full
+// sort versus a hash join — flip winners when the model prices the spill
+// path as overlapped. Serially the sort's merge passes make the sort-based
+// plan lose; at SpillParallelism 4 the sort halves and wins.
+func TestSpillPricingFlipsPlanChoice(t *testing.T) {
+	rows, blocks := int64(2_000_000), int64(50_000)
+	sortPlan := func(m Model) float64 {
+		return m.FullSort(rows, blocks) + m.MergeJoinCPU(rows, rows)
+	}
+	hashPlan := func(m Model) float64 {
+		return m.HashJoinCost(rows, rows, 20_000, 20_000)
+	}
+
+	serial := DefaultModel()
+	if sortPlan(serial) <= hashPlan(serial) {
+		t.Fatalf("serial pricing: sort plan %f should lose to hash plan %f",
+			sortPlan(serial), hashPlan(serial))
+	}
+	par := DefaultModel()
+	par.SpillParallelism = 4
+	if sortPlan(par) >= hashPlan(par) {
+		t.Fatalf("parallel pricing: sort plan %f should beat hash plan %f — no flip",
+			sortPlan(par), hashPlan(par))
+	}
+	// The unaffected alternative's price must not have moved.
+	if hashPlan(par) != hashPlan(serial) {
+		t.Fatal("hash join cost must be independent of spill parallelism")
+	}
+}
+
 func TestJoinAndAggCosts(t *testing.T) {
 	m := DefaultModel()
 	if m.MergeJoinCPU(100, 200) != 300*m.TupleWeight {

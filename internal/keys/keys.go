@@ -121,14 +121,48 @@ func FromKeySpec(ks types.KeySpec) (*Codec, error) {
 // Len returns the number of key columns.
 func (c *Codec) Len() int { return len(c.cols) }
 
-// Suffix returns a codec over the key columns from position k on. MRS
-// uses this to sort within a partial-sort segment on the target-order
-// suffix only (the prefix is constant inside a segment by definition).
+// Suffix returns a codec over the key columns from position k on — the
+// suffix order of a full-key codec. Sorters that keep full-key encodings
+// and need suffix-only comparisons should prefer PrefixLen: slicing the
+// full key past the shared prefix compares the same bytes this codec
+// would produce, without a second encode.
 func (c *Codec) Suffix(k int) *Codec {
 	if k < 0 || k > len(c.cols) {
 		panic(fmt.Sprintf("keys: suffix %d out of range [0,%d]", k, len(c.cols)))
 	}
 	return &Codec{cols: c.cols[k:]}
+}
+
+// PrefixLen returns the number of bytes Append writes for the first k key
+// columns of t — the byte offset in t's full key at which the remaining
+// columns' encoding starts. Inside one MRS partial-sort segment every
+// tuple agrees on the first k (= |given|) column values, so every segment
+// key shares its first PrefixLen bytes: suffix comparisons may slice past
+// them and radix partitioning may seed at that depth. The length is
+// computed arithmetically, without encoding.
+func (c *Codec) PrefixLen(t types.Tuple, k int) int {
+	if k < 0 || k > len(c.cols) {
+		panic(fmt.Sprintf("keys: prefix %d out of range [0,%d]", k, len(c.cols)))
+	}
+	n := 0
+	for _, col := range c.cols[:k] {
+		d := t[col.Ordinal]
+		n++ // marker byte, NULL or value
+		if d.IsNull() {
+			continue
+		}
+		switch col.Kind {
+		case types.KindInt, types.KindFloat:
+			n += 8
+		case types.KindBool:
+			n++
+		case types.KindString:
+			s := d.Str()
+			// Each NUL escapes to two bytes; the terminator adds two.
+			n += len(s) + strings.Count(s, "\x00") + 2
+		}
+	}
+	return n
 }
 
 // Append encodes t's sort key and appends it to dst, returning the

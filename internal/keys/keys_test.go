@@ -219,6 +219,55 @@ func TestSuffixCodec(t *testing.T) {
 	}
 }
 
+// TestPrefixLen: the arithmetic prefix length must equal the bytes Append
+// actually writes for the prefix columns — i.e. the full key is exactly
+// the k-column prefix encoding followed by the Suffix(k) encoding, and
+// PrefixLen is the split point. This is the contract MRS relies on when it
+// slices full keys past a segment's shared `given` prefix.
+func TestPrefixLen(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 1000; trial++ {
+		ncols := 1 + r.Intn(4)
+		cols := make([]Col, ncols)
+		for i := range cols {
+			cols[i] = Col{
+				Ordinal:   i,
+				Kind:      allKinds[r.Intn(len(allKinds))],
+				Desc:      r.Intn(2) == 0,
+				NullsLast: r.Intn(2) == 0,
+			}
+		}
+		c, err := New(cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tup := make(types.Tuple, ncols)
+		for i, col := range cols {
+			tup[i] = randDatum(r, col.Kind)
+		}
+		full := c.Append(nil, tup)
+		for k := 0; k <= ncols; k++ {
+			n := c.PrefixLen(tup, k)
+			suffix := c.Suffix(k).Append(nil, tup)
+			if n+len(suffix) != len(full) || !bytes.Equal(full[n:], suffix) {
+				t.Fatalf("spec %+v tuple %v: PrefixLen(%d) = %d, but full key %x splits into suffix %x",
+					cols, tup, k, n, full, suffix)
+			}
+		}
+	}
+	c, _ := New([]Col{{Ordinal: 0, Kind: types.KindInt}})
+	for _, bad := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PrefixLen(%d) out of range should panic", bad)
+				}
+			}()
+			c.PrefixLen(types.NewTuple(types.NewInt(1)), bad)
+		}()
+	}
+}
+
 // TestPrefixFreedom: a key is never a strict prefix of another key under
 // the same codec when the keys differ — otherwise sort order would depend
 // on what follows the key in a longer buffer.

@@ -55,13 +55,17 @@ func orderChecksum(rows []types.Tuple) uint64 {
 
 // TestGoldenSerialSpill pins the Parallelism=1 spill path — for both MRS
 // (3 oversized segments) and SRS (shuffled input, tiny memory) — to the
-// values the pre-refactor serial implementation produced.
+// values the pre-refactor serial implementation produced. Run formation is
+// pinned to the comparison sort: the golden comparison counts are
+// comparison-path numbers (radix mode spends its work in RadixPasses
+// instead; TestGoldenRadixAgrees holds it to the same output and
+// structure).
 func TestGoldenSerialSpill(t *testing.T) {
 	t.Run("mrs", func(t *testing.T) {
 		d := storage.NewDisk(512)
 		m, err := NewMRS(iter.FromSlice(goldenRows()), sortSchema,
 			sortord.New("c1", "c2"), sortord.New("c1"),
-			Config{Disk: d, MemoryBlocks: 8, Parallelism: 1})
+			Config{Disk: d, MemoryBlocks: 8, Parallelism: 1, RunFormation: RunFormCompare})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +99,7 @@ func TestGoldenSerialSpill(t *testing.T) {
 		d := storage.NewDisk(512)
 		s, err := NewSRS(iter.FromSlice(goldenShuffled()), sortSchema,
 			sortord.New("c1", "c2"),
-			Config{Disk: d, MemoryBlocks: 4, Parallelism: 1})
+			Config{Disk: d, MemoryBlocks: 4, Parallelism: 1, RunFormation: RunFormCompare})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +135,7 @@ func TestGoldenParallelSpillAgrees(t *testing.T) {
 		d := storage.NewDisk(512)
 		m, err := NewMRS(iter.FromSlice(goldenRows()), sortSchema,
 			sortord.New("c1", "c2"), sortord.New("c1"),
-			Config{Disk: d, MemoryBlocks: 8, Parallelism: par})
+			Config{Disk: d, MemoryBlocks: 8, Parallelism: par, RunFormation: RunFormCompare})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,7 +164,7 @@ func TestGoldenParallelSpillAgrees(t *testing.T) {
 		d2 := storage.NewDisk(512)
 		s, err := NewSRS(iter.FromSlice(goldenShuffled()), sortSchema,
 			sortord.New("c1", "c2"),
-			Config{Disk: d2, MemoryBlocks: 4, SpillParallelism: par})
+			Config{Disk: d2, MemoryBlocks: 4, SpillParallelism: par, RunFormation: RunFormCompare})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,6 +180,70 @@ func TestGoldenParallelSpillAgrees(t *testing.T) {
 		}
 		if io := d2.Stats(); io.Total() != goldenSRSIOTotal {
 			t.Errorf("par=%d: SRS IO total = %d, golden %d", par, io.Total(), goldenSRSIOTotal)
+		}
+	}
+}
+
+// TestGoldenRadixAgrees holds radix (and adaptive) run formation to the
+// golden output order, run/pass structure and I/O totals at every
+// parallelism level: switching the run-formation algorithm is a pure
+// work-accounting change, never a semantic one. Comparison counts are the
+// one golden deliberately NOT asserted — radix spends that work in
+// byte-bucket passes (RadixPasses/RadixBucketScans) instead.
+func TestGoldenRadixAgrees(t *testing.T) {
+	for _, rf := range []RunFormation{RunFormRadix, RunFormAdaptive} {
+		for _, par := range []int{1, 2, 4, 8} {
+			d := storage.NewDisk(512)
+			m, err := NewMRS(iter.FromSlice(goldenRows()), sortSchema,
+				sortord.New("c1", "c2"), sortord.New("c1"),
+				Config{Disk: d, MemoryBlocks: 8, Parallelism: par, RunFormation: rf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := iter.Drain(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := m.Stats()
+			if got := orderChecksum(out); got != goldenChecksum {
+				t.Errorf("%v par=%d: MRS checksum = %#x, golden %#x", rf, par, got, goldenChecksum)
+			}
+			if st.RunsGenerated != goldenMRSRuns || st.MergePasses != goldenMRSPasses {
+				t.Errorf("%v par=%d: MRS runs/passes = %d/%d, golden %d/%d",
+					rf, par, st.RunsGenerated, st.MergePasses, goldenMRSRuns, goldenMRSPasses)
+			}
+			if rf == RunFormRadix && st.RadixPasses == 0 {
+				t.Errorf("par=%d: forced radix MRS recorded no radix passes: %+v", par, st)
+			}
+			if io := d.Stats(); io.Total() != goldenMRSIOTotal {
+				t.Errorf("%v par=%d: MRS IO total = %d, golden %d", rf, par, io.Total(), goldenMRSIOTotal)
+			}
+			if names := d.FileNames(); len(names) != 0 {
+				t.Errorf("%v par=%d: leaked files %v", rf, par, names)
+			}
+
+			d2 := storage.NewDisk(512)
+			s, err := NewSRS(iter.FromSlice(goldenShuffled()), sortSchema,
+				sortord.New("c1", "c2"),
+				Config{Disk: d2, MemoryBlocks: 4, SpillParallelism: par, RunFormation: rf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err = iter.Drain(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st = s.Stats()
+			if got := orderChecksum(out); got != goldenChecksum {
+				t.Errorf("%v par=%d: SRS checksum = %#x, golden %#x", rf, par, got, goldenChecksum)
+			}
+			if st.RunsGenerated != goldenSRSRuns || st.MergePasses != goldenSRSPasses {
+				t.Errorf("%v par=%d: SRS runs/passes = %d/%d, golden %d/%d",
+					rf, par, st.RunsGenerated, st.MergePasses, goldenSRSRuns, goldenSRSPasses)
+			}
+			if io := d2.Stats(); io.Total() != goldenSRSIOTotal {
+				t.Errorf("%v par=%d: SRS IO total = %d, golden %d", rf, par, io.Total(), goldenSRSIOTotal)
+			}
 		}
 	}
 }

@@ -83,6 +83,20 @@ func (h *runHeap) pop() runEntry {
 // peek returns the minimum entry without removing it.
 func (h *runHeap) peek() runEntry { return h.entries[h.heap[0]] }
 
+// seed adopts a pre-sorted phase-1 fill without any comparisons: entries
+// land in arrival order (tagged for the first run) and the heap order is
+// the ascending permutation the run-formation sort produced — a sorted
+// array is a valid binary min-heap, so subsequent push/pop traffic works
+// unchanged. Must be called on an empty heap.
+func (h *runHeap) seed(fill []keyed, order []int32) {
+	h.entries = make([]runEntry, len(fill))
+	h.heap = append(h.heap[:0], order...)
+	for i, kt := range fill {
+		h.entries[i] = runEntry{tag: 0, kt: kt}
+		h.bytes += int64(kt.t.MemSize())
+	}
+}
+
 func (h *runHeap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -22,8 +22,16 @@ type keyed struct {
 // not safe for concurrent use (it reuses a scratch buffer and an arena);
 // compare is pure and may be called from parallel segment sorters.
 type keyer struct {
-	codec   *keys.Codec                // nil => comparator mode
-	cmp     func(a, b types.Tuple) int // comparator mode / fallback
+	codec *keys.Codec                // nil => comparator mode
+	cmp   func(a, b types.Tuple) int // comparator mode / fallback
+	// skip is the number of leading encoded-key bytes every key this keyer
+	// compares is known to share. MRS binds one skip-carrying keyer per
+	// partial-sort segment (the encoded byte length of the segment's
+	// shared `given` prefix, keys.Codec.PrefixLen), so segment sorts and
+	// per-segment run merges short-circuit the common prefix instead of
+	// re-scanning it on every bytes.Compare — and radix run formation
+	// seeds its first partitioning pass at this depth.
+	skip    int
 	scratch []byte
 	arena   []byte // current arena block; keys are copied in to batch allocations
 }
@@ -43,11 +51,21 @@ func newKeyer(mode KeyMode, codec *keys.Codec, cmp func(a, b types.Tuple) int) *
 // encoded reports whether keys are normalized byte strings.
 func (k *keyer) encoded() bool { return k.codec != nil }
 
-// clone returns a keyer with the same codec and comparator but private
-// scratch buffers. Workers that need wrap — run merges re-encode keys as
-// they read tuples back — must each hold their own clone; sharing one
-// keyer across goroutines is only safe for compare.
-func (k *keyer) clone() *keyer { return &keyer{codec: k.codec, cmp: k.cmp} }
+// clone returns a keyer with the same codec, comparator and skip but
+// private scratch buffers. Workers that need wrap — run merges re-encode
+// keys as they read tuples back — must each hold their own clone; sharing
+// one keyer across goroutines is only safe for compare.
+func (k *keyer) clone() *keyer { return &keyer{codec: k.codec, cmp: k.cmp, skip: k.skip} }
+
+// withSkip returns a clone that compares keys past the first skip encoded
+// bytes. The caller guarantees every key the clone will ever see shares
+// those bytes (and is at least that long); MRS derives skip per segment
+// from the shared `given`-prefix encoding.
+func (k *keyer) withSkip(skip int) *keyer {
+	c := k.clone()
+	c.skip = skip
+	return c
+}
 
 // wrap attaches t's sort key. Keys are encoded into a reused scratch buffer
 // and then copied into a block arena, so per-tuple allocations are batched;
@@ -75,7 +93,7 @@ func (k *keyer) wrap(t types.Tuple) keyed {
 // not touch shared state and is safe to call concurrently.
 func (k *keyer) compare(a, b keyed) int {
 	if k.codec != nil {
-		return bytes.Compare(a.key, b.key)
+		return bytes.Compare(a.key[k.skip:], b.key[k.skip:])
 	}
 	return k.cmp(a.t, b.t)
 }

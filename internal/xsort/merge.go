@@ -10,6 +10,9 @@ import (
 // mergeCursor is one input of a multiway merge: a run reader plus its
 // lookahead tuple, wrapped with its normalized key (re-encoded on read —
 // one encode per tuple buys log(fan-in) cheap byte comparisons in the heap).
+// The keyer's skip short-circuits those comparisons past any shared key
+// prefix: a spilled MRS segment's runs all share the encoded bytes of the
+// segment's `given` prefix, so its merges never re-scan them.
 type mergeCursor struct {
 	r    *storage.TupleReader
 	head keyed

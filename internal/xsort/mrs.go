@@ -60,10 +60,11 @@ type MRS struct {
 	given  sortord.Order // known input order; must be a prefix of target
 	cfg    Config
 	ks     types.KeySpec // full target key
-	ky     *keyer        // suffix keyer: segment sorts compare ak+1..an only
+	ky     *keyer        // full-key keyer; segments bind per-segment skips
 	prefix int           // |given|
 	par    int           // resolved segment-sort parallelism
 	spar   int           // resolved spill parallelism
+	rf     RunFormation
 	stats  SortStats
 
 	// Input state.
@@ -85,9 +86,14 @@ type MRS struct {
 	closed bool
 }
 
-// segCollector accumulates one partial-sort segment as it is read.
+// segCollector accumulates one partial-sort segment as it is read. ky is
+// the segment's skip-bound keyer: keys are full target-order encodings
+// (wrapped by the shared consumer-side keyer), and within this segment
+// they all share the encoded bytes of the `given` prefix, so the
+// segment's comparisons slice past them and its radix sorts seed there.
 type segCollector struct {
 	first    types.Tuple // segment representative for prefix comparisons
+	ky       *keyer
 	buf      []keyed
 	memBytes int64
 	spilled  bool
@@ -97,9 +103,12 @@ type segCollector struct {
 // spillState is the spill side of one oversized segment: its private arena
 // and the runs formed into it. In serial mode (SpillParallelism 1) runs
 // holds files written inline; in parallel mode jobs holds the in-flight and
-// completed flush jobs, harvested in dispatch order by the consumer.
+// completed flush jobs, harvested in dispatch order by the consumer. ky is
+// the segment's skip-bound keyer, shared by formation sorts and reduction
+// merges.
 type spillState struct {
 	arena  *storage.SpillArena
+	ky     *keyer
 	runs   []*storage.File // serial-mode formation runs
 	jobs   []*flushJob     // parallel-mode formation jobs, dispatch order
 	reaped int             // jobs whose buffers the consumer has returned to the budget
@@ -110,12 +119,12 @@ type spillState struct {
 // than buf/memBytes are written by the worker before close(done) and read
 // by the consumer only after <-done.
 type flushJob struct {
-	buf         []keyed
-	memBytes    int64
-	done        chan struct{}
-	file        *storage.File
-	comparisons int64
-	err         error
+	buf      []keyed
+	memBytes int64
+	done     chan struct{}
+	file     *storage.File
+	tally    sortTally
+	err      error
 }
 
 // inflight counts dispatched jobs whose completion the consumer has not yet
@@ -123,17 +132,18 @@ type flushJob struct {
 func (sp *spillState) inflight() int { return len(sp.jobs) - sp.reaped }
 
 // segment is a collected segment queued for emission. In-memory segments
-// sorted on a worker publish their comparison count through done; the
-// consumer folds it into SortStats when the segment reaches the head of
-// the queue, keeping the stats single-writer and their totals deterministic.
+// sorted on a worker publish their work tally through done; the consumer
+// folds it into SortStats when the segment reaches the head of the queue,
+// keeping the stats single-writer and their totals deterministic.
 type segment struct {
-	buf         []keyed
-	order       []int32 // emission permutation over buf (in-memory segments)
-	memBytes    int64
-	comparisons int64
-	done        chan struct{} // non-nil iff sorted asynchronously
-	spilled     bool
-	sp          *spillState
+	ky       *keyer // segment's skip-bound keyer (compare/merge/radix seed)
+	buf      []keyed
+	order    []int32 // emission permutation over buf (in-memory segments)
+	memBytes int64
+	tally    sortTally
+	done     chan struct{} // non-nil iff sorted asynchronously
+	spilled  bool
+	sp       *spillState
 
 	pos     int
 	merging *runMerger
@@ -168,11 +178,16 @@ func NewMRS(input iter.Iterator, schema *types.Schema, target, given sortord.Ord
 		cfg.TempPrefix = "mrs"
 	}
 	prefix := given.Len()
+	// Keys are full target-order encodings; each segment binds a keyer
+	// whose skip covers the encoded `given` prefix (constant within the
+	// segment by definition), so segment comparisons still touch only the
+	// suffix bytes. The comparator fallback compares the suffix directly.
+	// Versus the earlier suffix-only codec this spends one prefix encode
+	// per tuple (and its key-arena bytes) to keep a single codec across
+	// all segments, give radix a known seed depth instead of a prefix
+	// rescan, and keep every key a complete target-order encoding — the
+	// shape a future radix-aware merge of segment runs needs.
 	suffixCmp := func(a, b types.Tuple) int { return ks.CompareSuffix(a, b, prefix) }
-	var suffixCodec *keys.Codec
-	if codec != nil {
-		suffixCodec = codec.Suffix(prefix)
-	}
 	return &MRS{
 		input:       input,
 		schema:      schema,
@@ -180,12 +195,24 @@ func NewMRS(input iter.Iterator, schema *types.Schema, target, given sortord.Ord
 		given:       given.Clone(),
 		cfg:         cfg,
 		ks:          ks,
-		ky:          newKeyer(cfg.Keys, suffixCodec, suffixCmp),
+		ky:          newKeyer(cfg.Keys, codec, suffixCmp),
 		prefix:      prefix,
 		par:         cfg.parallelism(),
 		spar:        cfg.spillParallelism(),
+		rf:          cfg.RunFormation,
 		passthrough: prefix == target.Len(),
 	}, nil
+}
+
+// segmentKeyer binds the shared keyer to one segment: skip is the encoded
+// byte length of the segment's `given`-prefix values (keys.Codec.PrefixLen
+// on the segment's first tuple — prefix columns of variable width make it
+// segment-specific).
+func (m *MRS) segmentKeyer(first types.Tuple) *keyer {
+	if m.prefix == 0 || !m.ky.encoded() {
+		return m.ky.withSkip(0)
+	}
+	return m.ky.withSkip(m.ky.codec.PrefixLen(first, m.prefix))
 }
 
 // Stats returns the operator's work counters.
@@ -293,21 +320,21 @@ func (m *MRS) emit() (types.Tuple, bool, error) {
 }
 
 // adopt makes seg the current emission head: waits for an asynchronous sort
-// to finish (folding its comparison count into the stats) or, for a spilled
+// to finish (folding its work tally into the stats) or, for a spilled
 // segment, reduces and opens its run merge.
 func (m *MRS) adopt(seg *segment) error {
 	if seg.done != nil {
 		<-seg.done
-		m.stats.Comparisons += seg.comparisons
+		seg.tally.addTo(&m.stats)
 	}
 	if seg.spilled {
 		runs, err := m.segmentRuns(seg.sp)
 		if err == nil {
-			runs, err = reduceRuns(m.cfg, seg.sp.arena, runs, m.ky, &m.stats)
+			runs, err = reduceRuns(m.cfg, seg.sp.arena, runs, seg.ky, &m.stats)
 		}
 		if err == nil {
 			seg.sp.runs = runs
-			seg.merging, err = newRunMerger(runs, m.ky, &m.stats.Comparisons)
+			seg.merging, err = newRunMerger(runs, seg.ky, &m.stats.Comparisons)
 		}
 		if err != nil {
 			// seg is already off the queue: releasing its arena here drops
@@ -380,7 +407,7 @@ func (m *MRS) segmentRuns(sp *spillState) ([]*storage.File, error) {
 			}
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res.out, res.comparisons, res.err = mergeGroup(sp.arena, m.cfg.TempPrefix, files, m.ky)
+			res.out, res.comparisons, res.err = mergeGroup(sp.arena, m.cfg.TempPrefix, files, sp.ky)
 		}(sp.jobs[lo:hi], res)
 	}
 
@@ -418,13 +445,13 @@ func (m *MRS) reapJob(sp *spillState, i int) *flushJob {
 }
 
 // harvestJobs waits out every formation job in dispatch order, folding its
-// comparison count and returning its buffer bytes to the memory budget.
+// work tally and returning its buffer bytes to the memory budget.
 // The first job error is returned after all jobs have completed.
 func (m *MRS) harvestJobs(sp *spillState) error {
 	var firstErr error
 	for i := range sp.jobs {
 		j := m.reapJob(sp, i)
-		m.stats.Comparisons += j.comparisons
+		j.tally.addTo(&m.stats)
 		if j.err != nil && firstErr == nil {
 			firstErr = j.err
 		}
@@ -524,7 +551,7 @@ func (m *MRS) collect(limit int) (*segment, error) {
 	}
 	if m.col == nil {
 		m.stats.Segments++
-		m.col = &segCollector{first: m.pending}
+		m.col = &segCollector{first: m.pending, ky: m.segmentKeyer(m.pending)}
 	}
 	c := m.col
 	budget := m.cfg.memoryBytes()
@@ -565,11 +592,11 @@ func (m *MRS) collect(limit int) (*segment, error) {
 // most SpillParallelism jobs in flight.
 func (m *MRS) flush(c *segCollector) error {
 	if c.sp == nil {
-		c.sp = &spillState{arena: m.cfg.Disk.NewArena()}
+		c.sp = &spillState{arena: m.cfg.Disk.NewArena(), ky: c.ky}
 	}
 	if m.spar <= 1 {
-		order, comparisons := sortKeyed(c.buf, m.ky)
-		m.stats.Comparisons += comparisons
+		order, tally := formOrder(c.buf, c.ky, m.rf)
+		tally.addTo(&m.stats)
 		f, err := writeRun(c.sp.arena, m.cfg.TempPrefix, c.buf, order)
 		if err != nil {
 			return err
@@ -594,11 +621,11 @@ func (m *MRS) flush(c *segCollector) error {
 	c.sp.jobs = append(c.sp.jobs, job)
 	m.stats.RunsGenerated++
 	m.stats.SpillRunsParallel++
-	arena, prefix, ky := c.sp.arena, m.cfg.TempPrefix, m.ky
+	arena, prefix, ky, rf := c.sp.arena, m.cfg.TempPrefix, c.ky, m.rf
 	go func() {
 		defer close(job.done)
-		order, comparisons := sortKeyed(job.buf, ky)
-		job.comparisons = comparisons
+		var order []int32
+		order, job.tally = formOrder(job.buf, ky, rf)
 		job.file, job.err = writeRun(arena, prefix, job.buf, order)
 		job.buf = nil // batch is on disk; release it before the consumer reaps
 	}()
@@ -620,19 +647,19 @@ func (m *MRS) finish(c *segCollector) (*segment, error) {
 				return nil, err
 			}
 		}
-		return &segment{spilled: true, sp: c.sp}, nil
+		return &segment{spilled: true, sp: c.sp, ky: c.ky}, nil
 	}
-	seg := &segment{buf: c.buf, memBytes: c.memBytes}
+	seg := &segment{buf: c.buf, memBytes: c.memBytes, ky: c.ky}
 	if m.par > 1 {
 		seg.done = make(chan struct{})
 		go func() {
-			seg.order, seg.comparisons = sortKeyed(seg.buf, m.ky)
+			seg.order, seg.tally = formOrder(seg.buf, seg.ky, m.rf)
 			close(seg.done)
 		}()
 	} else {
-		var comparisons int64
-		seg.order, comparisons = sortKeyed(seg.buf, m.ky)
-		m.stats.Comparisons += comparisons
+		var tally sortTally
+		seg.order, tally = formOrder(seg.buf, seg.ky, m.rf)
+		tally.addTo(&m.stats)
 	}
 	return seg, nil
 }

@@ -171,6 +171,11 @@ func TestEncodedAndComparatorKeysAgree(t *testing.T) {
 		run := func(mode KeyMode) ([]types.Tuple, *SortStats) {
 			cfg, _ := smallCfg(8)
 			cfg.Keys = mode
+			// Pin the comparison sort: this test's contract is that the key
+			// REPRESENTATION is invisible, so both arms must spend their
+			// work in the same currency. (Adaptive would radix-sort the
+			// encoded arm only and the stats would rightly diverge.)
+			cfg.RunFormation = RunFormCompare
 			s, err := NewSRS(iter.FromSlice(shuffledRows), sortSchema, sortord.New("c1", "c2"), cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -197,6 +202,7 @@ func TestEncodedAndComparatorKeysAgree(t *testing.T) {
 			cfg, _ := smallCfg(16)
 			cfg.Keys = mode
 			cfg.Parallelism = 1
+			cfg.RunFormation = RunFormCompare // see the srs arm
 			m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
 			if err != nil {
 				t.Fatal(err)

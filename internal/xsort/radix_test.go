@@ -1,0 +1,261 @@
+package xsort
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pyro/internal/iter"
+	"pyro/internal/keys"
+	"pyro/internal/sortord"
+	"pyro/internal/storage"
+	"pyro/internal/types"
+)
+
+// randKeyed builds adversarial key buffers straight at the byte level:
+// varying lengths, ties, keys that are prefixes of other keys, a shared
+// leading region of skip bytes, and bytes from a tiny alphabet so every
+// collision case actually occurs.
+func randKeyed(r *rand.Rand, n, skip int) []keyed {
+	shared := make([]byte, skip)
+	r.Read(shared)
+	alphabet := []byte{0x00, 0x01, 0x7f, 0xfe, 0xff}
+	buf := make([]keyed, n)
+	for i := range buf {
+		k := append([]byte(nil), shared...)
+		for j := r.Intn(6); j > 0; j-- {
+			k = append(k, alphabet[r.Intn(len(alphabet))])
+		}
+		// The tuple doubles as an identity so stability violations are
+		// visible even between equal keys.
+		buf[i] = keyed{key: k, t: types.NewTuple(types.NewInt(int64(i)))}
+	}
+	// Inject exact duplicates of earlier keys.
+	for i := range buf {
+		if i > 0 && r.Intn(4) == 0 {
+			buf[i].key = buf[r.Intn(i)].key
+		}
+	}
+	return buf
+}
+
+// TestRadixSortKeyedMatchesStableSort: the radix permutation must be
+// bit-identical to the stable comparison permutation — including tie order
+// (stability) and prefix-of-longer-key ordering — for any skip depth.
+func TestRadixSortKeyedMatchesStableSort(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 500; trial++ {
+		skip := r.Intn(4)
+		buf := randKeyed(r, r.Intn(300), skip)
+
+		want := make([]int32, len(buf))
+		for i := range want {
+			want[i] = int32(i)
+		}
+		sort.SliceStable(want, func(i, j int) bool {
+			return bytes.Compare(buf[want[i]].key[skip:], buf[want[j]].key[skip:]) < 0
+		})
+
+		got, tally := radixSortKeyed(buf, skip)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (skip %d): radix order %v != stable order %v", trial, skip, got, want)
+		}
+		if len(buf) > radixInsertionCutoff && tally.radixPasses == 0 {
+			t.Fatalf("trial %d: %d keys sorted with zero radix passes", trial, len(buf))
+		}
+	}
+}
+
+func TestRadixEligibility(t *testing.T) {
+	enc := &keyer{codec: testCodec(t)}
+	cmp := &keyer{cmp: func(a, b types.Tuple) int { return 0 }}
+	big := make([]keyed, adaptiveMinTuples)
+	for i := range big {
+		big[i] = keyed{key: []byte("12345678")}
+	}
+	small := big[:4]
+	shortKeys := make([]keyed, adaptiveMinTuples)
+	for i := range shortKeys {
+		shortKeys[i] = keyed{key: []byte{0x01, 0x00}}
+	}
+
+	cases := []struct {
+		name string
+		buf  []keyed
+		ky   *keyer
+		rf   RunFormation
+		want bool
+	}{
+		{"adaptive big encoded", big, enc, RunFormAdaptive, true},
+		{"adaptive tiny buffer", small, enc, RunFormAdaptive, false},
+		{"adaptive short keys", shortKeys, enc, RunFormAdaptive, false},
+		{"compare mode", big, enc, RunFormCompare, false},
+		{"radix forced tiny", small, enc, RunFormRadix, true},
+		{"comparator keys", big, cmp, RunFormRadix, false},
+	}
+	for _, tc := range cases {
+		if got := radixEligible(tc.buf, tc.ky, tc.rf); got != tc.want {
+			t.Errorf("%s: radixEligible = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func testCodec(t *testing.T) *keys.Codec {
+	t.Helper()
+	ks := types.MustKeySpec(sortSchema, sortord.New("c1"))
+	c, err := keys.FromKeySpec(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParseRunFormation(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want RunFormation
+	}{{"", RunFormAdaptive}, {"adaptive", RunFormAdaptive}, {"compare", RunFormCompare}, {"radix", RunFormRadix}} {
+		got, err := ParseRunFormation(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseRunFormation(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.in != "" && got.String() != tc.in {
+			t.Errorf("String() round-trip: %q -> %q", tc.in, got.String())
+		}
+	}
+	if _, err := ParseRunFormation("bogus"); err == nil {
+		t.Error("bogus mode should error")
+	}
+	cfg, _ := smallCfg(4)
+	cfg.RunFormation = RunFormation(9)
+	if _, err := NewSRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), cfg); err == nil {
+		t.Error("out-of-range RunFormation should fail validation")
+	}
+}
+
+// fullKeySchemaRows returns rows where EVERY column is a key column of the
+// target order, so byte-equal keys mean byte-equal tuples and output
+// sequences are comparable across modes even where sorts are unstable
+// (SRS's replacement-selection ties).
+func fullKeyRows(r *rand.Rand, n, dist1 int) []types.Tuple {
+	per := n / dist1
+	if per == 0 {
+		per = 1
+	}
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		rows[i] = types.NewTuple(
+			types.NewInt(int64(i/per)),
+			types.NewInt(int64(r.Intn(40))), // narrow: plenty of ties
+			types.NewString(string(rune('a'+r.Intn(3)))),
+		)
+	}
+	return rows
+}
+
+// TestRunFormationModesAgree is the property test of the PR: for random
+// segment shapes, memory budgets and parallelism levels, radix and adaptive
+// run formation must reproduce the compare path's output sequence, run
+// structure and I/O totals exactly — for MRS and SRS alike. Only the work
+// accounting (Comparisons vs RadixPasses) may differ.
+func TestRunFormationModesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	target := sortord.New("c1", "c2", "c3")
+	for trial := 0; trial < 60; trial++ {
+		n := 20 + r.Intn(3000)
+		dist1 := 1 + r.Intn(12)
+		blocks := 2 + r.Intn(12)
+		par := 1 + r.Intn(4)
+		rows := fullKeyRows(r, n, dist1)
+		shuffledRows := shuffled(rows, rand.New(rand.NewSource(int64(trial))))
+
+		type result struct {
+			out   []types.Tuple
+			stats SortStats
+			io    storage.IOStats
+		}
+		runMRS := func(rf RunFormation) result {
+			cfg, d := smallCfg(blocks)
+			cfg.Parallelism = par
+			cfg.RunFormation = rf
+			m, err := NewMRS(iter.FromSlice(rows), sortSchema, target, sortord.New("c1"), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := iter.Drain(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return result{out, *m.Stats(), d.Stats()}
+		}
+		runSRS := func(rf RunFormation) result {
+			cfg, d := smallCfg(blocks)
+			cfg.RunFormation = rf
+			s, err := NewSRS(iter.FromSlice(shuffledRows), sortSchema, target, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := iter.Drain(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return result{out, *s.Stats(), d.Stats()}
+		}
+
+		for _, op := range []struct {
+			name string
+			run  func(RunFormation) result
+		}{{"mrs", runMRS}, {"srs", runSRS}} {
+			base := op.run(RunFormCompare)
+			if base.stats.RadixPasses != 0 || base.stats.RadixBucketScans != 0 {
+				t.Fatalf("trial %d %s: compare mode counted radix work: %+v", trial, op.name, base.stats)
+			}
+			for _, rf := range []RunFormation{RunFormRadix, RunFormAdaptive} {
+				got := op.run(rf)
+				if len(got.out) != len(base.out) {
+					t.Fatalf("trial %d %s %v: %d tuples vs %d", trial, op.name, rf, len(got.out), len(base.out))
+				}
+				for i := range got.out {
+					if !reflect.DeepEqual(got.out[i], base.out[i]) {
+						t.Fatalf("trial %d %s %v: output diverges at %d: %v vs %v",
+							trial, op.name, rf, i, got.out[i], base.out[i])
+					}
+				}
+				if got.stats.RunsGenerated != base.stats.RunsGenerated ||
+					got.stats.MergePasses != base.stats.MergePasses ||
+					got.stats.Segments != base.stats.Segments ||
+					got.stats.SpilledSegs != base.stats.SpilledSegs {
+					t.Fatalf("trial %d %s %v: run structure diverges:\n compare %+v\n %v %+v",
+						trial, op.name, rf, base.stats, rf, got.stats)
+				}
+				if got.io != base.io {
+					t.Fatalf("trial %d %s %v: IO diverges: %+v vs %+v", trial, op.name, rf, got.io, base.io)
+				}
+			}
+		}
+	}
+}
+
+// TestRadixFallsBackOnComparatorKeys: forcing radix with comparator-mode
+// keys must degrade to the comparison sort, not fail or miscount.
+func TestRadixFallsBackOnComparatorKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	rows := genRows(2000, 10, rng)
+	cfg, _ := smallCfg(8)
+	cfg.Keys = KeyComparator
+	cfg.RunFormation = RunFormRadix
+	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iter.Drain(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSorted(t, out, sortord.New("c1", "c2"))
+	if st := m.Stats(); st.RadixPasses != 0 || st.RadixBucketScans != 0 {
+		t.Fatalf("comparator keys cannot radix-partition, yet stats say %+v", st)
+	}
+}

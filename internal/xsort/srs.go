@@ -23,6 +23,16 @@ import (
 // SpillParallelism > 1. All spill files live in one SpillArena, whose
 // release on Close (or error) both cleans them up and folds their I/O into
 // the disk's global ledger.
+//
+// Config.RunFormation applies to the phase-1 fill: in radix (or adaptive)
+// mode the initial memory load is byte-bucket sorted and seeds the heap as
+// a sorted array — valid heap order, zero build comparisons — or, when the
+// whole input fits, is emitted directly. Replacement selection itself stays
+// comparison-based in every mode: its incremental push/pop structure is
+// what produces the paper's 2M-sized runs, and a heap has no radix
+// equivalent. Run count, run sizes and I/O totals are therefore identical
+// across modes (the pop sequence visits the same key multiset in the same
+// ascending order).
 type SRS struct {
 	input  iter.Iterator
 	schema *types.Schema
@@ -102,9 +112,16 @@ func (s *SRS) open() error {
 	h := newRunHeap(s.ky, &s.stats.Comparisons)
 	budget := s.cfg.memoryBytes()
 
-	// Phase 1: fill the heap up to the memory budget.
+	// Phase 1: read up to the memory budget into a flat fill buffer. The
+	// buffer — not the heap — is what radix run formation sorts: a buffer
+	// whose keys are byte-bucket sorted IS a valid min-heap (every prefix
+	// of an ascending array satisfies the heap property), so replacement
+	// selection can be seeded without the O(n log n) comparison cost of
+	// building the initial heap.
 	inputDone := false
-	for h.memBytes() < budget {
+	var fill []keyed
+	var fillBytes int64
+	for fillBytes < budget {
 		t, ok, err := s.input.Next()
 		if err != nil {
 			return err
@@ -114,18 +131,41 @@ func (s *SRS) open() error {
 			break
 		}
 		s.stats.TuplesIn++
-		h.push(runEntry{tag: 0, kt: s.ky.wrap(t)})
+		fill = append(fill, s.ky.wrap(t))
+		fillBytes += int64(t.MemSize())
 	}
-	s.trackPeak(h.memBytes())
+	s.trackPeak(fillBytes)
 
-	if inputDone {
-		// Whole input fits in memory: drain the heap, no disk I/O.
-		s.inMem = true
-		s.memOut = make([]types.Tuple, 0, h.len())
-		for h.len() > 0 {
-			s.memOut = append(s.memOut, h.pop().kt.t)
+	if radixEligible(fill, s.ky, s.cfg.RunFormation) {
+		order, tally := radixSortKeyed(fill, s.ky.skip)
+		tally.addTo(&s.stats)
+		if inputDone {
+			// Whole input fits in memory: emit the stable radix order
+			// directly, no heap and no disk I/O.
+			s.inMem = true
+			s.memOut = make([]types.Tuple, len(fill))
+			for i, idx := range order {
+				s.memOut[i] = fill[idx].t
+			}
+			return nil
 		}
-		return nil
+		h.seed(fill, order)
+	} else {
+		// Comparison path: push the fill in input order — the identical
+		// comparison sequence the pre-buffered implementation performed
+		// by pushing as it read.
+		for _, kt := range fill {
+			h.push(runEntry{tag: 0, kt: kt})
+		}
+		if inputDone {
+			// Whole input fits in memory: drain the heap, no disk I/O.
+			s.inMem = true
+			s.memOut = make([]types.Tuple, 0, h.len())
+			for h.len() > 0 {
+				s.memOut = append(s.memOut, h.pop().kt.t)
+			}
+			return nil
+		}
 	}
 
 	// Phase 2: replacement selection. Pop the minimum of the current run,

@@ -21,6 +21,20 @@
 // count comparisons at identical call sites, so SortStats totals are the
 // same in either mode and the golden/ablation expectations stay meaningful.
 //
+// Run formation — producing the sorted order of an in-memory buffer, be it
+// an MRS segment, a spill batch, or SRS's initial heap fill — additionally
+// exploits that byte order IS key order: Config.RunFormation selects MSD
+// radix partitioning over the encoded keys (see radix.go) instead of the
+// comparison sort. The radix order is bit-identical to the stable
+// comparison order, so MRS output bytes, run/pass structure, and I/O
+// totals are the same in every mode; SRS agrees on all of those too except
+// that tuples tied on the full sort key may emit in a different relative
+// order (its compare-mode path drains an unstable replacement-selection
+// heap, while radix is stable — the key sequence itself is identical).
+// Only the work accounting otherwise changes (RadixPasses and
+// RadixBucketScans alongside a smaller Comparisons). The default, adaptive,
+// falls back to comparisons for tiny buffers and short keys.
+//
 // MRS additionally sorts independent in-memory segments on a bounded worker
 // pool (Config.Parallelism); see mrs.go for the pipelining contract. The
 // spill path is concurrent too (Config.SpillParallelism): an oversized MRS
@@ -60,6 +74,15 @@ type SortStats struct {
 	TuplesIn      int64
 	TuplesOut     int64
 
+	// RadixPasses and RadixBucketScans account radix run formation in the
+	// same spirit Comparisons accounts the comparison sorts: one pass is
+	// one counting distribution over a bucket's entries on one key byte,
+	// and the scan counter totals the tuples those passes classified. In
+	// radix mode total sort work reads as Comparisons (heap, merge, and
+	// insertion-sort tails) plus these; in compare mode both stay zero.
+	RadixPasses      int64
+	RadixBucketScans int64
+
 	// SpillRunsSerial and SpillRunsParallel split MRS spill-run formation
 	// by regime: runs sorted and written inline on the consumer goroutine
 	// (SpillParallelism 1, the paper's serial algorithm) versus runs formed
@@ -84,6 +107,52 @@ const (
 	KeyComparator
 )
 
+// RunFormation selects how the sorted order of an in-memory buffer is
+// produced (MRS segment sorts, spill-batch sorts, SRS's phase-1 fill).
+// Every mode yields the identical stable buffer order; see radix.go and
+// the package comment for the one visible difference (SRS key ties).
+type RunFormation uint8
+
+const (
+	// RunFormAdaptive (the default) picks MSD radix partitioning for
+	// encoded keys on buffers large enough to amortize bucket bookkeeping,
+	// and the comparison sort otherwise.
+	RunFormAdaptive RunFormation = iota
+	// RunFormCompare always sorts by key comparisons — the pre-radix path,
+	// kept for ablation and as the comparator-mode fallback.
+	RunFormCompare
+	// RunFormRadix always radix-partitions encoded keys (comparator-mode
+	// keyers still fall back to comparisons: there is no byte string to
+	// partition).
+	RunFormRadix
+)
+
+// String returns the CLI spelling of the mode.
+func (rf RunFormation) String() string {
+	switch rf {
+	case RunFormAdaptive:
+		return "adaptive"
+	case RunFormCompare:
+		return "compare"
+	case RunFormRadix:
+		return "radix"
+	}
+	return fmt.Sprintf("RunFormation(%d)", uint8(rf))
+}
+
+// ParseRunFormation parses the CLI spelling ("" means the default).
+func ParseRunFormation(s string) (RunFormation, error) {
+	switch s {
+	case "", "adaptive":
+		return RunFormAdaptive, nil
+	case "compare":
+		return RunFormCompare, nil
+	case "radix":
+		return RunFormRadix, nil
+	}
+	return 0, fmt.Errorf("xsort: unknown run formation %q (want adaptive, compare or radix)", s)
+}
+
 // Config carries the resources available to a sort operator.
 type Config struct {
 	Disk *storage.Disk
@@ -94,6 +163,12 @@ type Config struct {
 	TempPrefix string
 	// Keys selects normalized-key (default) or comparator key comparison.
 	Keys KeyMode
+	// RunFormation selects radix, comparison, or adaptive (default)
+	// production of in-memory sorted orders. Run/pass structure, I/O and
+	// output key order are identical in every mode; output bytes are
+	// bit-identical for MRS, and for SRS up to the emission order of
+	// tuples with duplicate full sort keys (see the package comment).
+	RunFormation RunFormation
 	// Parallelism bounds how many MRS in-memory segments may be sorted
 	// concurrently. 0 means runtime.GOMAXPROCS(0); 1 means fully serial,
 	// strictly demand-driven reading (the paper's original behaviour).
@@ -154,6 +229,9 @@ func (c Config) validate() error {
 	}
 	if c.SpillParallelism < 0 {
 		return fmt.Errorf("xsort: SpillParallelism must be non-negative, got %d", c.SpillParallelism)
+	}
+	if c.RunFormation > RunFormRadix {
+		return fmt.Errorf("xsort: unknown RunFormation %d", c.RunFormation)
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ import (
 	"pyro/internal/sortord"
 	"pyro/internal/storage"
 	"pyro/internal/types"
+	"pyro/internal/xsort"
 )
 
 // Type enumerates column types of the public API.
@@ -83,8 +84,36 @@ type Config struct {
 	// paper's serial spill algorithm). Spill files live in per-sort
 	// storage arenas with lock-free I/O accounting, so I/O totals are
 	// identical at every parallelism level.
+	//
+	// The optimizer's cost model also reads this knob: an explicitly
+	// configured spill parallelism above 1 — this field, or an explicit
+	// SortParallelism it would inherit at execution time — prices
+	// external-sort merge passes as overlapped
+	// (cost.Model.SpillParallelism), which can legitimately flip plan
+	// choice toward sort-based operators on multi-core targets. With both
+	// fields 0 the executor inherits GOMAXPROCS but pricing stays serial,
+	// deliberately: plan choice must never depend on the machine the
+	// optimizer happens to run on.
 	SortSpillParallelism int
+	// SortRunFormation selects how sort enforcers produce in-memory sorted
+	// orders: RunFormationAdaptive (default) uses MSD radix partitioning
+	// on the normalized keys where it pays, RunFormationRadix forces it,
+	// RunFormationCompare pins the comparison sort. Result key order and
+	// I/O are identical in every mode (rows tied on the entire ORDER BY
+	// key may emit in a different relative order under a full sort — that
+	// order was never guaranteed).
+	SortRunFormation RunFormation
 }
+
+// RunFormation selects the sort enforcers' run-formation algorithm.
+type RunFormation = xsort.RunFormation
+
+// Run-formation modes.
+const (
+	RunFormationAdaptive = xsort.RunFormAdaptive
+	RunFormationCompare  = xsort.RunFormCompare
+	RunFormationRadix    = xsort.RunFormRadix
+)
 
 // Database is a self-contained engine instance.
 type Database struct {
@@ -238,6 +267,17 @@ func (db *Database) Optimize(q *Query, opts ...OptimizeOption) (*Plan, error) {
 	options.Model = cost.DefaultModel()
 	options.Model.PageSize = db.cfg.PageSize
 	options.Model.MemoryBlocks = int64(db.cfg.SortMemoryBlocks)
+	// Price the spill parallelism execution will actually use, but only
+	// when it is explicitly configured: SortSpillParallelism, or the
+	// SortParallelism it inherits from when unset. 0 means GOMAXPROCS at
+	// execution time and stays serially priced (see Config).
+	spillPar := db.cfg.SortSpillParallelism
+	if spillPar == 0 {
+		spillPar = db.cfg.SortParallelism
+	}
+	if spillPar > 1 {
+		options.Model.SpillParallelism = spillPar
+	}
 	res, err := core.Optimize(q.node, options)
 	if err != nil {
 		return nil, err
@@ -261,6 +301,7 @@ func (db *Database) Execute(p *Plan) (*Rows, error) {
 		SortMemoryBlocks:     db.cfg.SortMemoryBlocks,
 		SortParallelism:      db.cfg.SortParallelism,
 		SortSpillParallelism: db.cfg.SortSpillParallelism,
+		SortRunFormation:     db.cfg.SortRunFormation,
 	})
 	if err != nil {
 		return nil, err

@@ -342,3 +342,44 @@ func TestSpillParallelismEndToEnd(t *testing.T) {
 		t.Fatalf("IOStats diverge: serial %+v, parallel %+v", serialIO, parIO)
 	}
 }
+
+func TestSpillAwarePlanPricing(t *testing.T) {
+	// The optimizer must price the spill parallelism execution will
+	// actually use: explicit SortSpillParallelism, or the explicit
+	// SortParallelism it inherits from — but never the GOMAXPROCS default
+	// (plan choice must not depend on the optimizing machine).
+	cost := func(cfg Config) float64 {
+		// Small enough that the ORDER BY sort prices as external, large
+		// enough that log_{M-1} stays meaningful.
+		cfg.SortMemoryBlocks = 8
+		cfg.PageSize = 512
+		db := Open(cfg)
+		var rows [][]any
+		for i := 0; i < 4000; i++ {
+			rows = append(rows, []any{int64(i), int64((i * 7919) % 4000)})
+		}
+		if err := db.CreateTable("t", []Column{
+			{Name: "a", Type: Int64},
+			{Name: "b", Type: Int64},
+		}, ClusterOn("a"), rows); err != nil {
+			t.Fatal(err)
+		}
+		plan, err := db.Optimize(db.Scan("t").OrderBy("b", "a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan.EstimatedCost()
+	}
+	serial := cost(Config{})
+	explicit := cost(Config{SortSpillParallelism: 4})
+	inherited := cost(Config{SortParallelism: 4})
+	if !(explicit < serial) {
+		t.Fatalf("explicit spill parallelism must cheapen a spilling sort: serial %f, explicit %f", serial, explicit)
+	}
+	if inherited != explicit {
+		t.Fatalf("SortParallelism=4 inherits into spilling at execution time and must price the same: inherited %f, explicit %f", inherited, explicit)
+	}
+	if defaulted := cost(Config{SortSpillParallelism: 1}); defaulted != serial {
+		t.Fatalf("SpillParallelism=1 must price serially: %f vs %f", defaulted, serial)
+	}
+}
