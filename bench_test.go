@@ -8,6 +8,7 @@ package pyro
 // reproduction output.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -85,6 +86,64 @@ func BenchmarkFigure16Scalability(b *testing.B) { benchExperiment(b, "scalabilit
 // BenchmarkPhase2Refinement31Nodes regenerates the §6.3 plan-refinement
 // timing (31-node trees, 10 attributes per node, paper: < 6 ms).
 func BenchmarkPhase2Refinement31Nodes(b *testing.B) { benchExperiment(b, "refine") }
+
+// BenchmarkTimeToFirstRow measures first-Next latency at the public
+// boundary: each iteration opens a cursor, pulls one row and closes. The
+// baseline arm streams a pipelined partial-sort plan (first segment only);
+// the full-sort arm must consume the entire input inside Query before the
+// first row exists; the materialise arm is the deprecated Execute on the
+// same partial plan, paying full-result materialisation the cursor
+// avoids. `make bench-ab` feeds these arms through cmd/pyro-abdiff, so
+// the first-row deltas land in the same CI table as the key-mode and
+// run-formation ablations.
+func BenchmarkTimeToFirstRow(b *testing.B) {
+	db := segmentedDB(b, 50_000, 500) // the workload TestCursorEarlyCloseAbandonsWork pins
+	q := db.Scan("big").OrderBy("g", "v")
+	partial, err := db.Optimize(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := db.Optimize(q, WithoutPartialSort())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	firstRow := func(b *testing.B, plan *Plan) {
+		cur, err := db.Query(ctx, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cur.Next() {
+			b.Fatal(cur.Err())
+		}
+		if err := cur.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("partial-cursor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			firstRow(b, partial)
+		}
+	})
+	b.Run("full-cursor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			firstRow(b, full)
+		}
+	})
+	b.Run("execute-materialise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Execute(partial)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = rows.Data[0]
+		}
+	})
+}
 
 // --- Micro-benchmarks for the core mechanisms -----------------------------
 

@@ -7,6 +7,8 @@
 //	           [-sort-par n] [-spill-par n] [-run-formation adaptive|compare|radix]
 //
 // -scale multiplies dataset sizes (1.0 ≈ seconds per experiment).
+// Execution tables report first_row_ms (time to the first output tuple —
+// the pipelining benefit a streaming consumer sees) alongside time_ms.
 // -sort-par bounds concurrent MRS segment sorts per enforcer (0 =
 // GOMAXPROCS, 1 = the paper's serial algorithm); -spill-par bounds
 // concurrent spill jobs when a sort exceeds memory (0 = inherit -sort-par,

@@ -1,0 +1,335 @@
+package pyro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pyro/internal/core"
+	"pyro/internal/exec"
+	"pyro/internal/types"
+	"pyro/internal/xsort"
+)
+
+// SortStats re-exports the sort engine's per-enforcer work counters
+// (comparisons, runs, merge passes, segments, radix passes, spill regime).
+type SortStats = xsort.SortStats
+
+// ExecOption overrides one execution knob for a single Query call, leaving
+// the Database's Config untouched. Options apply to every operator the
+// query builds; the optimizer's plan choice is not revisited (re-plan with
+// Optimize if a different knob should also change the plan).
+type ExecOption func(*Config)
+
+// WithSortParallelism bounds concurrent MRS segment sorts per enforcer for
+// this query (0 = GOMAXPROCS, 1 = the paper's serial algorithm).
+func WithSortParallelism(n int) ExecOption {
+	return func(c *Config) { c.SortParallelism = n }
+}
+
+// WithSortSpillParallelism bounds concurrent spill jobs per enforcer for
+// this query (0 = inherit the sort parallelism, 1 = serial spilling).
+func WithSortSpillParallelism(n int) ExecOption {
+	return func(c *Config) { c.SortSpillParallelism = n }
+}
+
+// WithSortRunFormation selects the run-formation algorithm for this query
+// (adaptive radix by default; compare pins the comparison sorts).
+func WithSortRunFormation(rf RunFormation) ExecOption {
+	return func(c *Config) { c.SortRunFormation = rf }
+}
+
+// WithSortMemoryBlocks overrides the per-sort memory budget M (in disk
+// blocks) for this query.
+func WithSortMemoryBlocks(n int) ExecOption {
+	return func(c *Config) { c.SortMemoryBlocks = n }
+}
+
+// ExecStats is one query's execution report, available from Cursor.Stats
+// at any point in the cursor's life (live while streaming, frozen once the
+// cursor finishes).
+type ExecStats struct {
+	// Rows is how many rows the cursor has returned.
+	Rows int64
+	// TimeToFirstRow is the latency from the Query call to the first Next
+	// returning a row (zero until then). Under a pipelined partial-sort
+	// plan this stays near zero however large the input; a full sort must
+	// consume everything first — the paper's §3.1 pipelining benefit, made
+	// visible at the public API.
+	TimeToFirstRow time.Duration
+	// Elapsed is the time from the Query call until the cursor finished,
+	// or until now while it is still open.
+	Elapsed time.Duration
+	// Sorts snapshots every sort enforcer's counters in plan (pre-order)
+	// position, matching Plan.Explain's operator order. An early Close
+	// freezes them mid-flight: segments never sorted and spill runs never
+	// read simply don't appear in the totals.
+	Sorts []SortStats
+	// IO is the disk activity during this query's lifetime (a delta over
+	// the query's span, not the database's cumulative counters). Cursors
+	// running concurrently on one Database share the device, so their
+	// windows overlap; for exact attribution run the query alone.
+	IO IOStats
+}
+
+// Cursor streams one query's results row by row, in the database/sql
+// style:
+//
+//	cur, err := db.Query(ctx, plan)
+//	if err != nil { ... }
+//	defer cur.Close()
+//	for cur.Next() {
+//	    var g, v int64
+//	    if err := cur.Scan(&g, &v); err != nil { ... }
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// Rows are produced on demand: under a pipelined plan (a partial-sort
+// enforcer over a clustered or indexed prefix) the engine reads only as
+// much input as the rows consumed require, and Close mid-stream abandons
+// the rest — unsorted MRS segments are never sorted, unread spill runs are
+// dropped with their arenas. Context cancellation is honored between Next
+// calls and polled inside long-running sort and spill loops.
+//
+// A Cursor is not safe for concurrent use; separate cursors on one
+// Database are (they share only the concurrency-safe storage layer).
+type Cursor struct {
+	db    *Database
+	ctx   context.Context
+	op    exec.Operator
+	cols  []string
+	sorts []*exec.Sort
+
+	start    time.Time
+	ioStart  IOStats
+	firstRow time.Duration
+	rows     int64
+
+	cur      types.Tuple
+	err      error
+	closeErr error
+	finished bool
+	final    ExecStats
+}
+
+// Query compiles a plan and returns a streaming cursor over its results.
+// Execution resources come from the Database's Config, overridden per
+// query by any ExecOptions. The context is checked before each Next and
+// polled inside the sort enforcers' long loops; once it is done the cursor
+// fails with its error. Note that a blocking full-sort plan does its
+// sorting inside Query — a pipelined partial-sort plan is what makes the
+// first row arrive early.
+func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cursor, error) {
+	if p == nil {
+		return nil, fmt.Errorf("pyro: nil plan")
+	}
+	if p.db != db {
+		return nil, fmt.Errorf("pyro: plan belongs to a different database")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := db.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	op, err := core.Build(p.inner, core.BuildConfig{
+		Disk:                 db.disk,
+		SortMemoryBlocks:     cfg.SortMemoryBlocks,
+		SortParallelism:      cfg.SortParallelism,
+		SortSpillParallelism: cfg.SortSpillParallelism,
+		SortRunFormation:     cfg.SortRunFormation,
+		SortAbort:            ctx.Err,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cursor{
+		db:      db,
+		ctx:     ctx,
+		op:      op,
+		cols:    p.inner.Schema.Names(),
+		sorts:   exec.CollectSorts(op),
+		ioStart: db.disk.Stats(),
+		start:   time.Now(),
+	}
+	if err := op.Open(); err != nil {
+		if cerr := op.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// Next advances to the next row, reporting whether one is available. It
+// returns false at the end of the result, on error, after Close, and once
+// the query context is done; Err distinguishes the cases. Exhausting the
+// result closes the cursor automatically (calling Close again is still
+// fine).
+func (c *Cursor) Next() bool {
+	if c.finished {
+		return false
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.fail(err)
+		return false
+	}
+	t, ok, err := c.op.Next()
+	if err != nil {
+		c.fail(err)
+		return false
+	}
+	if !ok {
+		c.finish()
+		return false
+	}
+	if c.rows == 0 {
+		c.firstRow = time.Since(c.start)
+	}
+	c.rows++
+	c.cur = t
+	return true
+}
+
+// Row returns the current row (the one the last successful Next moved to)
+// as Go values, or nil when there is none. The slice is freshly allocated;
+// the caller owns it.
+func (c *Cursor) Row() []any {
+	if c.cur == nil {
+		return nil
+	}
+	row := make([]any, len(c.cur))
+	for i, d := range c.cur {
+		row[i] = datumValue(d)
+	}
+	return row
+}
+
+// Scan copies the current row into dest, one pointer per output column:
+// *int64, *float64, *string, *bool for the matching column type (never
+// NULL), or *any for any column (NULL scans as nil).
+func (c *Cursor) Scan(dest ...any) error {
+	if c.cur == nil {
+		return fmt.Errorf("pyro: Scan called without a row (call Next first)")
+	}
+	if len(dest) != len(c.cur) {
+		return fmt.Errorf("pyro: Scan got %d destinations for %d columns", len(dest), len(c.cur))
+	}
+	for i, d := range dest {
+		if err := scanDatum(d, c.cur[i]); err != nil {
+			return fmt.Errorf("pyro: Scan column %q: %w", c.cols[i], err)
+		}
+	}
+	return nil
+}
+
+func scanDatum(dest any, d types.Datum) error {
+	switch p := dest.(type) {
+	case *any:
+		*p = datumValue(d)
+		return nil
+	case *int64:
+		if d.Kind() == types.KindInt {
+			*p = d.Int()
+			return nil
+		}
+	case *float64:
+		switch d.Kind() {
+		case types.KindFloat:
+			*p = d.Float()
+			return nil
+		case types.KindInt:
+			*p = float64(d.Int())
+			return nil
+		}
+	case *string:
+		if d.Kind() == types.KindString {
+			*p = d.Str()
+			return nil
+		}
+	case *bool:
+		if d.Kind() == types.KindBool {
+			*p = d.Bool()
+			return nil
+		}
+	default:
+		return fmt.Errorf("unsupported destination type %T", dest)
+	}
+	return fmt.Errorf("cannot scan %v into %T", datumValue(d), dest)
+}
+
+// Columns returns the result's column names.
+func (c *Cursor) Columns() []string {
+	return append([]string(nil), c.cols...)
+}
+
+// Err returns the first error the cursor hit — a failed Next, the query
+// context's error, or a failed Close (joined onto an earlier error when
+// both occurred, so neither is lost). It is nil after a clean exhaustion
+// or a clean early Close.
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases the query's resources and returns the release error, if
+// any. Closing mid-stream propagates down the operator tree: sort
+// enforcers abandon unsorted MRS segments, drop unread spill runs and
+// release their arenas; the remaining input is never read. Close is
+// idempotent, and Stats stays available afterwards.
+func (c *Cursor) Close() error {
+	c.finish()
+	return c.closeErr
+}
+
+// fail records the cursor's first error and finishes it.
+func (c *Cursor) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.finish()
+}
+
+// finish closes the operator tree exactly once and freezes the stats.
+func (c *Cursor) finish() {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.cur = nil
+	if c.closeErr = c.op.Close(); c.closeErr != nil {
+		if c.err == nil {
+			c.err = c.closeErr
+		} else {
+			c.err = errors.Join(c.err, c.closeErr)
+		}
+	}
+	c.final = c.snapshot()
+}
+
+// Stats reports the query's execution counters: a live snapshot while the
+// cursor is open, the final numbers once it has finished.
+func (c *Cursor) Stats() ExecStats {
+	if c.finished {
+		return c.final
+	}
+	return c.snapshot()
+}
+
+func (c *Cursor) snapshot() ExecStats {
+	s := ExecStats{
+		Rows:           c.rows,
+		TimeToFirstRow: c.firstRow,
+		Elapsed:        time.Since(c.start),
+		IO:             c.db.disk.Stats().Sub(c.ioStart),
+	}
+	if len(c.sorts) > 0 {
+		s.Sorts = make([]SortStats, len(c.sorts))
+		for i, sort := range c.sorts {
+			s.Sorts[i] = *sort.SortStats()
+		}
+	}
+	return s
+}

@@ -1,0 +1,62 @@
+package pyro_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"pyro"
+)
+
+// ExampleDatabase_Query streams a Top-K result through the cursor: the
+// table is clustered on (day), so ORDER BY (day, kind) plans a pipelined
+// partial sort and the first rows are served after reading only the first
+// day's segment — closing the cursor early abandons the rest.
+func ExampleDatabase_Query() {
+	db := pyro.Open(pyro.Config{SortMemoryBlocks: 64})
+	var rows [][]any
+	for day := 0; day < 30; day++ {
+		for e := 0; e < 100; e++ {
+			rows = append(rows, []any{int64(day), int64((e * 7) % 10), int64(e)})
+		}
+	}
+	if err := db.CreateTable("events", []pyro.Column{
+		{Name: "day", Type: pyro.Int64},
+		{Name: "kind", Type: pyro.Int64},
+		{Name: "seq", Type: pyro.Int64},
+	}, pyro.ClusterOn("day"), rows); err != nil {
+		log.Fatal(err)
+	}
+
+	plan, err := db.Optimize(db.Scan("events").OrderBy("day", "kind"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Parallelism 1 keeps reading strictly demand-driven (the paper's
+	// serial algorithm), so the segment count below is deterministic.
+	cur, err := db.Query(context.Background(), plan, pyro.WithSortParallelism(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cur.Close()
+
+	for i := 0; i < 3 && cur.Next(); i++ {
+		var day, kind, seq int64
+		if err := cur.Scan(&day, &kind, &seq); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("day=%d kind=%d\n", day, kind)
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	cur.Close()
+	st := cur.Stats()
+	fmt.Printf("rows=%d of %d, segments sorted=%d of 30\n",
+		st.Rows, len(rows), st.Sorts[0].Segments)
+	// Output:
+	// day=0 kind=0
+	// day=0 kind=0
+	// day=0 kind=0
+	// rows=3 of 3000, segments sorted=1 of 30
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -65,10 +66,17 @@ func main() {
 	fmt.Printf("coordinated orders (PYRO-O):   estimated cost %.0f\n\n", withP2.EstimatedCost())
 	fmt.Println(withP2.Explain())
 
-	db.ResetIOStats()
-	res, err := db.Execute(withP2)
+	cur, err := db.Query(context.Background(), withP2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("consolidated rows: %d, page I/Os: %d\n", len(res.Data), db.IOStats().Total())
+	defer cur.Close()
+	var n int
+	for cur.Next() {
+		n++
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consolidated rows: %d, page I/Os: %d\n", n, cur.Stats().IO.Total())
 }

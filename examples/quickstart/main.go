@@ -1,8 +1,9 @@
 // Quickstart: load a table, build a query, inspect the optimized plan and
-// run it.
+// stream it through the cursor API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,13 +46,27 @@ func main() {
 	fmt.Println("Plan:")
 	fmt.Println(plan.Explain())
 
-	db.ResetIOStats()
-	res, err := db.Execute(plan)
+	// Stream the result. The partial sort emits the first day's rows
+	// before later days have even been read; Stats reports the per-query
+	// picture (no global counters to reset).
+	cur, err := db.Query(context.Background(), plan)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("rows: %d, first: %v\n", len(res.Data), res.Data[0])
-	io := db.IOStats()
-	fmt.Printf("I/O: %d page reads, %d run-file transfers (partial sort => expect 0)\n",
-		io.PageReads, io.RunTotal())
+	defer cur.Close()
+	var n int
+	var first []any
+	for cur.Next() {
+		if n == 0 {
+			first = cur.Row()
+		}
+		n++
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	st := cur.Stats()
+	fmt.Printf("rows: %d, first: %v (after %v)\n", n, first, st.TimeToFirstRow)
+	fmt.Printf("I/O: %d page reads, %d run-file transfers (partial sort => expect 0); %d segments sorted\n",
+		st.IO.PageReads, st.IO.RunTotal(), st.Sorts[0].Segments)
 }

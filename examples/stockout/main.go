@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -73,14 +74,23 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		db.ResetIOStats()
-		res, err := db.Execute(plan)
+		// Each variant streams through its own cursor; Stats().IO is the
+		// query's own I/O delta, so no global counter reset is needed.
+		cur, err := db.Query(context.Background(), plan)
 		if err != nil {
 			log.Fatal(err)
 		}
-		io := db.IOStats()
-		fmt.Printf("--- %s\nestimated cost %.0f, %d result rows, %d page I/Os (%d for sort runs)\n%s\n",
-			v.name, plan.EstimatedCost(), len(res.Data), io.Total(), io.RunTotal(), plan.Explain())
+		var n int
+		for cur.Next() {
+			n++
+		}
+		if err := cur.Err(); err != nil {
+			log.Fatal(err)
+		}
+		cur.Close()
+		st := cur.Stats()
+		fmt.Printf("--- %s\nestimated cost %.0f, %d result rows, %d page I/Os (%d for sort runs), first row after %v\n%s\n",
+			v.name, plan.EstimatedCost(), n, st.IO.Total(), st.IO.RunTotal(), st.TimeToFirstRow, plan.Explain())
 	}
 }
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -78,9 +79,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := db.Execute(plan)
+	// Stream the result through the cursor, scanning typed columns; the
+	// per-query stats replace fishing in the database-wide I/O counters.
+	cur, err := db.Query(context.Background(), plan)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nexecuted-value rows: %d, sample: %v\n", len(res.Data), res.Data[0])
+	defer cur.Close()
+	var sample string
+	var n int
+	for cur.Next() {
+		if n == 0 {
+			var user, parent, orderValue, executed int64
+			if err := cur.Scan(&user, &parent, &orderValue, &executed); err != nil {
+				log.Fatal(err)
+			}
+			sample = fmt.Sprintf("user %d order %d: value %d, executed %d",
+				user, parent, orderValue, executed)
+		}
+		n++
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	st := cur.Stats()
+	fmt.Printf("\nexecuted-value rows: %d, sample: %s\n", n, sample)
+	fmt.Printf("first row after %v, total %v, %d page I/Os for this query\n",
+		st.TimeToFirstRow, st.Elapsed, st.IO.Total())
 }

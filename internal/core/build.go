@@ -26,6 +26,13 @@ type BuildConfig struct {
 	// comparison in the sort enforcers; the comparator path exists for
 	// ablation.
 	SortKeys xsort.KeyMode
+	// SortAbort, when non-nil, is polled by the sort enforcers'
+	// long-running loops (input consumption, segment collection, spill
+	// merges); its first error aborts the enforcer, which surfaces it from
+	// Open or Next. Streaming execution supplies the query context's Err
+	// here so a cancellation reaches a sort that would otherwise block for
+	// its entire input. Must be safe for concurrent use.
+	SortAbort func() error
 	// SortRunFormation selects how enforcers sort in-memory buffers:
 	// MSD radix partitioning of the encoded keys, the comparison sort, or
 	// adaptive (default — radix where it pays). Output key order, run/pass
@@ -62,6 +69,7 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 		SpillParallelism: cfg.SortSpillParallelism,
 		Keys:             cfg.SortKeys,
 		RunFormation:     cfg.SortRunFormation,
+		Abort:            cfg.SortAbort,
 	}
 
 	switch p.Kind {

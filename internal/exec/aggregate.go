@@ -204,6 +204,9 @@ func NewGroupAggregate(child Operator, groupCols []string, aggs []AggSpec) (*Gro
 // Schema returns group columns followed by aggregate columns.
 func (g *GroupAggregate) Schema() *types.Schema { return g.schema }
 
+// Children returns the aggregated input.
+func (g *GroupAggregate) Children() []Operator { return []Operator{g.child} }
+
 // GroupCols returns the grouping columns.
 func (g *GroupAggregate) GroupCols() []string { return g.groupCols }
 
@@ -321,6 +324,9 @@ func NewHashAggregate(child Operator, groupCols []string, aggs []AggSpec) (*Hash
 
 // Schema returns group columns followed by aggregate columns.
 func (h *HashAggregate) Schema() *types.Schema { return h.schema }
+
+// Children returns the aggregated input.
+func (h *HashAggregate) Children() []Operator { return []Operator{h.child} }
 
 // Open consumes the entire input, building all groups.
 func (h *HashAggregate) Open() error {

@@ -56,6 +56,43 @@ func Drain(op Operator) ([]types.Tuple, error) {
 	return iter.Drain(op)
 }
 
+// Children returns the operator's direct inputs, left to right, or nil for
+// a leaf. Every operator in this package implements the underlying
+// Children() method; operators from outside (test doubles) are treated as
+// leaves rather than breaking the walk.
+func Children(op Operator) []Operator {
+	if p, ok := op.(interface{ Children() []Operator }); ok {
+		return p.Children()
+	}
+	return nil
+}
+
+// Walk visits op and all its descendants in pre-order (parent before
+// children, left subtree before right) — the same order Plan.Format lists
+// operators, so positions line up with an Explain rendering.
+func Walk(op Operator, visit func(Operator)) {
+	if op == nil {
+		return
+	}
+	visit(op)
+	for _, c := range Children(op) {
+		Walk(c, visit)
+	}
+}
+
+// CollectSorts returns every sort enforcer in the tree in pre-order. The
+// streaming cursor uses it to expose per-query SortStats without the
+// operators having to push counters anywhere.
+func CollectSorts(root Operator) []*Sort {
+	var sorts []*Sort
+	Walk(root, func(op Operator) {
+		if s, ok := op.(*Sort); ok {
+			sorts = append(sorts, s)
+		}
+	})
+	return sorts
+}
+
 // Validate walks nothing — it simply checks an operator tree was assembled
 // with non-nil children; constructors enforce the rest. Exposed for plan
 // builders that assemble trees dynamically.

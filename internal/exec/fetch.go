@@ -59,6 +59,10 @@ func NewFetch(child Operator, table *catalog.Table, childKeyCols []string) (*Fet
 // Schema returns the full table schema (the fetch completes the row).
 func (f *Fetch) Schema() *types.Schema { return f.table.Schema }
 
+// Children returns the key-producing input (the fetched table is storage,
+// not an operator).
+func (f *Fetch) Children() []Operator { return []Operator{f.child} }
+
 // Fetches returns the number of heap lookups performed.
 func (f *Fetch) Fetches() int64 { return f.fetches }
 

@@ -26,6 +26,9 @@ func NewFilter(child Operator, pred expr.Expr) (*Filter, error) {
 // Schema returns the child schema (filtering is schema-preserving).
 func (f *Filter) Schema() *types.Schema { return f.child.Schema() }
 
+// Children returns the filtered input.
+func (f *Filter) Children() []Operator { return []Operator{f.child} }
+
 // Predicate returns the predicate text (for plan display).
 func (f *Filter) Predicate() string { return f.text }
 
@@ -107,6 +110,9 @@ func NewProjectNames(child Operator, names []string) (*Project, error) {
 
 // Schema returns the projection's output schema.
 func (p *Project) Schema() *types.Schema { return p.schema }
+
+// Children returns the projected input.
+func (p *Project) Children() []Operator { return []Operator{p.child} }
 
 // Open opens the child.
 func (p *Project) Open() error { return p.child.Open() }

@@ -65,6 +65,9 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []string, jt JoinType
 // Schema returns the concatenated output schema.
 func (h *HashJoin) Schema() *types.Schema { return h.schema }
 
+// Children returns the probe and build inputs.
+func (h *HashJoin) Children() []Operator { return []Operator{h.left, h.right} }
+
 // Type returns the join type.
 func (h *HashJoin) Type() JoinType { return h.joinType }
 

@@ -103,6 +103,9 @@ func NewMergeJoin(left, right Operator, leftKey, rightKey sortord.Order, jt Join
 // Schema returns the concatenated output schema.
 func (m *MergeJoin) Schema() *types.Schema { return m.schema }
 
+// Children returns the two merged inputs.
+func (m *MergeJoin) Children() []Operator { return []Operator{m.left, m.right} }
+
 // Type returns the join type.
 func (m *MergeJoin) Type() JoinType { return m.joinType }
 

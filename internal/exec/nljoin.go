@@ -67,6 +67,9 @@ func NewNLJoin(left, right Operator, pred expr.Expr, jt JoinType, disk *storage.
 // Schema returns the concatenated output schema.
 func (n *NLJoin) Schema() *types.Schema { return n.schema }
 
+// Children returns the outer and inner inputs.
+func (n *NLJoin) Children() []Operator { return []Operator{n.left, n.right} }
+
 // Open spools the inner input to a temp file.
 func (n *NLJoin) Open() error {
 	if err := n.left.Open(); err != nil {

@@ -26,6 +26,9 @@ func NewTableScan(t *catalog.Table) *TableScan {
 // Schema returns the table schema.
 func (s *TableScan) Schema() *types.Schema { return s.table.Schema }
 
+// Children returns nil: scans are leaves.
+func (s *TableScan) Children() []Operator { return nil }
+
 // Table returns the scanned table.
 func (s *TableScan) Table() *catalog.Table { return s.table }
 
@@ -74,6 +77,9 @@ func NewIndexScan(ix *catalog.Index) *IndexScan {
 // Schema returns the stored index schema (key columns then includes).
 func (s *IndexScan) Schema() *types.Schema { return s.index.Schema() }
 
+// Children returns nil: scans are leaves.
+func (s *IndexScan) Children() []Operator { return nil }
+
 // Index returns the scanned index.
 func (s *IndexScan) Index() *catalog.Index { return s.index }
 
@@ -121,6 +127,9 @@ func NewValues(schema *types.Schema, rows []types.Tuple) (*Values, error) {
 
 // Schema returns the declared schema.
 func (v *Values) Schema() *types.Schema { return v.schema }
+
+// Children returns nil: literal rows are a leaf.
+func (v *Values) Children() []Operator { return nil }
 
 // Open resets the cursor.
 func (v *Values) Open() error { v.pos = 0; return nil }

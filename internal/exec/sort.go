@@ -60,6 +60,9 @@ func NewSortMRS(child Operator, target, given sortord.Order, cfg xsort.Config) (
 // Schema returns the child schema (sorting is schema-preserving).
 func (s *Sort) Schema() *types.Schema { return s.child.Schema() }
 
+// Children returns the sorted input.
+func (s *Sort) Children() []Operator { return []Operator{s.child} }
+
 // Target returns the produced sort order.
 func (s *Sort) Target() sortord.Order { return s.target }
 

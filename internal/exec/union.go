@@ -46,6 +46,9 @@ func NewMergeUnion(left, right Operator, order sortord.Order, dedup bool) (*Merg
 // Schema returns the output schema (the left input's).
 func (u *MergeUnion) Schema() *types.Schema { return u.schema }
 
+// Children returns the two unioned inputs.
+func (u *MergeUnion) Children() []Operator { return []Operator{u.left, u.right} }
+
 // Order returns the shared input/output sort order.
 func (u *MergeUnion) Order() sortord.Order { return u.order }
 
@@ -164,6 +167,9 @@ func NewUnionAll(left, right Operator) (*UnionAll, error) {
 // Schema returns the left input's schema.
 func (u *UnionAll) Schema() *types.Schema { return u.left.Schema() }
 
+// Children returns the two concatenated inputs.
+func (u *UnionAll) Children() []Operator { return []Operator{u.left, u.right} }
+
 // Open opens both inputs.
 func (u *UnionAll) Open() error {
 	u.onRight = false
@@ -209,6 +215,9 @@ func NewDedup(child Operator) *Dedup { return &Dedup{child: child} }
 // Schema returns the child schema.
 func (d *Dedup) Schema() *types.Schema { return d.child.Schema() }
 
+// Children returns the deduplicated input.
+func (d *Dedup) Children() []Operator { return []Operator{d.child} }
+
 // Open opens the child.
 func (d *Dedup) Open() error {
 	d.last = nil
@@ -252,6 +261,9 @@ func NewLimit(child Operator, k int64) (*Limit, error) {
 
 // Schema returns the child schema.
 func (l *Limit) Schema() *types.Schema { return l.child.Schema() }
+
+// Children returns the capped input.
+func (l *Limit) Children() []Operator { return []Operator{l.child} }
 
 // Open opens the child and resets the count.
 func (l *Limit) Open() error {

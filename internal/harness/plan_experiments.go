@@ -68,7 +68,7 @@ func RunB1(w io.Writer, scale Scale) error {
 		}},
 	}
 
-	t := &table{header: []string{"plan", "est_cost", "time_ms", "total_io", "run_io", "rows"}}
+	t := &table{header: []string{"plan", "est_cost", "time_ms", "first_row_ms", "total_io", "run_io", "rows"}}
 	var firstRows int64 = -1
 	plans := make(map[string]*core.Plan)
 	for _, v := range variants {
@@ -88,7 +88,7 @@ func RunB1(w io.Writer, scale Scale) error {
 		} else if rs.rows != firstRows {
 			return fmt.Errorf("B1: %q returned %d rows, expected %d", v.name, rs.rows, firstRows)
 		}
-		t.add(v.name, fmt.Sprintf("%.0f", res.Plan.Cost), ms(rs.elapsed),
+		t.add(v.name, fmt.Sprintf("%.0f", res.Plan.Cost), ms(rs.elapsed), ms(rs.firstOut),
 			fmt.Sprint(rs.io.Total()), fmt.Sprint(rs.io.RunTotal()), fmt.Sprint(rs.rows))
 	}
 	t.write(w)

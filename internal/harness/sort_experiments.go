@@ -211,7 +211,7 @@ func RunA4(w io.Writer, scale Scale) error {
 	}
 	const sortBlocks = 32
 
-	t := &table{header: []string{"variant", "rows", "time_ms", "total_io", "run_io", "est_cost"}}
+	t := &table{header: []string{"variant", "rows", "time_ms", "first_row_ms", "total_io", "run_io", "est_cost"}}
 	var rowsSeen int64 = -1
 	for _, v := range []struct {
 		name    string
@@ -235,7 +235,7 @@ func RunA4(w io.Writer, scale Scale) error {
 		} else if rowsSeen != rs.rows {
 			return fmt.Errorf("A4: plans disagree (%d vs %d rows)", rowsSeen, rs.rows)
 		}
-		t.add(v.name, fmt.Sprint(rs.rows), ms(rs.elapsed),
+		t.add(v.name, fmt.Sprint(rs.rows), ms(rs.elapsed), ms(rs.firstOut),
 			fmt.Sprint(rs.io.Total()), fmt.Sprint(rs.io.RunTotal()), fmt.Sprintf("%.0f", res.Plan.Cost))
 	}
 	t.write(w)
@@ -259,7 +259,7 @@ func RunExample1(w io.Writer, scale Scale) error {
 		return err
 	}
 	const sortBlocks = 64
-	t := &table{header: []string{"plan", "est_cost", "time_ms", "total_io", "run_io", "rows"}}
+	t := &table{header: []string{"plan", "est_cost", "time_ms", "first_row_ms", "total_io", "run_io", "rows"}}
 	var counts []int64
 	for _, v := range []struct {
 		name string
@@ -279,7 +279,7 @@ func RunExample1(w io.Writer, scale Scale) error {
 			return err
 		}
 		counts = append(counts, rs.rows)
-		t.add(v.name, fmt.Sprintf("%.0f", res.Plan.Cost), ms(rs.elapsed),
+		t.add(v.name, fmt.Sprintf("%.0f", res.Plan.Cost), ms(rs.elapsed), ms(rs.firstOut),
 			fmt.Sprint(rs.io.Total()), fmt.Sprint(rs.io.RunTotal()), fmt.Sprint(rs.rows))
 	}
 	t.write(w)

@@ -1,8 +1,16 @@
 // Package iter defines the Volcano-style pull iterator contract shared by
-// the execution engine and the external sort operators.
+// the execution engine and the external sort operators, plus the
+// cancellation plumbing streaming execution threads through them: a Guard
+// polls an abort function at a bounded stride so per-tuple loops deep
+// inside a sort can honor a context cancellation or an early Close without
+// paying a function call per tuple.
 package iter
 
-import "pyro/internal/types"
+import (
+	"errors"
+
+	"pyro/internal/types"
+)
 
 // Iterator is a demand-driven tuple stream. The contract is:
 //
@@ -48,18 +56,20 @@ func (s *SliceIterator) Close() error { return nil }
 
 // Drain opens it, pulls every tuple, closes it, and returns the tuples.
 // Close is called on every path, including failed Opens, so operators can
-// rely on it for resource cleanup.
+// rely on it for resource cleanup. When both a pull and the subsequent
+// Close fail, the errors are joined — a Close failure (a leaked resource, a
+// poisoned spill arena) must not vanish behind the Next error that
+// triggered the cleanup; when only one side fails that error is returned
+// unwrapped.
 func Drain(it Iterator) ([]types.Tuple, error) {
 	if err := it.Open(); err != nil {
-		it.Close()
-		return nil, err
+		return nil, closeAfter(it, err)
 	}
 	var out []types.Tuple
 	for {
 		t, ok, err := it.Next()
 		if err != nil {
-			it.Close()
-			return nil, err
+			return nil, closeAfter(it, err)
 		}
 		if !ok {
 			break
@@ -70,4 +80,51 @@ func Drain(it Iterator) ([]types.Tuple, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// closeAfter closes the iterator after err already failed the drain,
+// joining the two errors when Close fails too. The common clean-Close case
+// returns err unchanged (not re-wrapped), so callers comparing sentinel
+// errors by identity keep working.
+func closeAfter(it Iterator, err error) error {
+	if cerr := it.Close(); cerr != nil {
+		return errors.Join(err, cerr)
+	}
+	return err
+}
+
+// Guard polls an abort function at a bounded stride. Long-running
+// per-tuple loops — an SRS consuming its whole input inside Open, an MRS
+// segment collection, a run-reduction merge — call Check once per tuple;
+// every stride-th call actually polls, so a context cancellation reaches
+// the loop within a bounded amount of work at negligible per-tuple cost.
+//
+// A Guard with a nil poll function never aborts. The zero Guard is ready
+// to use. Guards are not safe for concurrent use; concurrent workers each
+// take their own Guard over the same (concurrency-safe) poll function.
+type Guard struct {
+	poll func() error
+	n    uint32
+}
+
+// guardStride is how many Check calls one poll covers. Small enough that a
+// cancellation lands promptly even in tuple-at-a-time loops, large enough
+// that polling never shows up in a sort profile.
+const guardStride = 256
+
+// NewGuard returns a guard over poll (nil means never abort).
+func NewGuard(poll func() error) Guard { return Guard{poll: poll} }
+
+// Check returns poll's error on the first and every stride-th call, nil
+// otherwise.
+func (g *Guard) Check() error {
+	if g.poll == nil {
+		return nil
+	}
+	if g.n != 0 {
+		g.n--
+		return nil
+	}
+	g.n = guardStride - 1
+	return g.poll()
 }

@@ -1,0 +1,142 @@
+package xsort
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"pyro/internal/iter"
+	"pyro/internal/sortord"
+)
+
+// abortAfter returns a poll that starts failing with errCanceled after n
+// invocations — a deterministic stand-in for a context cancelled
+// mid-query. The counter is atomic because spill workers share the poll.
+var errCanceled = errors.New("query canceled")
+
+func abortAfter(n int) func() error {
+	var polls atomic.Int64
+	return func() error {
+		if polls.Add(1) > int64(n) {
+			return errCanceled
+		}
+		return nil
+	}
+}
+
+// TestSRSAbortInterruptsOpen: SRS blocks inside Open for its whole input;
+// an abort firing partway through must surface from Open, and Close must
+// leave no spill files behind.
+func TestSRSAbortInterruptsOpen(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rows := shuffled(genRows(20_000, 10, rng), rng)
+	cfg, d := smallCfg(4) // tiny memory: the abort lands in the spill loop
+	cfg.Abort = abortAfter(3)
+	s, err := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Open(); !errors.Is(err, errCanceled) {
+		t.Fatalf("Open returned %v, want the abort error", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if names := d.FileNames(); len(names) != 0 {
+		t.Fatalf("aborted SRS leaked files: %v", names)
+	}
+}
+
+// TestMRSAbortInterruptsCollect: the abort must reach MRS's demand-driven
+// segment collection, surfacing from Next, after which Close releases every
+// arena of the partially collected state.
+func TestMRSAbortInterruptsCollect(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	rows := genRows(20_000, 2, rng) // two oversized segments
+	cfg, d := smallCfg(4)
+	cfg.Parallelism = 1
+	cfg.SpillParallelism = 1
+	cfg.Abort = abortAfter(3)
+	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Open(); err != nil {
+		t.Fatal(err) // MRS Open reads one lookahead tuple; abort lands later
+	}
+	var sawErr error
+	for i := 0; i < 30_000; i++ {
+		_, ok, err := m.Next()
+		if err != nil {
+			sawErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if !errors.Is(sawErr, errCanceled) {
+		t.Fatalf("Next returned %v, want the abort error", sawErr)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if names := d.FileNames(); len(names) != 0 {
+		t.Fatalf("aborted MRS leaked files: %v", names)
+	}
+}
+
+// TestMRSAbortWithParallelSpill: the abort poll is shared with spill
+// workers; an abort firing while flush jobs are in flight must still
+// surface and release cleanly (race-gated by `make race`).
+func TestMRSAbortWithParallelSpill(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	rows := genRows(20_000, 2, rng)
+	cfg, d := smallCfg(4)
+	cfg.Parallelism = 2
+	cfg.SpillParallelism = 2
+	cfg.Abort = abortAfter(10)
+	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	for i := 0; i < 30_000; i++ {
+		_, ok, err := m.Next()
+		if err != nil {
+			sawErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if !errors.Is(sawErr, errCanceled) {
+		t.Fatalf("Next returned %v, want the abort error", sawErr)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if names := d.FileNames(); len(names) != 0 {
+		t.Fatalf("aborted MRS leaked files: %v", names)
+	}
+}
+
+// TestNilAbortSortsNormally pins that the zero-value Abort changes nothing.
+func TestNilAbortSortsNormally(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	rows := shuffled(genRows(500, 10, rng), rng)
+	cfg, _ := smallCfg(1000)
+	s, err := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := iter.Drain(s)
+	if err != nil || len(out) != len(rows) {
+		t.Fatalf("drain: %d rows, err %v", len(out), err)
+	}
+}

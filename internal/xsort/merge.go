@@ -3,6 +3,7 @@ package xsort
 import (
 	"sync"
 
+	"pyro/internal/iter"
 	"pyro/internal/storage"
 	"pyro/internal/types"
 )
@@ -101,9 +102,12 @@ func (m *runMerger) next() (types.Tuple, bool, error) {
 // accumulated so concurrent group merges can tally locally and the caller
 // can fold counts in deterministic group order. The keyer is cloned first:
 // merging re-encodes keys as tuples come off disk (keyer.wrap mutates
-// scratch buffers), and group merges run concurrently.
-func mergeGroup(ns storage.TempSpace, prefix string, group []*storage.File, ky *keyer) (*storage.File, int64, error) {
+// scratch buffers), and group merges run concurrently. abort (nil = never)
+// is polled per merged tuple at the guard stride; it may be shared with
+// other concurrent merges, so each call takes its own Guard.
+func mergeGroup(ns storage.TempSpace, prefix string, group []*storage.File, ky *keyer, abort func() error) (*storage.File, int64, error) {
 	ky = ky.clone()
+	guard := iter.NewGuard(abort)
 	var comparisons int64
 	merged := ns.CreateTemp(prefix, storage.KindRun)
 	w := storage.NewTupleWriter(merged)
@@ -113,6 +117,10 @@ func mergeGroup(ns storage.TempSpace, prefix string, group []*storage.File, ky *
 		return nil, comparisons, err
 	}
 	for {
+		if err := guard.Check(); err != nil {
+			ns.Remove(merged.Name())
+			return nil, comparisons, err
+		}
 		t, ok, err := m.next()
 		if err != nil {
 			ns.Remove(merged.Name())
@@ -207,5 +215,5 @@ func reduceOneGroup(cfg Config, ns storage.TempSpace, runs []*storage.File, g in
 	if len(group) == 1 {
 		return group[0], 0, nil
 	}
-	return mergeGroup(ns, cfg.TempPrefix, group, ky)
+	return mergeGroup(ns, cfg.TempPrefix, group, ky, cfg.Abort)
 }

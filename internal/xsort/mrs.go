@@ -79,8 +79,9 @@ type MRS struct {
 	segq []*segment
 	cur  *segment
 
-	liveBytes int64 // buffered tuple bytes across all live segments
-	pumpErr   error // read-ahead failure, surfaced on the next Next call
+	liveBytes int64      // buffered tuple bytes across all live segments
+	pumpErr   error      // read-ahead failure, surfaced on the next Next call
+	guard     iter.Guard // strided Config.Abort poll (consumer goroutine only)
 
 	opened bool
 	closed bool
@@ -200,6 +201,7 @@ func NewMRS(input iter.Iterator, schema *types.Schema, target, given sortord.Ord
 		par:         cfg.parallelism(),
 		spar:        cfg.spillParallelism(),
 		rf:          cfg.RunFormation,
+		guard:       iter.NewGuard(cfg.Abort),
 		passthrough: prefix == target.Len(),
 	}, nil
 }
@@ -407,7 +409,7 @@ func (m *MRS) segmentRuns(sp *spillState) ([]*storage.File, error) {
 			}
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res.out, res.comparisons, res.err = mergeGroup(sp.arena, m.cfg.TempPrefix, files, sp.ky)
+			res.out, res.comparisons, res.err = mergeGroup(sp.arena, m.cfg.TempPrefix, files, sp.ky, m.cfg.Abort)
 		}(sp.jobs[lo:hi], res)
 	}
 
@@ -557,6 +559,11 @@ func (m *MRS) collect(limit int) (*segment, error) {
 	budget := m.cfg.memoryBytes()
 	read := 0
 	for {
+		// An oversized segment keeps the consumer in this loop for its whole
+		// extent; the abort poll is what lets a cancellation interrupt it.
+		if err := m.guard.Check(); err != nil {
+			return nil, err
+		}
 		t := m.pending
 		c.buf = append(c.buf, m.ky.wrap(t))
 		c.memBytes += int64(t.MemSize())

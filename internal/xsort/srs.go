@@ -111,6 +111,10 @@ func (s *SRS) open() error {
 	}
 	h := newRunHeap(s.ky, &s.stats.Comparisons)
 	budget := s.cfg.memoryBytes()
+	// Open is where SRS blocks for its entire input, so it is the loop a
+	// cancellation most needs to reach (a canceled query must not sort two
+	// million tuples first).
+	guard := iter.NewGuard(s.cfg.Abort)
 
 	// Phase 1: read up to the memory budget into a flat fill buffer. The
 	// buffer — not the heap — is what radix run formation sorts: a buffer
@@ -122,6 +126,9 @@ func (s *SRS) open() error {
 	var fill []keyed
 	var fillBytes int64
 	for fillBytes < budget {
+		if err := guard.Check(); err != nil {
+			return err
+		}
 		t, ok, err := s.input.Next()
 		if err != nil {
 			return err
@@ -183,6 +190,9 @@ func (s *SRS) open() error {
 	}
 
 	for {
+		if err := guard.Check(); err != nil {
+			return err
+		}
 		if h.len() == 0 {
 			break
 		}

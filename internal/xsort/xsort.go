@@ -177,6 +177,16 @@ type Config struct {
 	// SRS run formation is unaffected: its replacement-selection heap is
 	// inherently sequential.
 	Parallelism int
+	// Abort, when non-nil, is polled (at a bounded stride, via iter.Guard)
+	// by the sort's long-running loops: SRS's input consumption inside
+	// Open, MRS's segment collection, and the run-formation and
+	// run-reduction merge loops of the spill path. The first non-nil error
+	// aborts the sort, which surfaces it from Open or Next and releases
+	// its spill state on Close as usual. This is how streaming execution
+	// threads context cancellation into a sort that would otherwise block
+	// for its whole input; nil means the sort only stops at EOF or error.
+	// Must be safe for concurrent use — spill workers poll it too.
+	Abort func() error
 	// SpillParallelism bounds each stage of spill work independently: at
 	// most this many run-forming sorts of an oversized segment's memory
 	// batches in flight, and at most this many run-reduction group merges

@@ -17,16 +17,26 @@
 //	q := db.Scan("t").Filter(pyro.Gt(pyro.Col("a"), pyro.Int(10))).
 //	    OrderBy("a", "b")
 //	plan, _ := db.Optimize(q)
-//	rows, _ := db.Execute(plan)
+//	cur, _ := db.Query(ctx, plan)
+//	defer cur.Close()
+//	for cur.Next() {
+//	    var a, b int64
+//	    cur.Scan(&a, &b)
+//	}
+//
+// Query streams: under a pipelined partial-sort plan the first rows arrive
+// before most of the input has been read, closing the cursor early
+// abandons the unread remainder, and the context cancels execution even
+// inside a long sort. Execute remains as a materialising convenience.
 package pyro
 
 import (
+	"context"
 	"fmt"
 
 	"pyro/internal/catalog"
 	"pyro/internal/core"
 	"pyro/internal/cost"
-	"pyro/internal/iter"
 	"pyro/internal/sortord"
 	"pyro/internal/storage"
 	"pyro/internal/types"
@@ -212,10 +222,14 @@ const (
 type OptimizeOption func(*core.Options)
 
 // WithHeuristic selects the interesting-order heuristic (default PYRO-O).
+// It sets only the heuristic; Optimize applies the heuristic's canonical
+// defaults (PYRO and PYRO-O⁻ imply no partial-sort enforcers, only PYRO-O
+// runs phase-2 refinement) once all options have run. The options of one
+// Optimize call therefore compose order-independently, ablation flags set
+// by other options survive on either side of WithHeuristic, and when
+// WithHeuristic appears more than once the last heuristic wins outright.
 func WithHeuristic(h Heuristic) OptimizeOption {
-	return func(o *core.Options) {
-		*o = core.DefaultOptions(h)
-	}
+	return func(o *core.Options) { o.Heuristic = h }
 }
 
 // WithoutPartialSort disables partial-sort enforcers (ablation).
@@ -264,6 +278,12 @@ func (db *Database) Optimize(q *Query, opts ...OptimizeOption) (*Plan, error) {
 	for _, o := range opts {
 		o(&options)
 	}
+	// Fold in the final heuristic's implied defaults after every option has
+	// run: explicit ablations OR onto them, so composition is
+	// order-independent and only the last WithHeuristic matters.
+	implied := core.DefaultOptions(options.Heuristic)
+	options.DisablePartialSort = options.DisablePartialSort || implied.DisablePartialSort
+	options.DisablePhase2 = options.DisablePhase2 || implied.DisablePhase2
 	options.Model = cost.DefaultModel()
 	options.Model.PageSize = db.cfg.PageSize
 	options.Model.MemoryBlocks = int64(db.cfg.SortMemoryBlocks)
@@ -291,34 +311,29 @@ type Rows struct {
 	Data    [][]any
 }
 
-// Execute compiles and runs a plan, returning all result rows.
+// Execute compiles and runs a plan, materialising every result row. It is
+// a thin wrapper over Query that drains the cursor, so it pays
+// full-result materialisation and cannot stop the engine early or be
+// cancelled — everything the streaming cursor exists to avoid.
+//
+// Deprecated: Use Query, which streams rows on demand, honors context
+// cancellation, supports per-query execution options and reports per-query
+// ExecStats. Execute is kept as a convenience for small results and for
+// existing callers.
 func (db *Database) Execute(p *Plan) (*Rows, error) {
-	if p.db != db {
-		return nil, fmt.Errorf("pyro: plan belongs to a different database")
-	}
-	op, err := core.Build(p.inner, core.BuildConfig{
-		Disk:                 db.disk,
-		SortMemoryBlocks:     db.cfg.SortMemoryBlocks,
-		SortParallelism:      db.cfg.SortParallelism,
-		SortSpillParallelism: db.cfg.SortSpillParallelism,
-		SortRunFormation:     db.cfg.SortRunFormation,
-	})
+	cur, err := db.Query(context.Background(), p)
 	if err != nil {
 		return nil, err
 	}
-	tuples, err := iter.Drain(op)
-	if err != nil {
+	out := &Rows{Columns: cur.Columns(), Data: make([][]any, 0)}
+	for cur.Next() {
+		out.Data = append(out.Data, cur.Row())
+	}
+	if err := cur.Err(); err != nil {
+		cur.Close()
 		return nil, err
 	}
-	out := &Rows{Columns: p.inner.Schema.Names(), Data: make([][]any, len(tuples))}
-	for i, t := range tuples {
-		row := make([]any, len(t))
-		for j, d := range t {
-			row[j] = datumValue(d)
-		}
-		out.Data[i] = row
-	}
-	return out, nil
+	return out, cur.Close()
 }
 
 func datumValue(d types.Datum) any {
