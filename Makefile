@@ -24,14 +24,15 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # A/B ablations — key mode (encoded vs comparator), run formation
-# (compare vs radix vs adaptive) and time-to-first-row (pipelined cursor
-# vs full sort vs materialising Execute) — with a benchstat-style delta
-# table, so a regression in any arm is visible at a glance. The bench run
-# lands in a temp file first: piping straight into the formatter would let
-# a failing benchmark exit 0 through the pipe.
+# (compare vs radix vs adaptive), time-to-first-row (pipelined cursor
+# vs full sort vs materialising Execute) and Top-K exit path (planned
+# Limit vs consumer early-Close) — with a benchstat-style delta table, so
+# a regression in any arm is visible at a glance. The bench run lands in
+# a temp file first: piping straight into the formatter would let a
+# failing benchmark exit 0 through the pipe.
 bench-ab:
 	@out=$$(mktemp); \
-	if ! $(GO) test -run '^$$' -bench 'RunFormation|SortKeys|TimeToFirstRow' -benchtime $(ABTIME) -count $(ABCOUNT) . > $$out 2>&1; then \
+	if ! $(GO) test -run '^$$' -bench 'RunFormation|SortKeys|TimeToFirstRow|TopKPlanned' -benchtime $(ABTIME) -count $(ABCOUNT) . > $$out 2>&1; then \
 		cat $$out; rm -f $$out; exit 1; \
 	fi; \
 	$(GO) run ./cmd/pyro-abdiff < $$out; rc=$$?; rm -f $$out; exit $$rc

@@ -60,7 +60,7 @@ func benchQ3ExecutionCfg(b *testing.B, mutate func(*core.Options), mutateBuild f
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(res.Plan.Cost, "est-cost")
+	b.ReportMetric(res.Plan.Cost.Total, "est-cost")
 }
 
 // BenchmarkAblationPartialSortOn/Off isolate the §3 partial-sort enforcer.
@@ -122,7 +122,7 @@ func benchQ4Execution(b *testing.B, disablePhase2 bool) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(res.Plan.Cost, "est-cost")
+	b.ReportMetric(res.Plan.Cost.Total, "est-cost")
 }
 
 func BenchmarkAblationPhase2On(b *testing.B)  { benchQ4Execution(b, false) }

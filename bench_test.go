@@ -145,6 +145,68 @@ func BenchmarkTimeToFirstRow(b *testing.B) {
 	})
 }
 
+// BenchmarkTopKPlanned A/Bs the two ways a consumer gets Top-K early exit:
+// a planned Limit(k) — the optimizer's row budget picks the pipelined plan
+// and the exec.Limit operator closes the sort at k — drained to completion,
+// versus the unlimited plan with a consumer that pulls k rows and closes
+// the cursor by hand (PR 4's only early-exit path). The two arms shed the
+// same work (TestPushedDownLimitMatchesEarlyClose pins that), so their
+// delta in `make bench-ab` is the overhead of each exit path, and a
+// regression in either early-exit mechanism is visible in CI.
+func BenchmarkTopKPlanned(b *testing.B) {
+	db := segmentedDB(b, 50_000, 500)
+	const k = 10
+	planned, err := db.Optimize(db.Scan("big").OrderBy("g", "v").Limit(k))
+	if err != nil {
+		b.Fatal(err)
+	}
+	unlimited, err := db.Optimize(db.Scan("big").OrderBy("g", "v"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("planned-limit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur, err := db.Query(ctx, planned)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows := 0
+			for cur.Next() {
+				rows++
+			}
+			if err := cur.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if err := cur.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if rows != k {
+				b.Fatalf("rows = %d", rows)
+			}
+		}
+	})
+	b.Run("early-close", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur, err := db.Query(ctx, unlimited)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < k; j++ {
+				if !cur.Next() {
+					b.Fatal(cur.Err())
+				}
+			}
+			if err := cur.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Micro-benchmarks for the core mechanisms -----------------------------
 
 func sortBenchRows(n int, segments int64) []types.Tuple {

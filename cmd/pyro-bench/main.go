@@ -5,6 +5,7 @@
 //
 //	pyro-bench [-exp all|example1|a1|a2|a3|a4|b1|b2|b3|scalability|refine] [-scale f]
 //	           [-sort-par n] [-spill-par n] [-run-formation adaptive|compare|radix]
+//	           [-limit k]
 //
 // -scale multiplies dataset sizes (1.0 ≈ seconds per experiment).
 // Execution tables report first_row_ms (time to the first output tuple —
@@ -18,7 +19,11 @@
 // are identical at every parallelism setting, and output key order, run
 // structure and I/O are identical across run-formation modes (only the
 // work accounting moves between comparisons and radix passes) — so the
-// paper's tables stay valid while wall-clock times drop.
+// paper's tables stay valid while wall-clock times drop. -limit sets the
+// Top-K row count the limit-aware experiment plans under (default 10):
+// its table shows the two-phase cost model's estimated full-drain and
+// startup costs next to measured time_ms/first_row_ms for the pipelined
+// and blocking arms.
 package main
 
 import (
@@ -44,6 +49,7 @@ func main() {
 	sortPar := flag.Int("sort-par", 0, "MRS segment-sort parallelism (0 = GOMAXPROCS, 1 = serial)")
 	spillPar := flag.Int("spill-par", 0, "spill-path parallelism (0 = inherit -sort-par, 1 = serial)")
 	runForm := flag.String("run-formation", "adaptive", "run formation: adaptive, compare or radix")
+	limit := flag.Int64("limit", 0, "Top-K row count for the limit-aware experiments (0 = default 10)")
 	flag.Parse()
 
 	rf, err := xsort.ParseRunFormation(*runForm)
@@ -51,7 +57,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pyro-bench:", err)
 		os.Exit(2)
 	}
-	s := harness.Scale{Factor: *scale, SortParallelism: *sortPar, SpillParallelism: *spillPar, RunFormation: rf}
+	if *limit < 0 {
+		fmt.Fprintf(os.Stderr, "pyro-bench: negative -limit %d\n", *limit)
+		os.Exit(2)
+	}
+	s := harness.Scale{Factor: *scale, SortParallelism: *sortPar, SpillParallelism: *spillPar, RunFormation: rf, Limit: *limit}
 	if *exp == "all" {
 		if err := harness.RunAll(os.Stdout, s); err != nil {
 			fmt.Fprintln(os.Stderr, "pyro-bench:", err)

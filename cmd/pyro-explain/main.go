@@ -92,6 +92,6 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("--- %v (estimated cost %.0f, %d goals, %d orders tried)\n%s\n",
-			h, res.Plan.Cost, res.Stats.GoalsExplored, res.Stats.OrdersTried, res.Plan.Format())
+			h, res.Plan.Cost.Total, res.Stats.GoalsExplored, res.Stats.OrdersTried, res.Plan.Format())
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"pyro/internal/core"
 	"pyro/internal/exec"
+	"pyro/internal/storage"
 	"pyro/internal/types"
 	"pyro/internal/xsort"
 )
@@ -16,34 +17,56 @@ import (
 // (comparisons, runs, merge passes, segments, radix passes, spill regime).
 type SortStats = xsort.SortStats
 
+// execConfig is the per-query execution state ExecOptions mutate: the
+// Database Config knobs plus execution-only settings that are not part of
+// the database configuration.
+type execConfig struct {
+	Config
+	rowTarget int64
+}
+
 // ExecOption overrides one execution knob for a single Query call, leaving
 // the Database's Config untouched. Options apply to every operator the
-// query builds; the optimizer's plan choice is not revisited (re-plan with
-// Optimize if a different knob should also change the plan).
-type ExecOption func(*Config)
+// query builds; except for WithRowTarget — which re-optimizes the plan for
+// first-k consumption — the optimizer's plan choice is not revisited
+// (re-plan with Optimize if a different knob should also change the plan).
+type ExecOption func(*execConfig)
 
 // WithSortParallelism bounds concurrent MRS segment sorts per enforcer for
 // this query (0 = GOMAXPROCS, 1 = the paper's serial algorithm).
 func WithSortParallelism(n int) ExecOption {
-	return func(c *Config) { c.SortParallelism = n }
+	return func(c *execConfig) { c.SortParallelism = n }
 }
 
 // WithSortSpillParallelism bounds concurrent spill jobs per enforcer for
 // this query (0 = inherit the sort parallelism, 1 = serial spilling).
 func WithSortSpillParallelism(n int) ExecOption {
-	return func(c *Config) { c.SortSpillParallelism = n }
+	return func(c *execConfig) { c.SortSpillParallelism = n }
 }
 
 // WithSortRunFormation selects the run-formation algorithm for this query
 // (adaptive radix by default; compare pins the comparison sorts).
 func WithSortRunFormation(rf RunFormation) ExecOption {
-	return func(c *Config) { c.SortRunFormation = rf }
+	return func(c *execConfig) { c.SortRunFormation = rf }
 }
 
 // WithSortMemoryBlocks overrides the per-sort memory budget M (in disk
 // blocks) for this query.
 func WithSortMemoryBlocks(n int) ExecOption {
-	return func(c *Config) { c.SortMemoryBlocks = n }
+	return func(c *execConfig) { c.SortMemoryBlocks = n }
+}
+
+// WithRowTarget declares that this consumer wants the first k rows fast —
+// the streaming analogue of a LIMIT the query doesn't have. Query
+// re-optimizes the plan with the optimizer's row budget set to k, so plan
+// comparison happens by the cost of the first k rows (favoring pipelined
+// partial-sort plans over blocking full sorts and hash operators, §7
+// Top-K) instead of full drain. Unlike Query.Limit the result is NOT
+// truncated: all rows stream if the cursor is drained — only the plan
+// choice changes. Negative k is rejected by Query; 0 means "no target"
+// (the option is a no-op, like omitting it).
+func WithRowTarget(k int64) ExecOption {
+	return func(c *execConfig) { c.rowTarget = k }
 }
 
 // ExecStats is one query's execution report, available from Cursor.Stats
@@ -66,10 +89,12 @@ type ExecStats struct {
 	// freezes them mid-flight: segments never sorted and spill runs never
 	// read simply don't appear in the totals.
 	Sorts []SortStats
-	// IO is the disk activity during this query's lifetime (a delta over
-	// the query's span, not the database's cumulative counters). Cursors
-	// running concurrently on one Database share the device, so their
-	// windows overlap; for exact attribution run the query alone.
+	// IO is the disk activity this query itself caused, measured by a
+	// per-query storage tap that every operator of the plan charges
+	// alongside the device ledger. Attribution is exact and disjoint even
+	// with other cursors running concurrently on the same Database: another
+	// query's scans and spills never appear here, and the sum of all
+	// cursors' IO equals the device's delta.
 	IO IOStats
 }
 
@@ -100,9 +125,9 @@ type Cursor struct {
 	op    exec.Operator
 	cols  []string
 	sorts []*exec.Sort
+	tap   *storage.Tap
 
 	start    time.Time
-	ioStart  IOStats
 	firstRow time.Duration
 	rows     int64
 
@@ -133,29 +158,47 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cfg := db.cfg
+	cfg := execConfig{Config: db.cfg}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	op, err := core.Build(p.inner, core.BuildConfig{
+	inner := p.inner
+	if cfg.rowTarget != 0 {
+		if cfg.rowTarget < 0 {
+			return nil, fmt.Errorf("pyro: negative row target %d", cfg.rowTarget)
+		}
+		if p.node == nil {
+			return nil, fmt.Errorf("pyro: plan carries no query to re-optimize for a row target")
+		}
+		ropts := p.opts
+		ropts.RowTarget = cfg.rowTarget
+		res, err := core.Optimize(p.node, ropts)
+		if err != nil {
+			return nil, err
+		}
+		inner = res.Plan
+	}
+	tap := storage.NewTap()
+	op, err := core.Build(inner, core.BuildConfig{
 		Disk:                 db.disk,
 		SortMemoryBlocks:     cfg.SortMemoryBlocks,
 		SortParallelism:      cfg.SortParallelism,
 		SortSpillParallelism: cfg.SortSpillParallelism,
 		SortRunFormation:     cfg.SortRunFormation,
 		SortAbort:            ctx.Err,
+		IOTap:                tap,
 	})
 	if err != nil {
 		return nil, err
 	}
 	c := &Cursor{
-		db:      db,
-		ctx:     ctx,
-		op:      op,
-		cols:    p.inner.Schema.Names(),
-		sorts:   exec.CollectSorts(op),
-		ioStart: db.disk.Stats(),
-		start:   time.Now(),
+		db:    db,
+		ctx:   ctx,
+		op:    op,
+		cols:  inner.Schema.Names(),
+		sorts: exec.CollectSorts(op),
+		tap:   tap,
+		start: time.Now(),
 	}
 	if err := op.Open(); err != nil {
 		if cerr := op.Close(); cerr != nil {
@@ -323,7 +366,7 @@ func (c *Cursor) snapshot() ExecStats {
 		Rows:           c.rows,
 		TimeToFirstRow: c.firstRow,
 		Elapsed:        time.Since(c.start),
-		IO:             c.db.disk.Stats().Sub(c.ioStart),
+		IO:             c.tap.Stats(),
 	}
 	if len(c.sorts) > 0 {
 		s.Sorts = make([]SortStats, len(c.sorts))

@@ -399,6 +399,77 @@ func TestConcurrentCursors(t *testing.T) {
 	}
 }
 
+// TestPerQueryIOAttribution pins the per-query ledger taps: cursors
+// running concurrently on one Database report exact, disjoint I/O — each
+// equals the solo run of the same plan transfer for transfer, and the
+// device-level delta is exactly their sum. (`make race` gates the tap
+// plumbing underneath.) Spilling is forced so arena taps are exercised;
+// serial sort knobs keep each cursor's I/O bit-deterministic.
+func TestPerQueryIOAttribution(t *testing.T) {
+	db := segmentedDB(t, 20_000, 10_000)
+	plan, err := db.Optimize(db.Scan("big").OrderBy("g", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []ExecOption{WithSortMemoryBlocks(8), WithSortParallelism(1), WithSortSpillParallelism(1)}
+
+	drain := func() ExecStats {
+		t.Helper()
+		cur, err := db.Query(context.Background(), plan, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cur.Next() {
+		}
+		if err := cur.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return cur.Stats()
+	}
+	want := drain().IO
+	if want.RunTotal() == 0 {
+		t.Fatal("workload must spill for arena taps to be exercised")
+	}
+
+	before := db.IOStats()
+	const workers = 4
+	stats := make([]ExecStats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cur, err := db.Query(context.Background(), plan, opts...)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer cur.Close()
+			for cur.Next() {
+			}
+			errs[w] = cur.Err()
+			stats[w] = cur.Stats()
+		}(w)
+	}
+	wg.Wait()
+
+	var sum IOStats
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("cursor %d: %v", w, errs[w])
+		}
+		if stats[w].IO != want {
+			t.Fatalf("cursor %d IO = %+v, want the solo run's exact %+v — attribution overlapped",
+				w, stats[w].IO, want)
+		}
+		sum.Add(stats[w].IO)
+	}
+	if delta := db.IOStats().Sub(before); delta != sum {
+		t.Fatalf("device delta %+v != sum of per-query taps %+v", delta, sum)
+	}
+}
+
 func TestQueryRejectsForeignPlan(t *testing.T) {
 	db := openTestDB(t)
 	other := openTestDB(t)

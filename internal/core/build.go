@@ -40,6 +40,13 @@ type BuildConfig struct {
 	// package comment for the one caveat (SRS emission order of tuples
 	// with duplicate full sort keys).
 	SortRunFormation xsort.RunFormation
+	// IOTap, when non-nil, receives a copy of every I/O charge this plan's
+	// operators cause — scans, deferred fetches, nested-loops spools, and
+	// sort spill arenas all charge it alongside the device ledger. The
+	// streaming cursor hands each query its own tap, so concurrent queries
+	// on one Database get exact, disjoint I/O attribution instead of
+	// overlapping windows over the shared device counters.
+	IOTap *storage.Tap
 }
 
 // Build compiles a physical plan into an executable operator tree.
@@ -70,13 +77,18 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 		Keys:             cfg.SortKeys,
 		RunFormation:     cfg.SortRunFormation,
 		Abort:            cfg.SortAbort,
+		Tap:              cfg.IOTap,
 	}
 
 	switch p.Kind {
 	case OpTableScan:
-		return exec.NewTableScan(p.Table), nil
+		scan := exec.NewTableScan(p.Table)
+		scan.SetIOTap(cfg.IOTap)
+		return scan, nil
 	case OpIndexScan:
-		return exec.NewIndexScan(p.Index), nil
+		scan := exec.NewIndexScan(p.Index)
+		scan.SetIOTap(cfg.IOTap)
+		return scan, nil
 	case OpFilter:
 		return exec.NewFilter(children[0], p.Pred)
 	case OpProject:
@@ -95,7 +107,12 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 	case OpHashJoin:
 		return exec.NewHashJoin(children[0], children[1], p.LeftKeys, p.RightKeys, p.JoinType)
 	case OpNLJoin:
-		return exec.NewNLJoin(children[0], children[1], p.Pred, p.JoinType, cfg.Disk, cfg.SortMemoryBlocks)
+		nl, err := exec.NewNLJoin(children[0], children[1], p.Pred, p.JoinType, cfg.Disk, cfg.SortMemoryBlocks)
+		if err != nil {
+			return nil, err
+		}
+		nl.SetIOTap(cfg.IOTap)
+		return nl, nil
 	case OpGroupAgg:
 		return exec.NewGroupAggregate(children[0], p.GroupCols, p.Aggs)
 	case OpHashAgg:
@@ -107,9 +124,20 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 	case OpDedup:
 		return exec.NewDedup(children[0]), nil
 	case OpLimit:
+		if len(children) == 0 {
+			// LIMIT 0: planned without a child (defined semantics — an
+			// empty result at zero cost), compiled to an empty leaf so no
+			// degenerate sort pipeline is ever built or opened.
+			return exec.NewValues(p.Schema, nil)
+		}
 		return exec.NewLimit(children[0], p.LimitK)
 	case OpFetch:
-		return exec.NewFetch(children[0], p.Table, p.FetchKeys)
+		fetch, err := exec.NewFetch(children[0], p.Table, p.FetchKeys)
+		if err != nil {
+			return nil, err
+		}
+		fetch.SetIOTap(cfg.IOTap)
+		return fetch, nil
 	default:
 		return nil, fmt.Errorf("core: cannot build operator for %v", p.Kind)
 	}

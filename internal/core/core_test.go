@@ -183,7 +183,7 @@ func TestHeuristicCostOrdering(t *testing.T) {
 	costs := map[Heuristic]float64{}
 	for _, h := range []Heuristic{HeuristicArbitrary, HeuristicFavorableExact, HeuristicPostgres, HeuristicFavorable, HeuristicExhaustive} {
 		res := mustOptimize(t, root, DefaultOptions(h))
-		costs[h] = res.Plan.Cost
+		costs[h] = res.Plan.Cost.Total
 	}
 	if costs[HeuristicExhaustive] > costs[HeuristicFavorable]+1e-9 {
 		t.Fatalf("PYRO-E (%f) must not exceed PYRO-O (%f)", costs[HeuristicExhaustive], costs[HeuristicFavorable])
@@ -364,8 +364,8 @@ func TestPhase2NeverWorsensCost(t *testing.T) {
 	optsNo := DefaultOptions(HeuristicFavorable)
 	optsNo.DisablePhase2 = true
 	without := mustOptimize(t, root, optsNo)
-	if with.Plan.Cost > without.Plan.Cost+1e-9 {
-		t.Fatalf("phase 2 made the plan worse: %f > %f", with.Plan.Cost, without.Plan.Cost)
+	if with.Plan.Cost.Total > without.Plan.Cost.Total+1e-9 {
+		t.Fatalf("phase 2 made the plan worse: %f > %f", with.Plan.Cost.Total, without.Plan.Cost.Total)
 	}
 }
 

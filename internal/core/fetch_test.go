@@ -69,8 +69,8 @@ func TestDeferredFetchChosenForSelectivePredicate(t *testing.T) {
 	}
 	// The deferred-fetch plan must be cheaper than even the bare heap scan
 	// the table-scan alternative would start from.
-	if res.Plan.Cost >= float64(tb.NumBlocks()) {
-		t.Fatalf("deferred fetch (%f) should beat a full scan (%d blocks)", res.Plan.Cost, tb.NumBlocks())
+	if res.Plan.Cost.Total >= float64(tb.NumBlocks()) {
+		t.Fatalf("deferred fetch (%f) should beat a full scan (%d blocks)", res.Plan.Cost.Total, tb.NumBlocks())
 	}
 }
 

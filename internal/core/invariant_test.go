@@ -20,7 +20,7 @@ func TestOptimizerDeterministic(t *testing.T) {
 		a := mustOptimize(t, root, DefaultOptions(h))
 		b := mustOptimize(t, root, DefaultOptions(h))
 		if a.Plan.Cost != b.Plan.Cost {
-			t.Fatalf("%v: cost varies across runs: %f vs %f", h, a.Plan.Cost, b.Plan.Cost)
+			t.Fatalf("%v: cost varies across runs: %+v vs %+v", h, a.Plan.Cost, b.Plan.Cost)
 		}
 		if a.Plan.Signature() != b.Plan.Signature() {
 			t.Fatalf("%v: plan shape varies across runs:\n%s\nvs\n%s",
@@ -39,10 +39,10 @@ func TestMoreOptionsNeverHurt(t *testing.T) {
 		supps := 4 + int64(rng.Intn(6))
 		fa := newFixture(t)
 		fa.buildQ3WorldNoIndices(t, parts, supps)
-		costNoIx := mustOptimize(t, fa.q3(t), DefaultOptions(HeuristicFavorable)).Plan.Cost
+		costNoIx := mustOptimize(t, fa.q3(t), DefaultOptions(HeuristicFavorable)).Plan.Cost.Total
 		fb := newFixture(t)
 		fb.buildQ3World(t, parts, supps)
-		costIx := mustOptimize(t, fb.q3(t), DefaultOptions(HeuristicFavorable)).Plan.Cost
+		costIx := mustOptimize(t, fb.q3(t), DefaultOptions(HeuristicFavorable)).Plan.Cost.Total
 		if costIx > costNoIx+1e-9 {
 			t.Fatalf("trial %d: adding covering indices raised the best cost: %f -> %f",
 				trial, costNoIx, costIx)
@@ -71,11 +71,11 @@ func TestRequiredOrderAlwaysInMemoKey(t *testing.T) {
 		memo:   map[logical.Node]map[string]*Plan{},
 		forced: map[*logical.Join]sortord.Order{},
 	}
-	a, err := opt.bestPlan(ps, sortord.New("ps_suppkey"))
+	a, err := opt.bestPlan(ps, sortord.New("ps_suppkey"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := opt.bestPlan(ps, sortord.New("ps_partkey"))
+	b, err := opt.bestPlan(ps, sortord.New("ps_partkey"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

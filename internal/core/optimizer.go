@@ -65,6 +65,16 @@ type Options struct {
 	DisableHashJoin  bool
 	DisableMergeJoin bool
 	DisableHashAgg   bool
+	// RowTarget, when positive, optimizes for first-k consumption: plans
+	// are compared by PrefixCost(RowTarget) — the cost of producing the
+	// first RowTarget rows — instead of full-drain Total, and the row
+	// budget is pushed down through order-preserving operators so deep
+	// enforcer choices (partial sort vs full sort vs hash) see it too. A
+	// Limit node in the query imposes its K the same way regardless of
+	// this field. 0 (the default) prices full result production; since
+	// PrefixCost(N) ≡ Cost.Total, unlimited plan choices are identical to
+	// the scalar model's.
+	RowTarget int64
 }
 
 // DefaultOptions returns the canonical configuration for a heuristic.
@@ -120,22 +130,61 @@ func Optimize(root logical.Node, opts Options) (*Result, error) {
 	if ob, ok := root.(*logical.OrderBy); ok {
 		node, required = ob.Child, ob.Order
 	}
-	plan, err := opt.bestPlan(node, required)
+	budget := opts.RowTarget
+	if budget < 0 {
+		budget = 0
+	}
+	plan, err := opt.bestPlan(node, required, budget)
 	if err != nil {
 		return nil, err
 	}
 	if !opts.DisablePhase2 {
-		refined, err := opt.refine(node, required, plan)
+		refined, err := opt.refine(node, required, plan, budget)
 		if err != nil {
 			return nil, err
 		}
 		opt.stats.Phase2Applied = true
-		if refined != nil && refined.Cost < plan.Cost {
+		if refined != nil && opt.cheaper(refined, plan, budget) {
 			opt.stats.Phase2Improved = true
 			plan = refined
 		}
 	}
 	return &Result{Plan: plan, Stats: opt.stats}, nil
+}
+
+// cheaper compares two plans under the active row budget: with a budget the
+// first budget rows' cost decides (full-drain total breaks ties); without
+// one the comparison is the scalar model's full-drain comparison, so
+// unlimited plan choices are bit-identical to the pre-prefix optimizer.
+func (opt *Optimizer) cheaper(a, b *Plan, budget int64) bool {
+	if budget > 0 {
+		pa, pb := a.PrefixCost(budget), b.PrefixCost(budget)
+		if pa != pb {
+			return pa < pb
+		}
+	}
+	return a.Cost.Total < b.Cost.Total
+}
+
+// scaleBudget translates a row budget across an operator boundary: if the
+// consumer stops after k of outRows output rows, the operator will have
+// pulled about k·inRows/outRows of its child's inRows rows (uniformity, the
+// same assumption Prefix interpolation makes). 0 propagates "no budget".
+func scaleBudget(k, outRows, inRows int64) int64 {
+	if k <= 0 {
+		return 0
+	}
+	if outRows <= 0 || inRows <= 0 || k >= outRows {
+		return inRows
+	}
+	scaled := (k*inRows + outRows - 1) / outRows
+	if scaled < 1 {
+		scaled = 1
+	}
+	if scaled > inRows {
+		scaled = inRows
+	}
+	return scaled
 }
 
 // blocksFor estimates B(e) for a plan node's actual schema width.
@@ -157,9 +206,15 @@ func (opt *Optimizer) blocksFor(rows int64, width int) int64 {
 	return b
 }
 
-// bestPlan returns the cheapest plan for (n, required); memoized.
-func (opt *Optimizer) bestPlan(n logical.Node, required sortord.Order) (*Plan, error) {
+// bestPlan returns the cheapest plan for (n, required) under the row
+// budget (0 = the consumer drains everything; k > 0 = the consumer stops
+// after k rows, so candidates are compared by PrefixCost(k)); memoized on
+// all three.
+func (opt *Optimizer) bestPlan(n logical.Node, required sortord.Order, budget int64) (*Plan, error) {
 	key := required.Key()
+	if budget > 0 {
+		key = fmt.Sprintf("%s#%d", key, budget)
+	}
 	if m, ok := opt.memo[n]; ok {
 		if p, hit := m[key]; hit {
 			return p, nil
@@ -176,42 +231,23 @@ func (opt *Optimizer) bestPlan(n logical.Node, required sortord.Order) (*Plan, e
 	case *logical.Scan:
 		candidates, err = opt.scanCandidates(t)
 	case *logical.Select:
-		candidates, err = opt.selectCandidates(t, required)
+		candidates, err = opt.selectCandidates(t, required, budget)
 	case *logical.Project:
-		candidates, err = opt.projectCandidates(t, required)
+		candidates, err = opt.projectCandidates(t, required, budget)
 	case *logical.Join:
-		candidates, err = opt.joinCandidates(t, required)
+		candidates, err = opt.joinCandidates(t, required, budget)
 		canon = t.CanonicalizeOrder
 	case *logical.GroupBy:
-		candidates, err = opt.groupByCandidates(t, required)
+		candidates, err = opt.groupByCandidates(t, required, budget)
 	case *logical.Distinct:
-		candidates, err = opt.distinctCandidates(t, required)
+		candidates, err = opt.distinctCandidates(t, required, budget)
 	case *logical.Union:
-		candidates, err = opt.unionCandidates(t, required)
+		candidates, err = opt.unionCandidates(t, required, budget)
 	case *logical.Limit:
-		// Limit preserves order; the requirement passes through. The cost
-		// model charges the full child (it prices total work, not
-		// time-to-K), but execution stops the pipeline after K rows — the
-		// Top-K benefit of §3.1/§7 shows up in measured runs.
-		child, cerr := opt.bestPlan(t.Child, required)
-		if cerr != nil {
-			return nil, cerr
-		}
-		rows := t.Props().Rows
-		candidates, err = []*Plan{{
-			Kind:     OpLimit,
-			Children: []*Plan{child},
-			LimitK:   t.K,
-			Schema:   child.Schema,
-			OutOrder: child.OutOrder,
-			Rows:     rows,
-			Blocks:   opt.blocksFor(rows, child.Schema.AvgTupleWidth()),
-			Cost:     child.Cost,
-			Logical:  t,
-		}}, nil
+		candidates, err = opt.limitCandidates(t, required, budget)
 	case *logical.OrderBy:
 		// Nested order-by: optimize the child for the combined order.
-		child, cerr := opt.bestPlan(t.Child, t.Order)
+		child, cerr := opt.bestPlan(t.Child, t.Order, budget)
 		if cerr != nil {
 			return nil, cerr
 		}
@@ -231,7 +267,7 @@ func (opt *Optimizer) bestPlan(n logical.Node, required sortord.Order) (*Plan, e
 	for _, cand := range candidates {
 		opt.stats.PlansCosted++
 		final := opt.enforce(cand, required, props, canon)
-		if best == nil || final.Cost < best.Cost {
+		if best == nil || opt.cheaper(final, best, budget) {
 			best = final
 		}
 	}
@@ -239,9 +275,71 @@ func (opt *Optimizer) bestPlan(n logical.Node, required sortord.Order) (*Plan, e
 	return best, nil
 }
 
+// limitCandidates plans a LIMIT K node. Limit preserves order, so the
+// requirement passes through; the child is planned under a row budget of K
+// (tightened by any enclosing budget) and the node's full-drain cost is the
+// child's K-prefix cost — execution stops pulling and closes the child at K
+// (exec.Limit), so the child work beyond the first K rows is never
+// performed. K = 0 has defined semantics: an empty result at zero cost,
+// planned without a child so no degenerate sort is ever built (the executor
+// compiles it to an empty Values leaf).
+func (opt *Optimizer) limitCandidates(t *logical.Limit, required sortord.Order, budget int64) ([]*Plan, error) {
+	rows := t.Props().Rows
+	if t.K == 0 {
+		return []*Plan{{
+			Kind:     OpLimit,
+			LimitK:   0,
+			Schema:   t.Schema(),
+			OutOrder: required.Clone(),
+			Rows:     0,
+			Blocks:   0,
+			Cost:     cost.Cost{},
+			Logical:  t,
+		}}, nil
+	}
+	childBudget := t.K
+	if budget > 0 && budget < childBudget {
+		childBudget = budget
+	}
+	child, err := opt.bestPlan(t.Child, required, childBudget)
+	if err != nil {
+		return nil, err
+	}
+	// The child's Startup field interpolates linearly while PrefixCost
+	// steps partial sorts one segment at a time, so at tiny K the stepped
+	// total can undercut the interpolated startup; clamp to preserve the
+	// Startup ≤ Total invariant ancestors' Prefix interpolation relies on.
+	total := child.PrefixCost(t.K)
+	startup := child.Cost.Startup
+	if startup > total {
+		startup = total
+	}
+	return []*Plan{{
+		Kind:     OpLimit,
+		Children: []*Plan{child},
+		LimitK:   t.K,
+		Schema:   child.Schema,
+		OutOrder: child.OutOrder,
+		Rows:     rows,
+		Blocks:   opt.blocksFor(rows, child.Schema.AvgTupleWidth()),
+		Cost: cost.Cost{
+			Startup: startup,
+			Total:   total,
+			Rows:    rows,
+		},
+		Logical: t,
+	}}, nil
+}
+
 // enforce adds a (partial) sort on top of plan if it does not already
 // guarantee required. canon, when non-nil, maps equivalent column names
 // (both sides of an equijoin) to a canonical spelling before comparison.
+//
+// Cost composition is where the two phases diverge: a full sort (SRS)
+// blocks on its child's entire drain plus its own startup, while a partial
+// sort (MRS) needs only the first segment's worth of input and one segment
+// sort before emitting — the child's prefix cost for N/D rows. Totals
+// compose exactly as the scalar model did.
 func (opt *Optimizer) enforce(plan *Plan, required sortord.Order, props logical.Props, canon func(sortord.Order) sortord.Order) *Plan {
 	if required.IsEmpty() {
 		return plan
@@ -266,16 +364,39 @@ func (opt *Optimizer) enforce(plan *Plan, required sortord.Order, props logical.
 	}
 	sortCost := opt.opts.Model.PartialSort(plan.Rows, plan.Blocks, segments, required.Len()-prefix.Len())
 	given := required[:prefix.Len()].Clone()
+	var startup float64
+	var sortSegments int64
+	if !given.IsEmpty() && segments > 1 {
+		// Partial sort: pipelined. First row after one segment of input and
+		// one segment sort.
+		perSegRows := plan.Rows / segments
+		if perSegRows < 1 {
+			perSegRows = 1
+		}
+		startup = plan.Cost.Prefix(perSegRows) + sortCost.Startup
+		sortSegments = segments
+	} else {
+		// Full sort (or a single-segment partial sort, which degenerates to
+		// one full sort of everything): the whole input is consumed before
+		// the first row, then the sort's own blocking phase runs (an
+		// external sort still streams its final merge read).
+		startup = plan.Cost.Total + opt.opts.Model.FullSort(plan.Rows, plan.Blocks).Startup
+	}
 	return &Plan{
-		Kind:       OpSort,
-		Children:   []*Plan{plan},
-		SortTarget: required.Clone(),
-		SortGiven:  given,
-		Schema:     plan.Schema,
-		OutOrder:   required.Clone(),
-		Rows:       plan.Rows,
-		Blocks:     plan.Blocks,
-		Cost:       plan.Cost + sortCost,
+		Kind:         OpSort,
+		Children:     []*Plan{plan},
+		SortTarget:   required.Clone(),
+		SortGiven:    given,
+		SortSegments: sortSegments,
+		Schema:       plan.Schema,
+		OutOrder:     required.Clone(),
+		Rows:         plan.Rows,
+		Blocks:       plan.Blocks,
+		Cost: cost.Cost{
+			Startup: startup,
+			Total:   plan.Cost.Total + sortCost.Total,
+			Rows:    plan.Rows,
+		},
 	}
 }
 
@@ -288,7 +409,7 @@ func (opt *Optimizer) scanCandidates(s *logical.Scan) ([]*Plan, error) {
 		OutOrder: t.ClusterOrder.Clone(),
 		Rows:     t.Stats.NumRows,
 		Blocks:   t.NumBlocks(),
-		Cost:     opt.opts.Model.ScanIO(t.NumBlocks()),
+		Cost:     cost.Streaming(opt.opts.Model.ScanIO(t.NumBlocks()), t.Stats.NumRows),
 		Logical:  s,
 	}}
 	need := opt.fc.NeededAttrs(t)
@@ -303,15 +424,18 @@ func (opt *Optimizer) scanCandidates(s *logical.Scan) ([]*Plan, error) {
 			OutOrder: ix.KeyOrder.Clone(),
 			Rows:     t.Stats.NumRows,
 			Blocks:   ix.NumBlocks(),
-			Cost:     opt.opts.Model.ScanIO(ix.NumBlocks()),
+			Cost:     cost.Streaming(opt.opts.Model.ScanIO(ix.NumBlocks()), t.Stats.NumRows),
 			Logical:  s,
 		})
 	}
 	return plans, nil
 }
 
-func (opt *Optimizer) selectCandidates(s *logical.Select, required sortord.Order) ([]*Plan, error) {
+func (opt *Optimizer) selectCandidates(s *logical.Select, required sortord.Order, budget int64) ([]*Plan, error) {
 	props := s.Props()
+	// A filter streams: the budget scales up by the inverse selectivity (k
+	// output rows require ~k·in/out input rows).
+	childBudget := scaleBudget(budget, props.Rows, s.Child.Props().Rows)
 	mk := func(child *Plan) *Plan {
 		return &Plan{
 			Kind:     OpFilter,
@@ -321,21 +445,25 @@ func (opt *Optimizer) selectCandidates(s *logical.Select, required sortord.Order
 			OutOrder: child.OutOrder,
 			Rows:     props.Rows,
 			Blocks:   opt.blocksFor(props.Rows, child.Schema.AvgTupleWidth()),
-			Cost:     child.Cost + opt.opts.Model.FilterCPU(child.Rows),
-			Logical:  s,
+			Cost: cost.Cost{
+				Startup: child.Cost.Startup,
+				Total:   child.Cost.Total + opt.opts.Model.FilterCPU(child.Rows),
+				Rows:    props.Rows,
+			},
+			Logical: s,
 		}
 	}
 	var plans []*Plan
 	// Push the requirement below the filter (order-preserving)…
 	if !required.IsEmpty() && s.Child.Schema().HasAll(required.Attrs()) {
-		child, err := opt.bestPlan(s.Child, required)
+		child, err := opt.bestPlan(s.Child, required, childBudget)
 		if err != nil {
 			return nil, err
 		}
 		plans = append(plans, mk(child))
 	}
 	// …or filter first and sort the (smaller) result above.
-	child, err := opt.bestPlan(s.Child, sortord.Empty)
+	child, err := opt.bestPlan(s.Child, sortord.Empty, childBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -385,7 +513,7 @@ func (opt *Optimizer) deferredFetchCandidates(s *logical.Select, props logical.P
 			OutOrder: ix.KeyOrder.Clone(),
 			Rows:     t.Stats.NumRows,
 			Blocks:   ix.NumBlocks(),
-			Cost:     opt.opts.Model.ScanIO(ix.NumBlocks()),
+			Cost:     cost.Streaming(opt.opts.Model.ScanIO(ix.NumBlocks()), t.Stats.NumRows),
 			Logical:  scan,
 		}
 		flt := &Plan{
@@ -396,8 +524,12 @@ func (opt *Optimizer) deferredFetchCandidates(s *logical.Select, props logical.P
 			OutOrder: iscan.OutOrder,
 			Rows:     props.Rows,
 			Blocks:   opt.blocksFor(props.Rows, ix.Schema().AvgTupleWidth()),
-			Cost:     iscan.Cost + opt.opts.Model.FilterCPU(iscan.Rows),
-			Logical:  s,
+			Cost: cost.Cost{
+				Startup: iscan.Cost.Startup,
+				Total:   iscan.Cost.Total + opt.opts.Model.FilterCPU(iscan.Rows),
+				Rows:    props.Rows,
+			},
+			Logical: s,
 		}
 		// The fetch preserves the child's order only while the looked-up
 		// rows come back in child order — they do, one lookup per tuple.
@@ -410,14 +542,18 @@ func (opt *Optimizer) deferredFetchCandidates(s *logical.Select, props logical.P
 			OutOrder:  flt.OutOrder,
 			Rows:      props.Rows,
 			Blocks:    opt.blocksFor(props.Rows, t.Schema.AvgTupleWidth()),
-			Cost:      flt.Cost + opt.opts.Model.FetchCost(props.Rows),
-			Logical:   s,
+			Cost: cost.Cost{
+				Startup: flt.Cost.Startup,
+				Total:   flt.Cost.Total + opt.opts.Model.FetchCost(props.Rows),
+				Rows:    props.Rows,
+			},
+			Logical: s,
 		})
 	}
 	return plans
 }
 
-func (opt *Optimizer) projectCandidates(p *logical.Project, required sortord.Order) ([]*Plan, error) {
+func (opt *Optimizer) projectCandidates(p *logical.Project, required sortord.Order, budget int64) ([]*Plan, error) {
 	props := p.Props()
 	// Output name -> source child column for plain references.
 	toChild := make(map[string]string)
@@ -449,10 +585,15 @@ func (opt *Optimizer) projectCandidates(p *logical.Project, required sortord.Ord
 			OutOrder: out,
 			Rows:     props.Rows,
 			Blocks:   opt.blocksFor(props.Rows, p.Schema().AvgTupleWidth()),
-			Cost:     child.Cost + opt.opts.Model.ProjectCPU(child.Rows),
-			Logical:  p,
+			Cost: cost.Cost{
+				Startup: child.Cost.Startup,
+				Total:   child.Cost.Total + opt.opts.Model.ProjectCPU(child.Rows),
+				Rows:    props.Rows,
+			},
+			Logical: p,
 		}
 	}
+	// Projection preserves cardinality: the budget passes through intact.
 	var plans []*Plan
 	if !required.IsEmpty() {
 		// Translate the requirement through the projection if possible.
@@ -467,14 +608,14 @@ func (opt *Optimizer) projectCandidates(p *logical.Project, required sortord.Ord
 			translated = append(translated, src)
 		}
 		if ok && p.Child.Schema().HasAll(translated.Attrs()) {
-			child, err := opt.bestPlan(p.Child, translated)
+			child, err := opt.bestPlan(p.Child, translated, budget)
 			if err != nil {
 				return nil, err
 			}
 			plans = append(plans, mk(child))
 		}
 	}
-	child, err := opt.bestPlan(p.Child, sortord.Empty)
+	child, err := opt.bestPlan(p.Child, sortord.Empty, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -507,17 +648,19 @@ func (opt *Optimizer) interestingOrders(attrs sortord.AttrSet, inputAFMs [][]sor
 	return orders
 }
 
-func (opt *Optimizer) joinCandidates(j *logical.Join, required sortord.Order) ([]*Plan, error) {
+func (opt *Optimizer) joinCandidates(j *logical.Join, required sortord.Order, budget int64) ([]*Plan, error) {
 	props := j.Props()
 	var plans []*Plan
 
 	if len(j.EquiPairs) == 0 {
-		// Non-equijoin: block nested loops only.
-		lp, err := opt.bestPlan(j.Left, sortord.Empty)
+		// Non-equijoin: block nested loops only. The inner is spooled and
+		// rescanned regardless of how few rows the consumer takes, so no
+		// budget reaches the children.
+		lp, err := opt.bestPlan(j.Left, sortord.Empty, 0)
 		if err != nil {
 			return nil, err
 		}
-		rp, err := opt.bestPlan(j.Right, sortord.Empty)
+		rp, err := opt.bestPlan(j.Right, sortord.Empty, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -525,6 +668,7 @@ func (opt *Optimizer) joinCandidates(j *logical.Join, required sortord.Order) ([
 		if lp.Blocks <= opt.opts.Model.MemoryBlocks {
 			out = lp.OutOrder // one outer block: order propagates
 		}
+		nl := opt.opts.Model.NLJoinCost(lp.Blocks, rp.Blocks)
 		return []*Plan{{
 			Kind:     OpNLJoin,
 			Children: []*Plan{lp, rp},
@@ -534,8 +678,12 @@ func (opt *Optimizer) joinCandidates(j *logical.Join, required sortord.Order) ([
 			OutOrder: out,
 			Rows:     props.Rows,
 			Blocks:   opt.blocksFor(props.Rows, lp.Schema.AvgTupleWidth()+rp.Schema.AvgTupleWidth()),
-			Cost:     lp.Cost + rp.Cost + opt.opts.Model.NLJoinCost(lp.Blocks, rp.Blocks),
-			Logical:  j,
+			Cost: cost.Cost{
+				Startup: lp.Cost.Startup + rp.Cost.Total + nl.Startup,
+				Total:   lp.Cost.Total + rp.Cost.Total + nl.Total,
+				Rows:    props.Rows,
+			},
+			Logical: j,
 		}}, nil
 	}
 
@@ -551,7 +699,7 @@ func (opt *Optimizer) joinCandidates(j *logical.Join, required sortord.Order) ([
 			perms = opt.interestingOrders(sLeft, afms, reqS)
 		}
 		for _, p := range perms {
-			mj, err := opt.mergeJoinPlan(j, p, props)
+			mj, err := opt.mergeJoinPlan(j, p, props, budget)
 			if err != nil {
 				return nil, err
 			}
@@ -560,11 +708,13 @@ func (opt *Optimizer) joinCandidates(j *logical.Join, required sortord.Order) ([
 	}
 
 	if !opt.opts.DisableHashJoin && j.Type != exec.FullOuterJoin {
-		lp, err := opt.bestPlan(j.Left, sortord.Empty)
+		// The probe side streams (budget scales through); the build side is
+		// drained during startup no matter what the consumer does.
+		lp, err := opt.bestPlan(j.Left, sortord.Empty, scaleBudget(budget, props.Rows, j.Left.Props().Rows))
 		if err != nil {
 			return nil, err
 		}
-		rp, err := opt.bestPlan(j.Right, sortord.Empty)
+		rp, err := opt.bestPlan(j.Right, sortord.Empty, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -573,6 +723,7 @@ func (opt *Optimizer) joinCandidates(j *logical.Join, required sortord.Order) ([
 		for i, pr := range j.EquiPairs {
 			leftKeys[i], rightKeys[i] = pr.Left, pr.Right
 		}
+		hc := opt.opts.Model.HashJoinCost(lp.Rows, rp.Rows, lp.Blocks, rp.Blocks)
 		hj := &Plan{
 			Kind:      OpHashJoin,
 			Children:  []*Plan{lp, rp},
@@ -583,8 +734,11 @@ func (opt *Optimizer) joinCandidates(j *logical.Join, required sortord.Order) ([
 			OutOrder:  sortord.Empty,
 			Rows:      props.Rows,
 			Blocks:    opt.blocksFor(props.Rows, lp.Schema.AvgTupleWidth()+rp.Schema.AvgTupleWidth()),
-			Cost: lp.Cost + rp.Cost +
-				opt.opts.Model.HashJoinCost(lp.Rows, rp.Rows, lp.Blocks, rp.Blocks),
+			Cost: cost.Cost{
+				Startup: lp.Cost.Startup + rp.Cost.Total + hc.Startup,
+				Total:   lp.Cost.Total + rp.Cost.Total + hc.Total,
+				Rows:    props.Rows,
+			},
 			Logical: j,
 		}
 		plans = append(plans, opt.wrapResidual(j, hj, props))
@@ -596,8 +750,10 @@ func (opt *Optimizer) joinCandidates(j *logical.Join, required sortord.Order) ([
 }
 
 // mergeJoinPlan builds one merge-join candidate for permutation p (left
-// names), wrapping residual predicates in a Filter.
-func (opt *Optimizer) mergeJoinPlan(j *logical.Join, p sortord.Order, props logical.Props) (*Plan, error) {
+// names), wrapping residual predicates in a Filter. A merge join streams
+// both inputs, so the budget scales through to each side by its
+// cardinality.
+func (opt *Optimizer) mergeJoinPlan(j *logical.Join, p sortord.Order, props logical.Props, budget int64) (*Plan, error) {
 	rightKey := make(sortord.Order, len(p))
 	for i, a := range p {
 		r, ok := j.RightName(a)
@@ -606,11 +762,11 @@ func (opt *Optimizer) mergeJoinPlan(j *logical.Join, p sortord.Order, props logi
 		}
 		rightKey[i] = r
 	}
-	lp, err := opt.bestPlan(j.Left, p)
+	lp, err := opt.bestPlan(j.Left, p, scaleBudget(budget, props.Rows, j.Left.Props().Rows))
 	if err != nil {
 		return nil, err
 	}
-	rp, err := opt.bestPlan(j.Right, rightKey)
+	rp, err := opt.bestPlan(j.Right, rightKey, scaleBudget(budget, props.Rows, j.Right.Props().Rows))
 	if err != nil {
 		return nil, err
 	}
@@ -624,8 +780,12 @@ func (opt *Optimizer) mergeJoinPlan(j *logical.Join, p sortord.Order, props logi
 		OutOrder: p.Clone(),
 		Rows:     props.Rows,
 		Blocks:   opt.blocksFor(props.Rows, lp.Schema.AvgTupleWidth()+rp.Schema.AvgTupleWidth()),
-		Cost:     lp.Cost + rp.Cost + opt.opts.Model.MergeJoinCPU(lp.Rows, rp.Rows),
-		Logical:  j,
+		Cost: cost.Cost{
+			Startup: lp.Cost.Startup + rp.Cost.Startup,
+			Total:   lp.Cost.Total + rp.Cost.Total + opt.opts.Model.MergeJoinCPU(lp.Rows, rp.Rows),
+			Rows:    props.Rows,
+		},
+		Logical: j,
 	}
 	return opt.wrapResidual(j, mj, props), nil
 }
@@ -644,8 +804,12 @@ func (opt *Optimizer) wrapResidual(j *logical.Join, plan *Plan, props logical.Pr
 		OutOrder: plan.OutOrder,
 		Rows:     props.Rows,
 		Blocks:   plan.Blocks,
-		Cost:     plan.Cost + opt.opts.Model.FilterCPU(plan.Rows),
-		Logical:  j,
+		Cost: cost.Cost{
+			Startup: plan.Cost.Startup,
+			Total:   plan.Cost.Total + opt.opts.Model.FilterCPU(plan.Rows),
+			Rows:    props.Rows,
+		},
+		Logical: j,
 	}
 }
 
@@ -681,16 +845,20 @@ func (opt *Optimizer) determiningSubset(child logical.Node, groupCols []string) 
 	return kept
 }
 
-func (opt *Optimizer) groupByCandidates(g *logical.GroupBy, required sortord.Order) ([]*Plan, error) {
+func (opt *Optimizer) groupByCandidates(g *logical.GroupBy, required sortord.Order, budget int64) ([]*Plan, error) {
 	props := g.Props()
 	var plans []*Plan
 
+	// A streaming aggregate over sorted input emits a group as soon as its
+	// last input row passes: the budget scales through by the group size.
+	// Hash aggregation drains its child before the first group exists.
+	streamBudget := scaleBudget(budget, props.Rows, g.Child.Props().Rows)
 	det := opt.determiningSubset(g.Child, g.GroupCols)
 	attrs := sortord.NewAttrSet(det...)
 	reqRestricted := required.LongestPrefixIn(attrs)
 	afms := [][]sortord.Order{opt.fc.AFM(g.Child)}
 	for _, p := range opt.interestingOrders(attrs, afms, reqRestricted) {
-		child, err := opt.bestPlan(g.Child, p)
+		child, err := opt.bestPlan(g.Child, p, streamBudget)
 		if err != nil {
 			return nil, err
 		}
@@ -705,17 +873,22 @@ func (opt *Optimizer) groupByCandidates(g *logical.GroupBy, required sortord.Ord
 			OutOrder:  p.Clone(),
 			Rows:      props.Rows,
 			Blocks:    opt.blocksFor(props.Rows, g.Schema().AvgTupleWidth()),
-			Cost:      child.Cost + opt.opts.Model.GroupAggCPU(child.Rows),
-			Logical:   g,
+			Cost: cost.Cost{
+				Startup: child.Cost.Startup,
+				Total:   child.Cost.Total + opt.opts.Model.GroupAggCPU(child.Rows),
+				Rows:    props.Rows,
+			},
+			Logical: g,
 		})
 	}
 
 	if !opt.opts.DisableHashAgg {
-		child, err := opt.bestPlan(g.Child, sortord.Empty)
+		child, err := opt.bestPlan(g.Child, sortord.Empty, 0)
 		if err != nil {
 			return nil, err
 		}
 		outBlocks := opt.blocksFor(props.Rows, g.Schema().AvgTupleWidth())
+		ha := opt.opts.Model.HashAggCost(child.Rows, outBlocks)
 		plans = append(plans, &Plan{
 			Kind:      OpHashAgg,
 			Children:  []*Plan{child},
@@ -725,21 +898,26 @@ func (opt *Optimizer) groupByCandidates(g *logical.GroupBy, required sortord.Ord
 			OutOrder:  sortord.Empty,
 			Rows:      props.Rows,
 			Blocks:    outBlocks,
-			Cost:      child.Cost + opt.opts.Model.HashAggCost(child.Rows, outBlocks),
-			Logical:   g,
+			Cost: cost.Cost{
+				Startup: child.Cost.Total + ha.Total,
+				Total:   child.Cost.Total + ha.Total,
+				Rows:    props.Rows,
+			},
+			Logical: g,
 		})
 	}
 	return plans, nil
 }
 
-func (opt *Optimizer) distinctCandidates(d *logical.Distinct, required sortord.Order) ([]*Plan, error) {
+func (opt *Optimizer) distinctCandidates(d *logical.Distinct, required sortord.Order, budget int64) ([]*Plan, error) {
 	props := d.Props()
 	attrs := d.Child.Schema().AttrSet()
 	reqRestricted := required.LongestPrefixIn(attrs)
 	afms := [][]sortord.Order{opt.fc.AFM(d.Child)}
+	streamBudget := scaleBudget(budget, props.Rows, d.Child.Props().Rows)
 	var plans []*Plan
 	for _, p := range opt.interestingOrders(attrs, afms, reqRestricted) {
-		child, err := opt.bestPlan(d.Child, p)
+		child, err := opt.bestPlan(d.Child, p, streamBudget)
 		if err != nil {
 			return nil, err
 		}
@@ -750,16 +928,21 @@ func (opt *Optimizer) distinctCandidates(d *logical.Distinct, required sortord.O
 			OutOrder: p.Clone(),
 			Rows:     props.Rows,
 			Blocks:   opt.blocksFor(props.Rows, d.Schema().AvgTupleWidth()),
-			Cost:     child.Cost + opt.opts.Model.GroupAggCPU(child.Rows),
-			Logical:  d,
+			Cost: cost.Cost{
+				Startup: child.Cost.Startup,
+				Total:   child.Cost.Total + opt.opts.Model.GroupAggCPU(child.Rows),
+				Rows:    props.Rows,
+			},
+			Logical: d,
 		})
 	}
 	if !opt.opts.DisableHashAgg {
-		child, err := opt.bestPlan(d.Child, sortord.Empty)
+		child, err := opt.bestPlan(d.Child, sortord.Empty, 0)
 		if err != nil {
 			return nil, err
 		}
 		outBlocks := opt.blocksFor(props.Rows, d.Schema().AvgTupleWidth())
+		ha := opt.opts.Model.HashAggCost(child.Rows, outBlocks)
 		plans = append(plans, &Plan{
 			Kind:      OpHashAgg,
 			Children:  []*Plan{child},
@@ -768,17 +951,26 @@ func (opt *Optimizer) distinctCandidates(d *logical.Distinct, required sortord.O
 			OutOrder:  sortord.Empty,
 			Rows:      props.Rows,
 			Blocks:    outBlocks,
-			Cost:      child.Cost + opt.opts.Model.HashAggCost(child.Rows, outBlocks),
-			Logical:   d,
+			Cost: cost.Cost{
+				Startup: child.Cost.Total + ha.Total,
+				Total:   child.Cost.Total + ha.Total,
+				Rows:    props.Rows,
+			},
+			Logical: d,
 		})
 	}
 	return plans, nil
 }
 
-func (opt *Optimizer) unionCandidates(u *logical.Union, required sortord.Order) ([]*Plan, error) {
+func (opt *Optimizer) unionCandidates(u *logical.Union, required sortord.Order, budget int64) ([]*Plan, error) {
 	props := u.Props()
 	var plans []*Plan
 	attrs := u.Left.Schema().AttrSet()
+
+	// Both union forms stream their inputs; the budget scales through by
+	// each side's share of the output.
+	lBudget := scaleBudget(budget, props.Rows, u.Left.Props().Rows)
+	rBudget := scaleBudget(budget, props.Rows, u.Right.Props().Rows)
 
 	// Merge union: both inputs sorted on the same permutation — the
 	// coordinated choice SYS2 lacked in Experiment B2.
@@ -786,12 +978,12 @@ func (opt *Optimizer) unionCandidates(u *logical.Union, required sortord.Order) 
 		reqRestricted := required.LongestPrefixIn(attrs)
 		afms := [][]sortord.Order{opt.fc.AFM(u.Left), opt.translateRightUnion(u, opt.fc.AFM(u.Right))}
 		for _, p := range opt.interestingOrders(attrs, afms, reqRestricted) {
-			lp, err := opt.bestPlan(u.Left, p)
+			lp, err := opt.bestPlan(u.Left, p, lBudget)
 			if err != nil {
 				return nil, err
 			}
 			rightOrder := opt.rightUnionOrder(u, p)
-			rp, err := opt.bestPlan(u.Right, rightOrder)
+			rp, err := opt.bestPlan(u.Right, rightOrder, rBudget)
 			if err != nil {
 				return nil, err
 			}
@@ -804,17 +996,31 @@ func (opt *Optimizer) unionCandidates(u *logical.Union, required sortord.Order) 
 				OutOrder:   p.Clone(),
 				Rows:       props.Rows,
 				Blocks:     opt.blocksFor(props.Rows, u.Schema().AvgTupleWidth()),
-				Cost:       lp.Cost + rp.Cost + opt.opts.Model.MergeUnionCPU(lp.Rows+rp.Rows),
-				Logical:    u,
+				Cost: cost.Cost{
+					Startup: lp.Cost.Startup + rp.Cost.Startup,
+					Total:   lp.Cost.Total + rp.Cost.Total + opt.opts.Model.MergeUnionCPU(lp.Rows+rp.Rows),
+					Rows:    props.Rows,
+				},
+				Logical: u,
 			})
 		}
 	}
 	if !u.Dedup {
-		lp, err := opt.bestPlan(u.Left, sortord.Empty)
+		// UNION ALL emits the left stream to exhaustion before touching
+		// the right, so the first budget rows come entirely from the left;
+		// the right serves only whatever remains past the left's rows.
+		allLeft := budget
+		var allRight int64
+		if budget > 0 {
+			if lr := u.Left.Props().Rows; budget > lr {
+				allRight = budget - lr
+			}
+		}
+		lp, err := opt.bestPlan(u.Left, sortord.Empty, allLeft)
 		if err != nil {
 			return nil, err
 		}
-		rp, err := opt.bestPlan(u.Right, sortord.Empty)
+		rp, err := opt.bestPlan(u.Right, sortord.Empty, allRight)
 		if err != nil {
 			return nil, err
 		}
@@ -825,8 +1031,14 @@ func (opt *Optimizer) unionCandidates(u *logical.Union, required sortord.Order) 
 			OutOrder: sortord.Empty,
 			Rows:     props.Rows,
 			Blocks:   opt.blocksFor(props.Rows, u.Schema().AvgTupleWidth()),
-			Cost:     lp.Cost + rp.Cost,
-			Logical:  u,
+			Cost: cost.Cost{
+				// UNION ALL emits the left stream first: the right side's
+				// startup is not on the first row's path.
+				Startup: lp.Cost.Startup,
+				Total:   lp.Cost.Total + rp.Cost.Total,
+				Rows:    props.Rows,
+			},
+			Logical: u,
 		})
 	}
 	return plans, nil

@@ -13,8 +13,10 @@ import (
 // ordering across adjacent joins with the 2-approximate tree algorithm so
 // that neighbouring joins share longer prefixes. The plan is re-optimized
 // with the reworked permutations forced; the caller keeps whichever plan
-// costs less.
-func (opt *Optimizer) refine(node logical.Node, required sortord.Order, plan *Plan) (*Plan, error) {
+// costs less — under a row budget (a LIMIT or an explicit row target) the
+// comparison, like every other plan comparison, is by the first budget
+// rows' prefix cost rather than full drain.
+func (opt *Optimizer) refine(node logical.Node, required sortord.Order, plan *Plan, budget int64) (*Plan, error) {
 	joins := collectMergeJoins(plan)
 	if len(joins.nodes) < 2 {
 		return nil, nil
@@ -74,7 +76,7 @@ func (opt *Optimizer) refine(node logical.Node, required sortord.Order, plan *Pl
 		opt.forced[inf.node] = sortord.Concat(inf.shared, freeOrders[i])
 	}
 	opt.memo = make(map[logical.Node]map[string]*Plan)
-	refined, err := opt.bestPlan(node, required)
+	refined, err := opt.bestPlan(node, required, budget)
 	opt.forced = saved
 	opt.memo = make(map[logical.Node]map[string]*Plan)
 	if err != nil {

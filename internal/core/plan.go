@@ -15,9 +15,11 @@ import (
 	"strings"
 
 	"pyro/internal/catalog"
+	"pyro/internal/cost"
 	"pyro/internal/exec"
 	"pyro/internal/expr"
 	"pyro/internal/logical"
+	"pyro/internal/ordersel"
 	"pyro/internal/sortord"
 	"pyro/internal/types"
 )
@@ -80,8 +82,11 @@ func (k OpKind) String() string {
 	return fmt.Sprintf("Op(%d)", uint8(k))
 }
 
-// Plan is a physical plan node. Cost is cumulative (node + inputs);
-// OutOrder is the sort order the node guarantees on its output.
+// Plan is a physical plan node. Cost is cumulative (node + inputs) and
+// two-phase: Cost.Startup is the blocking work before this node's first
+// output row, Cost.Total the full-drain cost (the scalar the pre-prefix
+// model reported). OutOrder is the sort order the node guarantees on its
+// output.
 type Plan struct {
 	Kind     OpKind
 	Children []*Plan
@@ -104,25 +109,62 @@ type Plan struct {
 	DedupRows  bool          // OpMergeUnion: duplicate-eliminating
 	LimitK     int64         // OpLimit
 	FetchKeys  []string      // OpFetch: child columns carrying the cluster key
+	// SortSegments is the estimated partial-sort segment count D (OpSort
+	// with a non-empty SortGiven). PrefixCost uses it to charge a Top-K
+	// prefix exactly ⌈k·D/N⌉ segment sorts instead of the generic linear
+	// interpolation.
+	SortSegments int64
 
 	// Derived annotations.
 	Schema   *types.Schema
 	OutOrder sortord.Order
 	Rows     int64
 	Blocks   int64
-	Cost     float64
+	Cost     cost.Cost
 	// Logical links the plan node back to the logical node it implements
 	// (nil for enforcers injected by the optimizer).
 	Logical logical.Node
 }
 
-// LocalCost returns this node's own cost (cumulative minus children).
+// LocalCost returns this node's own full-drain cost (cumulative minus
+// children).
 func (p *Plan) LocalCost() float64 {
-	c := p.Cost
+	c := p.Cost.Total
 	for _, ch := range p.Children {
-		c -= ch.Cost
+		c -= ch.Cost.Total
 	}
 	return c
+}
+
+// PrefixCost estimates the cost of producing this node's first k output
+// rows. For a partial-sort enforcer the estimate steps one segment sort at
+// a time — ordersel.SegmentBudget(k, N, D) segment sorts plus the child
+// prefix feeding them — which is the §3.1 pipelining benefit the two-phase
+// model exists to price; every other node interpolates its cumulative
+// Cost. PrefixCost(k ≥ Rows) equals Cost.Total, so unlimited plan
+// comparisons are exactly the full-drain comparisons of the scalar model.
+func (p *Plan) PrefixCost(k int64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if p.Rows > 0 && k >= p.Rows {
+		return p.Cost.Total
+	}
+	if p.IsPartialSort() && p.SortSegments > 1 && len(p.Children) == 1 {
+		child := p.Children[0]
+		segs := ordersel.SegmentBudget(k, p.Rows, p.SortSegments)
+		perSegRows := p.Rows / p.SortSegments
+		if perSegRows < 1 {
+			perSegRows = 1
+		}
+		inRows := segs * perSegRows
+		if inRows > p.Rows {
+			inRows = p.Rows
+		}
+		perSegCost := p.LocalCost() / float64(p.SortSegments)
+		return child.PrefixCost(inRows) + float64(segs)*perSegCost
+	}
+	return p.Cost.Prefix(k)
 }
 
 // IsPartialSort reports whether p is a partial-sort enforcer.
@@ -195,12 +237,15 @@ func (p *Plan) describe() string {
 
 // Format renders the plan tree with costs, cardinalities and orders — the
 // representation used to reproduce the paper's plan figures (10, 11, 14).
+// Both cost phases are printed: cost is the full-drain total, startup the
+// blocking work before the node's first output row (a pipelined plan shows
+// a startup far below its cost; a blocking plan shows them equal).
 func (p *Plan) Format() string {
 	var b strings.Builder
 	var rec func(n *Plan, depth int)
 	rec = func(n *Plan, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))
-		fmt.Fprintf(&b, "%s  (cost=%.0f rows=%d", n.describe(), n.Cost, n.Rows)
+		fmt.Fprintf(&b, "%s  (cost=%.0f startup=%.0f rows=%d", n.describe(), n.Cost.Total, n.Cost.Startup, n.Rows)
 		if !n.OutOrder.IsEmpty() {
 			fmt.Fprintf(&b, " order=%v", n.OutOrder)
 		}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"pyro/internal/logical"
+	"pyro/internal/sortord"
+)
+
+// TestPrefixCostEqualsTotalAtFullDrain pins the acceptance identity
+// Prefix(N) ≡ Total for whole optimized plan trees: costing the full
+// result through the prefix machinery must agree exactly with the
+// full-drain totals, so unlimited plan choices cannot drift.
+func TestPrefixCostEqualsTotalAtFullDrain(t *testing.T) {
+	f := newFixture(t)
+	f.buildQ3World(t, 30, 6)
+	for _, h := range []Heuristic{HeuristicArbitrary, HeuristicFavorable, HeuristicExhaustive} {
+		res := mustOptimize(t, f.q3(t), DefaultOptions(h))
+		res.Plan.Walk(func(p *Plan) {
+			if p.Rows > 0 {
+				if got := p.PrefixCost(p.Rows); got != p.Cost.Total {
+					t.Fatalf("%v: %v PrefixCost(Rows=%d) = %f, want Total %f",
+						h, p.Kind, p.Rows, got, p.Cost.Total)
+				}
+			}
+			if p.Cost.Startup > p.Cost.Total {
+				t.Fatalf("%v: %v Startup %f exceeds Total %f", h, p.Kind, p.Cost.Startup, p.Cost.Total)
+			}
+		})
+	}
+}
+
+// TestRowTargetDoesNotChangeUnlimitedChoice: optimizing with RowTarget = N
+// (or more) must produce the same plan shape as the plain full-drain
+// optimization, because Prefix(N) ≡ Total.
+func TestRowTargetDoesNotChangeUnlimitedChoice(t *testing.T) {
+	f := newFixture(t)
+	f.buildQ3World(t, 30, 6)
+	base := mustOptimize(t, f.q3(t), DefaultOptions(HeuristicFavorable))
+	opts := DefaultOptions(HeuristicFavorable)
+	opts.RowTarget = 1 << 40 // beyond any cardinality in the tree
+	targeted := mustOptimize(t, f.q3(t), opts)
+	if base.Plan.Signature() != targeted.Plan.Signature() {
+		t.Fatalf("huge row target changed the plan:\n--- base:\n%s\n--- targeted:\n%s",
+			base.Plan.Format(), targeted.Plan.Format())
+	}
+	if base.Plan.Cost != targeted.Plan.Cost {
+		t.Fatalf("huge row target changed the cost: %+v vs %+v", base.Plan.Cost, targeted.Plan.Cost)
+	}
+}
+
+// TestPartialSortEnforcerTwoPhase pins the enforcer's cost split: a partial
+// sort's startup is one segment of input plus one segment sort — far below
+// its total — while the forced full sort of the same input blocks on
+// everything; and the partial enforcer's PrefixCost steps by SegmentBudget.
+func TestPartialSortEnforcerTwoPhase(t *testing.T) {
+	f := newFixture(t)
+	f.buildQ3World(t, 40, 8)
+	// partsupp is clustered on (ps_partkey, ps_suppkey); requiring
+	// (ps_partkey, ps_availqty) forces a partial sort over the ps_partkey
+	// prefix.
+	scan := logical.NewScan(f.cat.MustTable("partsupp"))
+	root := logical.NewOrderBy(scan, sortord.New("ps_partkey", "ps_availqty"))
+
+	res := mustOptimize(t, root, DefaultOptions(HeuristicFavorable))
+	sortNode := res.Plan
+	if !sortNode.IsPartialSort() {
+		t.Fatalf("expected a partial-sort root:\n%s", res.Plan.Format())
+	}
+	if sortNode.SortSegments <= 1 {
+		t.Fatalf("partial sort recorded %d segments", sortNode.SortSegments)
+	}
+	if sortNode.Cost.Startup >= sortNode.Cost.Total {
+		t.Fatalf("partial sort should be pipelined: startup %f, total %f",
+			sortNode.Cost.Startup, sortNode.Cost.Total)
+	}
+
+	full := mustOptimizeWith(t, root, DefaultOptions(HeuristicFavorable), withNoPartialSort())
+	if full.Plan.IsPartialSort() {
+		t.Fatalf("ablation still chose a partial sort:\n%s", full.Plan.Format())
+	}
+	if full.Plan.Cost.Startup < full.Plan.Children[0].Cost.Total {
+		t.Fatalf("full sort must block on its whole input: startup %f, child total %f",
+			full.Plan.Cost.Startup, full.Plan.Children[0].Cost.Total)
+	}
+
+	// PrefixCost is monotone and steps with the segment budget.
+	prev := 0.0
+	for k := int64(0); k <= sortNode.Rows+10; k += sortNode.Rows / 7 {
+		got := sortNode.PrefixCost(k)
+		if got < prev {
+			t.Fatalf("PrefixCost not monotone at k=%d: %f < %f", k, got, prev)
+		}
+		prev = got
+	}
+	// At tiny k, the pipelined enforcer must be far cheaper than the
+	// blocking one.
+	if p, fl := sortNode.PrefixCost(1), full.Plan.PrefixCost(1); p >= fl {
+		t.Fatalf("first-row cost: partial %f should beat full %f", p, fl)
+	}
+}
+
+func withNoPartialSort() func(*Options) {
+	return func(o *Options) { o.DisablePartialSort = true }
+}
+
+// TestLimitPlansUnderRowBudget: a LIMIT K node prices its subtree at the
+// first K rows (total = child prefix cost) and LIMIT 0 is a childless,
+// zero-cost plan — no degenerate sort below it.
+func TestLimitPlansUnderRowBudget(t *testing.T) {
+	f := newFixture(t)
+	f.buildQ3World(t, 40, 8)
+	scan := logical.NewScan(f.cat.MustTable("partsupp"))
+	ordered := logical.NewOrderBy(scan, sortord.New("ps_partkey", "ps_availqty"))
+
+	limited := mustOptimize(t, logical.NewLimit(ordered, 5), DefaultOptions(HeuristicFavorable))
+	if limited.Plan.Kind != OpLimit || limited.Plan.LimitK != 5 {
+		t.Fatalf("expected a Limit 5 root:\n%s", limited.Plan.Format())
+	}
+	child := limited.Plan.Children[0]
+	if limited.Plan.Cost.Total != child.PrefixCost(5) {
+		t.Fatalf("Limit total %f != child PrefixCost(5) %f",
+			limited.Plan.Cost.Total, child.PrefixCost(5))
+	}
+	if limited.Plan.Cost.Total >= child.Cost.Total {
+		t.Fatalf("Limit 5 must cost less than draining the child: %f vs %f",
+			limited.Plan.Cost.Total, child.Cost.Total)
+	}
+	// The stepped prefix total can undercut the child's interpolated
+	// startup at tiny K; the Limit node must clamp to keep the invariant.
+	if limited.Plan.Cost.Startup > limited.Plan.Cost.Total {
+		t.Fatalf("Limit plan violates Startup ≤ Total: %+v", limited.Plan.Cost)
+	}
+
+	zero := mustOptimize(t, logical.NewLimit(ordered, 0), DefaultOptions(HeuristicFavorable))
+	if zero.Plan.Kind != OpLimit || len(zero.Plan.Children) != 0 {
+		t.Fatalf("LIMIT 0 should be a childless Limit:\n%s", zero.Plan.Format())
+	}
+	if zero.Plan.Cost.Total != 0 || zero.Plan.Rows != 0 {
+		t.Fatalf("LIMIT 0 cost = %+v rows = %d, want zero", zero.Plan.Cost, zero.Plan.Rows)
+	}
+	if zero.Plan.CountKind(OpSort) != 0 {
+		t.Fatalf("LIMIT 0 planned a sort:\n%s", zero.Plan.Format())
+	}
+}
+
+func mustOptimizeWith(t *testing.T, root logical.Node, opts Options, muts ...func(*Options)) *Result {
+	t.Helper()
+	for _, m := range muts {
+		m(&opts)
+	}
+	return mustOptimize(t, root, opts)
+}

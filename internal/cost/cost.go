@@ -10,9 +10,65 @@
 //
 // CPU work is translated into I/O units by per-operation weights, as the
 // paper does ("CPU cost is appropriately translated into I/O cost units").
+//
+// Costs are two-phase: every operator formula is split into the blocking
+// work that must happen before the first output row exists (Startup — an
+// external sort's run formation and reduction passes, a hash join's build,
+// SRS's phase-1 fill) and the full-drain total (Total). Cost.Prefix(k)
+// interpolates the cost of producing only the first k rows, which is what a
+// Top-K consumer pays under a pipelined plan: a partial sort's prefix cost
+// grows one segment sort at a time, while a blocking operator charges its
+// full Startup before the first row no matter how small k is (§3.1
+// benefit 2, §7 Top-K).
 package cost
 
 import "math"
+
+// Cost is the two-phase cost of producing a tuple stream: Startup is the
+// blocking work spent before the first output row, Total the full-drain
+// work, and Rows the output cardinality Total corresponds to. The zero
+// value is a free, empty stream. Invariant: 0 ≤ Startup ≤ Total.
+//
+// Plan costs compose Cost values: a streaming operator adds per-row work to
+// Total only and inherits its child's Startup; a blocking operator folds
+// its child's entire Total into Startup. Prefix interpolates between the
+// two phases, so comparing plans by Prefix(k) is exactly the paper's
+// full-drain comparison at k ≥ Rows and a time-to-first-row comparison at
+// k = 1.
+type Cost struct {
+	Startup float64
+	Total   float64
+	Rows    int64
+}
+
+// Prefix returns the cost of producing the first k output rows: 0 for
+// k ≤ 0 (a LIMIT 0 consumer needs nothing), Total for k ≥ Rows (so
+// Prefix(N) ≡ Total and unlimited comparisons are unchanged), and the
+// linear interpolation Startup + (Total−Startup)·k/Rows in between — the
+// per-row phase is assumed uniform, which for a partial sort of D uniform
+// segments makes Prefix(k) track the ⌈k·D/N⌉ segment sorts the paper's
+// operator actually performs.
+func (c Cost) Prefix(k int64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if c.Rows <= 0 || k >= c.Rows {
+		return c.Total
+	}
+	return c.Startup + (c.Total-c.Startup)*float64(k)/float64(c.Rows)
+}
+
+// Streaming builds the cost of a fully pipelined operator phase: no
+// blocking startup, work spread uniformly over rows output rows.
+func Streaming(work float64, rows int64) Cost {
+	return Cost{Startup: 0, Total: work, Rows: rows}
+}
+
+// Blocking builds the cost of a phase that completes entirely before the
+// first output row (hash build, SRS input consumption).
+func Blocking(work float64) Cost {
+	return Cost{Startup: work, Total: work}
+}
 
 // Model carries the cost parameters. The zero value is not usable; use
 // DefaultModel and override fields as needed.
@@ -66,12 +122,17 @@ func (m Model) SortCPU(rows int64) float64 {
 // S concurrent group merges (and run formation overlaps them), so the pass
 // term is divided by S. The final pipelined merge is a single consumer-side
 // stream and stays whole.
-func (m Model) FullSort(rows, blocks int64) float64 {
+//
+// The split: an in-memory sort blocks on its entire CPU cost (the buffer
+// must be full and sorted before the smallest key is known). An external
+// sort blocks on run formation and the intermediate passes (B·2p/S) but
+// streams the final merge read (B) one block at a time.
+func (m Model) FullSort(rows, blocks int64) Cost {
 	if rows <= 1 || blocks <= 0 {
-		return 0
+		return Cost{Rows: rows}
 	}
 	if blocks <= m.MemoryBlocks {
-		return m.SortCPU(rows)
+		return Cost{Startup: m.SortCPU(rows), Total: m.SortCPU(rows), Rows: rows}
 	}
 	passes := math.Ceil(logBase(float64(m.MemoryBlocks-1), float64(blocks)/float64(m.MemoryBlocks)))
 	if passes < 1 {
@@ -81,7 +142,11 @@ func (m Model) FullSort(rows, blocks int64) float64 {
 	if spill < 1 {
 		spill = 1
 	}
-	return float64(blocks) * (2*passes/spill + 1)
+	return Cost{
+		Startup: float64(blocks) * (2 * passes / spill),
+		Total:   float64(blocks) * (2*passes/spill + 1),
+		Rows:    rows,
+	}
 }
 
 func logBase(base, x float64) float64 {
@@ -95,9 +160,15 @@ func logBase(base, x float64) float64 {
 // computes D = D(e, attrs(o2 ∧ o1)) and passes it along with N(e) and B(e).
 // Each of the D segments sorts independently (N/D rows, B/D blocks); if the
 // suffix order is empty (o2 ≤ o1) the cost is zero.
-func (m Model) PartialSort(rows, blocks, segments int64, suffixLen int) float64 {
+//
+// The split: only the first segment must be collected and sorted before the
+// first row exists (Startup = one segment's full sort), and each further
+// block of N/D rows costs one more segment sort — the property that makes
+// Prefix(k) charge ≈ ⌈k·D/N⌉ segment sorts and a Top-K plan comparison
+// favor the pipelined enforcer.
+func (m Model) PartialSort(rows, blocks, segments int64, suffixLen int) Cost {
 	if suffixLen == 0 || rows <= 1 {
-		return 0
+		return Cost{Rows: rows}
 	}
 	if segments <= 0 {
 		segments = 1
@@ -110,60 +181,79 @@ func (m Model) PartialSort(rows, blocks, segments int64, suffixLen int) float64 
 	if segBlocks < 1 {
 		segBlocks = 1
 	}
-	return float64(segments) * m.FullSort(segRows, segBlocks)
+	seg := m.FullSort(segRows, segBlocks)
+	return Cost{
+		Startup: seg.Total,
+		Total:   float64(segments) * seg.Total,
+		Rows:    rows,
+	}
 }
 
-// ScanIO is the cost of a sequential scan over blocks pages.
+// ScanIO is the cost of a sequential scan over blocks pages (streaming:
+// pages are read as the consumer pulls).
 func (m Model) ScanIO(blocks int64) float64 { return float64(blocks) }
 
-// MergeJoinCPU is CM: the per-tuple merging cost of a merge join.
+// MergeJoinCPU is CM: the per-tuple merging cost of a merge join
+// (streaming: both inputs are consumed in step with output production).
 func (m Model) MergeJoinCPU(leftRows, rightRows int64) float64 {
 	return float64(leftRows+rightRows) * m.TupleWeight
 }
 
 // HashJoinCost covers build + probe CPU plus Grace-style partition I/O when
-// the build side exceeds memory.
-func (m Model) HashJoinCost(probeRows, buildRows, probeBlocks, buildBlocks int64) float64 {
-	c := float64(probeRows+buildRows) * m.HashWeight
+// the build side exceeds memory. The build phase (hashing every build row,
+// and the full partition pass when spilling) blocks before the first output
+// row; probing streams.
+func (m Model) HashJoinCost(probeRows, buildRows, probeBlocks, buildBlocks int64) Cost {
+	total := float64(probeRows+buildRows) * m.HashWeight
+	startup := float64(buildRows) * m.HashWeight
 	if buildBlocks > m.MemoryBlocks {
-		// One partition pass: write and re-read both inputs.
-		c += 2 * float64(probeBlocks+buildBlocks)
+		// One partition pass: write and re-read both inputs — all of it
+		// before the first match can be emitted.
+		io := 2 * float64(probeBlocks+buildBlocks)
+		total += io
+		startup += io
 	}
-	return c
+	return Cost{Startup: startup, Total: total, Rows: probeRows}
 }
 
 // GroupAggCPU is the streaming aggregate cost over sorted input.
 func (m Model) GroupAggCPU(rows int64) float64 { return float64(rows) * m.TupleWeight }
 
 // HashAggCost covers hashing every input row, plus spill I/O when the group
-// state exceeds memory.
-func (m Model) HashAggCost(rows, groupBlocks int64) float64 {
+// state exceeds memory. Hash aggregation is fully blocking: no group is
+// final until the last input row has been consumed.
+func (m Model) HashAggCost(rows, groupBlocks int64) Cost {
 	c := float64(rows) * m.HashWeight
 	if groupBlocks > m.MemoryBlocks {
 		c += 2 * float64(groupBlocks)
 	}
-	return c
+	return Blocking(c)
 }
 
-// FilterCPU is the per-tuple predicate cost.
+// FilterCPU is the per-tuple predicate cost (streaming).
 func (m Model) FilterCPU(rows int64) float64 { return float64(rows) * m.TupleWeight }
 
-// ProjectCPU is the per-tuple projection cost.
+// ProjectCPU is the per-tuple projection cost (streaming).
 func (m Model) ProjectCPU(rows int64) float64 { return float64(rows) * m.TupleWeight }
 
-// MergeUnionCPU is the per-tuple merge cost of a sorted union.
+// MergeUnionCPU is the per-tuple merge cost of a sorted union (streaming).
 func (m Model) MergeUnionCPU(rows int64) float64 { return float64(rows) * m.TupleWeight }
 
 // FetchCost is the deferred-fetch cost (§7): one random heap page read plus
-// one seek per fetched row, with the clustering index's inner nodes cached.
+// one seek per fetched row, with the clustering index's inner nodes cached
+// (streaming: one lookup per consumed row).
 func (m Model) FetchCost(rows int64) float64 { return 2 * float64(rows) }
 
 // NLJoinCost is block nested loops: spool the inner once, then rescan it
-// per outer block group.
-func (m Model) NLJoinCost(outerBlocks, innerBlocks int64) float64 {
+// per outer block group. The spool write blocks before the first row; the
+// rescans stream with output production.
+func (m Model) NLJoinCost(outerBlocks, innerBlocks int64) Cost {
 	groups := outerBlocks / m.MemoryBlocks
 	if outerBlocks%m.MemoryBlocks != 0 || groups == 0 {
 		groups++
 	}
-	return float64(innerBlocks) + float64(groups)*float64(innerBlocks)
+	return Cost{
+		Startup: float64(innerBlocks),
+		Total:   float64(innerBlocks) + float64(groups)*float64(innerBlocks),
+	}
 }

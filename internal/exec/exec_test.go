@@ -700,6 +700,84 @@ func TestDedupAndLimit(t *testing.T) {
 	}
 }
 
+// closeTracker wraps an operator and records when Close is called and how
+// many tuples were pulled.
+type closeTracker struct {
+	Operator
+	closes int
+	pulls  int
+}
+
+func (c *closeTracker) Next() (types.Tuple, bool, error) {
+	t, ok, err := c.Operator.Next()
+	if ok {
+		c.pulls++
+	}
+	return t, ok, err
+}
+
+func (c *closeTracker) Close() error {
+	c.closes++
+	return c.Operator.Close()
+}
+
+// TestLimitClosesChildEagerly pins the pushed-down Top-K contract: the
+// Limit operator closes its input the moment the K-th tuple is produced —
+// not when the consumer finally calls Close — so the subtree abandons its
+// remaining work even under a consumer that drains to exhaustion.
+func TestLimitClosesChildEagerly(t *testing.T) {
+	rows := []types.Tuple{ab(1, 1), ab(2, 2), ab(3, 3), ab(4, 4), ab(5, 5)}
+	child := &closeTracker{Operator: sliceOp(t, abSchema, rows)}
+	l, err := NewLimit(child, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := l.Next(); !ok {
+		t.Fatal("first row missing")
+	}
+	if child.closes != 0 {
+		t.Fatal("child closed before the limit was reached")
+	}
+	// The K-th row closes the child as it is handed out.
+	if _, ok, _ := l.Next(); !ok {
+		t.Fatal("second row missing")
+	}
+	if child.closes != 1 {
+		t.Fatalf("child closes after K-th row = %d, want 1", child.closes)
+	}
+	if child.pulls != 2 {
+		t.Fatalf("child pulls = %d, want exactly K", child.pulls)
+	}
+	// Exhaustion and Close stay clean and never double-close.
+	if _, ok, err := l.Next(); ok || err != nil {
+		t.Fatalf("Next past limit: ok=%v err=%v", ok, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if child.closes != 1 {
+		t.Fatalf("child closed %d times, want once", child.closes)
+	}
+
+	// A child shorter than K is exhausted, not eagerly closed — the normal
+	// consumer-side Close applies.
+	short := &closeTracker{Operator: sliceOp(t, abSchema, rows[:1])}
+	l2, err := NewLimit(short, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Drain(l2)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("short child drain: %d rows, err %v", len(got), err)
+	}
+	if short.closes != 1 {
+		t.Fatalf("short child closes = %d, want 1 (from Drain's Close)", short.closes)
+	}
+}
+
 func TestPipelineComposition(t *testing.T) {
 	// scan -> filter -> sort(MRS) -> group aggregate -> limit, end to end.
 	c := newTestCatalog(t, 512)

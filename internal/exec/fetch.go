@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pyro/internal/catalog"
+	"pyro/internal/storage"
 	"pyro/internal/types"
 )
 
@@ -23,7 +24,9 @@ import (
 type Fetch struct {
 	child    Operator
 	table    *catalog.Table
-	keyOrds  []int // child ordinals of the clustering-key columns
+	tap      *storage.Tap
+	file     *storage.File // tapped heap view, bound once in Open
+	keyOrds  []int         // child ordinals of the clustering-key columns
 	queue    []types.Tuple
 	queuePos int
 	fetches  int64
@@ -66,9 +69,14 @@ func (f *Fetch) Children() []Operator { return []Operator{f.child} }
 // Fetches returns the number of heap lookups performed.
 func (f *Fetch) Fetches() int64 { return f.fetches }
 
-// Open opens the child.
+// SetIOTap attributes this fetch's heap page reads and seeks to a per-query
+// tap (nil taps nothing). Must be called before Open.
+func (f *Fetch) SetIOTap(t *storage.Tap) { f.tap = t }
+
+// Open opens the child and binds the (tapped) heap file.
 func (f *Fetch) Open() error {
 	f.queue, f.queuePos, f.fetches = nil, 0, 0
+	f.file = f.table.File().Tapped(f.tap)
 	return f.child.Open()
 }
 
@@ -103,7 +111,7 @@ func (f *Fetch) lookup(key types.Tuple) error {
 		return fmt.Errorf("exec: fetch on table %q without directory", f.table.Name)
 	}
 	f.fetches++
-	file := f.table.File()
+	file := f.file
 	file.Seek() // random access positioning
 	for ; page < file.NumPages(); page++ {
 		data, err := file.ReadPage(page)

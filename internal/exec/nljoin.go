@@ -24,6 +24,7 @@ type NLJoin struct {
 	joinType    JoinType // InnerJoin or LeftOuterJoin
 	schema      *types.Schema
 	disk        *storage.Disk
+	tap         *storage.Tap
 	memBlocks   int
 
 	spool      *storage.File
@@ -70,6 +71,10 @@ func (n *NLJoin) Schema() *types.Schema { return n.schema }
 // Children returns the outer and inner inputs.
 func (n *NLJoin) Children() []Operator { return []Operator{n.left, n.right} }
 
+// SetIOTap attributes the spool's writes, rescans and seeks to a per-query
+// tap (nil taps nothing). Must be called before Open.
+func (n *NLJoin) SetIOTap(t *storage.Tap) { n.tap = t }
+
 // Open spools the inner input to a temp file.
 func (n *NLJoin) Open() error {
 	if err := n.left.Open(); err != nil {
@@ -78,7 +83,7 @@ func (n *NLJoin) Open() error {
 	if err := n.right.Open(); err != nil {
 		return err
 	}
-	n.spool = n.disk.CreateTemp("nljoin", storage.KindRun)
+	n.spool = n.disk.CreateTemp("nljoin", storage.KindRun).Tapped(n.tap)
 	w := storage.NewTupleWriter(n.spool)
 	for {
 		t, ok, err := n.right.Next()

@@ -14,6 +14,7 @@ import (
 // otherwise; the I/O cost is identical (one sequential pass).
 type TableScan struct {
 	table  *catalog.Table
+	tap    *storage.Tap
 	reader *storage.TupleReader
 	rows   int64
 }
@@ -22,6 +23,10 @@ type TableScan struct {
 func NewTableScan(t *catalog.Table) *TableScan {
 	return &TableScan{table: t}
 }
+
+// SetIOTap attributes this scan's page reads to a per-query tap (nil taps
+// nothing). Must be called before Open.
+func (s *TableScan) SetIOTap(t *storage.Tap) { s.tap = t }
 
 // Schema returns the table schema.
 func (s *TableScan) Schema() *types.Schema { return s.table.Schema }
@@ -37,7 +42,7 @@ func (s *TableScan) Rows() int64 { return s.rows }
 
 // Open positions the scan at the first page.
 func (s *TableScan) Open() error {
-	s.reader = storage.NewTupleReader(s.table.File())
+	s.reader = storage.NewTupleReader(s.table.File().Tapped(s.tap))
 	s.rows = 0
 	return nil
 }
@@ -64,6 +69,7 @@ func (s *TableScan) Close() error {
 // pages").
 type IndexScan struct {
 	index  *catalog.Index
+	tap    *storage.Tap
 	reader *storage.TupleReader
 	rows   int64
 }
@@ -86,9 +92,13 @@ func (s *IndexScan) Index() *catalog.Index { return s.index }
 // Rows returns the number of tuples produced so far.
 func (s *IndexScan) Rows() int64 { return s.rows }
 
+// SetIOTap attributes this scan's page reads to a per-query tap (nil taps
+// nothing). Must be called before Open.
+func (s *IndexScan) SetIOTap(t *storage.Tap) { s.tap = t }
+
 // Open positions the scan at the first index page.
 func (s *IndexScan) Open() error {
-	s.reader = storage.NewTupleReader(s.index.File())
+	s.reader = storage.NewTupleReader(s.index.File().Tapped(s.tap))
 	s.rows = 0
 	return nil
 }

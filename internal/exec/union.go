@@ -245,10 +245,20 @@ func (d *Dedup) Close() error { return d.child.Close() }
 // Limit passes through the first K tuples (LIMIT / the paper's Top-K
 // discussion: with MRS below it, the first results arrive without sorting
 // the whole input).
+//
+// Limit is an active early-exit operator, not just a counter: the moment
+// the K-th tuple leaves (or, for K = 0, as soon as Open has opened the
+// child) it closes its child, which propagates down the tree exactly like
+// a consumer-side cursor Close — partial-sort enforcers abandon their unsorted segments,
+// spilled sorts drop unread runs with their arenas, scans stop reading.
+// A planned Top-K query therefore sheds the tail work even when its
+// consumer drains the cursor to completion.
 type Limit struct {
-	child Operator
-	k     int64
-	n     int64
+	child       Operator
+	k           int64
+	n           int64
+	childClosed bool
+	closeErr    error
 }
 
 // NewLimit caps the stream at k tuples.
@@ -265,15 +275,41 @@ func (l *Limit) Schema() *types.Schema { return l.child.Schema() }
 // Children returns the capped input.
 func (l *Limit) Children() []Operator { return []Operator{l.child} }
 
-// Open opens the child and resets the count.
+// Open opens the child and resets the count; with K = 0 the child is
+// closed again right away (it serves no rows).
 func (l *Limit) Open() error {
 	l.n = 0
-	return l.child.Open()
+	l.childClosed = false
+	l.closeErr = nil
+	if err := l.child.Open(); err != nil {
+		return err
+	}
+	if l.k == 0 {
+		return l.closeChild()
+	}
+	return nil
 }
 
-// Next returns the next tuple while under the limit.
+// closeChild closes the child exactly once, remembering the error so the
+// later (idempotent) Close still reports it.
+func (l *Limit) closeChild() error {
+	if l.childClosed {
+		return l.closeErr
+	}
+	l.childClosed = true
+	l.closeErr = l.child.Close()
+	return l.closeErr
+}
+
+// Next returns the next tuple while under the limit. Producing the K-th
+// tuple closes the child before the tuple is returned; a close failure
+// there surfaces from Close (and from any further Next call), never eating
+// the row itself.
 func (l *Limit) Next() (types.Tuple, bool, error) {
 	if l.n >= l.k {
+		if err := l.closeChild(); err != nil {
+			return nil, false, err
+		}
 		return nil, false, nil
 	}
 	t, ok, err := l.child.Next()
@@ -281,8 +317,12 @@ func (l *Limit) Next() (types.Tuple, bool, error) {
 		return nil, false, err
 	}
 	l.n++
+	if l.n >= l.k {
+		l.closeChild()
+	}
 	return t, true, nil
 }
 
-// Close closes the child.
-func (l *Limit) Close() error { return l.child.Close() }
+// Close closes the child (already done if the limit was reached; the
+// child's close error is reported either way).
+func (l *Limit) Close() error { return l.closeChild() }

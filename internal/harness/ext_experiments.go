@@ -6,8 +6,10 @@ import (
 
 	"pyro/internal/catalog"
 	"pyro/internal/core"
+	"pyro/internal/cost"
 	"pyro/internal/expr"
 	"pyro/internal/logical"
+	"pyro/internal/ordersel"
 	"pyro/internal/sortord"
 	"pyro/internal/storage"
 	"pyro/internal/types"
@@ -26,7 +28,8 @@ func RunExtensions(w io.Writer, scale Scale) error {
 }
 
 func runTopK(w io.Writer, scale Scale) error {
-	section(w, "Extension (§7): Top-K over a pipelined partial sort")
+	k := scale.limit()
+	section(w, fmt.Sprintf("Extension (§7): Top-K (limit %d) over a pipelined partial sort", k))
 	disk := storage.NewDisk(0)
 	cat := catalog.New(disk)
 	rows := scale.rows(200_000)
@@ -35,14 +38,14 @@ func runTopK(w io.Writer, scale Scale) error {
 		return err
 	}
 	base := logical.NewOrderBy(logical.NewScan(tb), sortord.New("c1", "c2"))
-	q := logical.NewLimit(base, 10)
+	q := logical.NewLimit(base, k)
 	const sortBlocks = 64
 
-	t := &table{header: []string{"plan", "time_ms", "page_reads", "run_io", "rows"}}
+	t := &table{header: []string{"plan", "est_cost", "est_startup", "time_ms", "first_row_ms", "page_reads", "run_io", "rows"}}
 	for _, v := range []struct {
 		name    string
 		disable bool
-	}{{"partial sort (MRS, stops after first segment)", false}, {"full sort (SRS, must consume everything)", true}} {
+	}{{"partial sort (MRS, limit closes after first segments)", false}, {"full sort (SRS, must consume everything)", true}} {
 		opts := core.DefaultOptions(core.HeuristicFavorable)
 		opts.DisablePartialSort = v.disable
 		opts.Model.MemoryBlocks = sortBlocks
@@ -54,13 +57,17 @@ func runTopK(w io.Writer, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		if rs.rows != 10 {
-			return fmt.Errorf("topk: %d rows, want 10", rs.rows)
+		if rs.rows != k {
+			return fmt.Errorf("topk: %d rows, want %d", rs.rows, k)
 		}
-		t.add(v.name, ms(rs.elapsed), fmt.Sprint(rs.io.PageReads), fmt.Sprint(rs.io.RunTotal()), fmt.Sprint(rs.rows))
+		t.add(v.name, fmt.Sprintf("%.0f", res.Plan.Cost.Total), fmt.Sprintf("%.0f", res.Plan.Cost.Startup),
+			ms(rs.elapsed), ms(rs.firstOut),
+			fmt.Sprint(rs.io.PageReads), fmt.Sprint(rs.io.RunTotal()), fmt.Sprint(rs.rows))
 	}
 	t.write(w)
 	fmt.Fprintf(w, "§3.1 benefit 2: \"producing tuples early has immense benefits for Top-K queries\"\n")
+	fmt.Fprintf(w, "two-phase model: the Limit node prices the plan at its first-%d-rows prefix (%d of %d segments)\n",
+		k, ordersel.SegmentBudget(k, rows, 500), 500)
 	return nil
 }
 
@@ -109,12 +116,14 @@ func runDeferredFetch(w io.Writer, scale Scale) error {
 			scan := &core.Plan{
 				Kind: core.OpTableScan, Table: tb, Schema: tb.Schema,
 				OutOrder: tb.ClusterOrder, Rows: tb.Stats.NumRows,
-				Blocks: tb.NumBlocks(), Cost: float64(tb.NumBlocks()),
+				Blocks: tb.NumBlocks(),
+				Cost:   cost.Streaming(float64(tb.NumBlocks()), tb.Stats.NumRows),
 			}
 			return &core.Plan{
 				Kind: core.OpFilter, Children: []*core.Plan{scan}, Pred: sel.Pred,
 				Schema: tb.Schema, OutOrder: scan.OutOrder,
-				Rows: sel.Props().Rows, Blocks: scan.Blocks, Cost: scan.Cost + 0.01,
+				Rows: sel.Props().Rows, Blocks: scan.Blocks,
+				Cost: cost.Cost{Startup: 0, Total: scan.Cost.Total + 0.01, Rows: sel.Props().Rows},
 			}, nil
 		}},
 	} {
@@ -126,7 +135,7 @@ func runDeferredFetch(w io.Writer, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		t.add(v.name, fmt.Sprintf("%.0f", plan.Cost), ms(rs.elapsed),
+		t.add(v.name, fmt.Sprintf("%.0f", plan.Cost.Total), ms(rs.elapsed),
 			fmt.Sprint(rs.io.PageReads), fmt.Sprint(rs.rows),
 			fmt.Sprint(plan.CountKind(core.OpFetch) > 0))
 	}

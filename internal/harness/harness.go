@@ -38,6 +38,18 @@ type Scale struct {
 	// sorts). Identical result key order, run structure and I/O in every
 	// mode, so the experiment tables stay comparable across settings.
 	RunFormation xsort.RunFormation
+	// Limit is the Top-K row count for the limit-aware experiments
+	// (pyro-bench -limit; 0 = the default of 10). The two-phase cost model
+	// plans the Top-K extension experiment under this row budget.
+	Limit int64
+}
+
+// limit returns the effective Top-K row count.
+func (s Scale) limit() int64 {
+	if s.Limit > 0 {
+		return s.Limit
+	}
+	return 10
 }
 
 // DefaultScale returns Factor 1.

@@ -88,7 +88,7 @@ func RunB1(w io.Writer, scale Scale) error {
 		} else if rs.rows != firstRows {
 			return fmt.Errorf("B1: %q returned %d rows, expected %d", v.name, rs.rows, firstRows)
 		}
-		t.add(v.name, fmt.Sprintf("%.0f", res.Plan.Cost), ms(rs.elapsed), ms(rs.firstOut),
+		t.add(v.name, fmt.Sprintf("%.0f", res.Plan.Cost.Total), ms(rs.elapsed), ms(rs.firstOut),
 			fmt.Sprint(rs.io.Total()), fmt.Sprint(rs.io.RunTotal()), fmt.Sprint(rs.rows))
 	}
 	t.write(w)
@@ -143,7 +143,7 @@ func RunB2(w io.Writer, scale Scale) error {
 			return err
 		}
 		rowCounts = append(rowCounts, rs.rows)
-		t.add(v.name, fmt.Sprintf("%.0f", res.Plan.Cost), ms(rs.elapsed),
+		t.add(v.name, fmt.Sprintf("%.0f", res.Plan.Cost.Total), ms(rs.elapsed),
 			fmt.Sprint(rs.io.Total()), fmt.Sprint(rs.io.RunTotal()), fmt.Sprint(orders))
 	}
 	t.write(w)
@@ -219,7 +219,7 @@ func RunB3(w io.Writer, scale Scale) error {
 			if err != nil {
 				return err
 			}
-			costs[i] = res.Plan.Cost
+			costs[i] = res.Plan.Cost.Total
 		}
 		base := costs[len(costs)-1] // PYRO-E = 100
 		row := []string{c.name}

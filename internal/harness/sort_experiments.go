@@ -236,7 +236,7 @@ func RunA4(w io.Writer, scale Scale) error {
 			return fmt.Errorf("A4: plans disagree (%d vs %d rows)", rowsSeen, rs.rows)
 		}
 		t.add(v.name, fmt.Sprint(rs.rows), ms(rs.elapsed), ms(rs.firstOut),
-			fmt.Sprint(rs.io.Total()), fmt.Sprint(rs.io.RunTotal()), fmt.Sprintf("%.0f", res.Plan.Cost))
+			fmt.Sprint(rs.io.Total()), fmt.Sprint(rs.io.RunTotal()), fmt.Sprintf("%.0f", res.Plan.Cost.Total))
 	}
 	t.write(w)
 	fmt.Fprintf(w, "paper: 63s with SRS vs 25s with MRS (same plan shape)\n")
@@ -279,7 +279,7 @@ func RunExample1(w io.Writer, scale Scale) error {
 			return err
 		}
 		counts = append(counts, rs.rows)
-		t.add(v.name, fmt.Sprintf("%.0f", res.Plan.Cost), ms(rs.elapsed), ms(rs.firstOut),
+		t.add(v.name, fmt.Sprintf("%.0f", res.Plan.Cost.Total), ms(rs.elapsed), ms(rs.firstOut),
 			fmt.Sprint(rs.io.Total()), fmt.Sprint(rs.io.RunTotal()), fmt.Sprint(rs.rows))
 	}
 	t.write(w)

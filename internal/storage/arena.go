@@ -25,6 +25,7 @@ type SpillArena struct {
 	disk  *Disk
 	id    int64
 	stats ledger
+	tap   *ledger // optional per-query observer inherited by arena files
 
 	mu       sync.Mutex
 	files    map[string]*File
@@ -34,10 +35,18 @@ type SpillArena struct {
 
 // NewArena registers a fresh spill arena on the disk.
 func (d *Disk) NewArena() *SpillArena {
+	return d.NewArenaTapped(nil)
+}
+
+// NewArenaTapped registers a fresh spill arena whose files additionally
+// charge the given query Tap (nil taps nothing). Release semantics are
+// unchanged: the arena's ledger merges into the disk's global one, while
+// the tap has already observed every charge live and is never merged.
+func (d *Disk) NewArenaTapped(t *Tap) *SpillArena {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.nextArena++
-	a := &SpillArena{disk: d, id: d.nextArena, files: make(map[string]*File)}
+	a := &SpillArena{disk: d, id: d.nextArena, tap: t.ledgerOrNil(), files: make(map[string]*File)}
 	d.arenas[a.id] = a
 	return a
 }
@@ -61,6 +70,7 @@ func (a *SpillArena) CreateTemp(prefix string, kind FileKind) *File {
 	a.nextTemp++
 	name := fmt.Sprintf("%s.a%d.tmp%d", prefix, a.id, a.nextTemp)
 	f := a.disk.newFile(name, kind, &a.stats)
+	f.tap = a.tap
 	a.files[name] = f
 	return f
 }

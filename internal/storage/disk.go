@@ -203,7 +203,7 @@ func (d *Disk) ResetStats() {
 
 // newFile builds a file charging the given ledger.
 func (d *Disk) newFile(name string, kind FileKind, l *ledger) *File {
-	return &File{ledger: l, pageSize: d.pageSize, name: name, kind: kind}
+	return &File{ledger: l, pageSize: d.pageSize, name: name, kind: kind, data: &pageStore{}}
 }
 
 // Create creates (or truncates) a named file of the given kind.
@@ -278,14 +278,44 @@ func (d *Disk) TotalPages() int {
 }
 
 // File is a paged file on the simulated disk. Its transfers charge the
-// ledger it was created under — the disk's global one, or a SpillArena's.
+// ledger it was created under — the disk's global one, or a SpillArena's —
+// plus, for tapped views (File.Tapped), one query's observation Tap. Views
+// share the underlying page store, so a tapped view and the registry's
+// original are the same file with different attribution.
 type File struct {
 	ledger   *ledger
+	tap      *ledger // optional per-query observer; nil on untapped files
 	pageSize int
 	name     string
 	kind     FileKind
-	mu       sync.Mutex
-	pages    [][]byte
+	data     *pageStore
+}
+
+// pageStore is the page state shared between a file and its tapped views.
+type pageStore struct {
+	mu    sync.Mutex
+	pages [][]byte
+}
+
+// Tapped returns a view of the file whose transfers additionally charge t.
+// The view shares the file's pages (reads, appends and truncates are common
+// to all views); only the attribution differs. A nil tap returns f itself.
+func (f *File) Tapped(t *Tap) *File {
+	if t == nil {
+		return f
+	}
+	cp := *f
+	cp.tap = t.ledgerOrNil()
+	return &cp
+}
+
+// charge records block transfers on the device ledger and, when this is a
+// tapped view, mirrors them onto the query's tap.
+func (f *File) charge(reads, writes int64, seek bool) {
+	f.ledger.charge(f.kind, reads, writes, seek)
+	if f.tap != nil {
+		f.tap.charge(f.kind, reads, writes, seek)
+	}
 }
 
 // Name returns the file's name.
@@ -299,9 +329,9 @@ func (f *File) PageSize() int { return f.pageSize }
 
 // NumPages returns the number of allocated pages.
 func (f *File) NumPages() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return len(f.pages)
+	f.data.mu.Lock()
+	defer f.data.mu.Unlock()
+	return len(f.data.pages)
 }
 
 // AppendPage writes a new page at the end of the file and charges one block
@@ -312,35 +342,35 @@ func (f *File) AppendPage(data []byte) int {
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	f.mu.Lock()
-	f.pages = append(f.pages, cp)
-	n := len(f.pages)
-	f.mu.Unlock()
-	f.ledger.charge(f.kind, 0, 1, false)
+	f.data.mu.Lock()
+	f.data.pages = append(f.data.pages, cp)
+	n := len(f.data.pages)
+	f.data.mu.Unlock()
+	f.charge(0, 1, false)
 	return n - 1
 }
 
 // ReadPage returns page i, charging one block read. The returned slice must
 // not be modified by the caller.
 func (f *File) ReadPage(i int) ([]byte, error) {
-	f.mu.Lock()
-	if i < 0 || i >= len(f.pages) {
-		n := len(f.pages)
-		f.mu.Unlock()
+	f.data.mu.Lock()
+	if i < 0 || i >= len(f.data.pages) {
+		n := len(f.data.pages)
+		f.data.mu.Unlock()
 		return nil, fmt.Errorf("storage: page %d out of range [0,%d) in %q", i, n, f.name)
 	}
-	p := f.pages[i]
-	f.mu.Unlock()
-	f.ledger.charge(f.kind, 1, 0, false)
+	p := f.data.pages[i]
+	f.data.mu.Unlock()
+	f.charge(1, 0, false)
 	return p, nil
 }
 
 // Seek records a random repositioning (merge-run switches, index probes).
-func (f *File) Seek() { f.ledger.charge(f.kind, 0, 0, true) }
+func (f *File) Seek() { f.charge(0, 0, true) }
 
 // Truncate drops all pages without charging I/O (models deallocation).
 func (f *File) Truncate() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.pages = f.pages[:0]
+	f.data.mu.Lock()
+	defer f.data.mu.Unlock()
+	f.data.pages = f.data.pages[:0]
 }

@@ -1,0 +1,44 @@
+package storage
+
+// Tap is a per-query I/O observer: a private lock-free ledger that receives
+// a copy of every block transfer charged through the files (and spill
+// arenas) attached to it, in addition to the normal device accounting. A
+// query execution creates one Tap, attaches it to the files its scans read
+// (File.Tapped) and the arenas its sorts spill into (Disk.NewArenaTapped),
+// and reads exact I/O attribution from Stats — even while other queries
+// hammer the same device concurrently. Taps never feed back into the
+// device's ledger: Disk.Stats totals are identical with or without them.
+//
+// A Tap is safe for concurrent use: charges are atomic adds, and Stats
+// snapshots are exact whenever the tapped files are quiescent (which is
+// when cursors read them).
+type Tap struct {
+	stats ledger
+}
+
+// NewTap returns an empty tap.
+func NewTap() *Tap {
+	return &Tap{}
+}
+
+// Stats returns a snapshot of the I/O charged through this tap.
+func (t *Tap) Stats() IOStats {
+	if t == nil {
+		return IOStats{}
+	}
+	return t.stats.snapshot()
+}
+
+// Reset zeroes the tap's counters (between measured runs).
+func (t *Tap) Reset() {
+	t.stats.reset()
+}
+
+// ledger returns the tap's internal ledger, nil-safe (a nil Tap taps
+// nothing, so call sites can pass an optional tap through unconditionally).
+func (t *Tap) ledgerOrNil() *ledger {
+	if t == nil {
+		return nil
+	}
+	return &t.stats
+}

@@ -599,7 +599,7 @@ func (m *MRS) collect(limit int) (*segment, error) {
 // most SpillParallelism jobs in flight.
 func (m *MRS) flush(c *segCollector) error {
 	if c.sp == nil {
-		c.sp = &spillState{arena: m.cfg.Disk.NewArena(), ky: c.ky}
+		c.sp = &spillState{arena: m.cfg.Disk.NewArenaTapped(m.cfg.Tap), ky: c.ky}
 	}
 	if m.spar <= 1 {
 		order, tally := formOrder(c.buf, c.ky, m.rf)

@@ -247,7 +247,7 @@ func (s *SRS) open() error {
 // spill; an in-memory sort never allocates one).
 func (s *SRS) newTemp() *storage.File {
 	if s.arena == nil {
-		s.arena = s.cfg.Disk.NewArena()
+		s.arena = s.cfg.Disk.NewArenaTapped(s.cfg.Tap)
 	}
 	return s.arena.CreateTemp(s.cfg.TempPrefix, storage.KindRun)
 }

@@ -187,6 +187,13 @@ type Config struct {
 	// for its whole input; nil means the sort only stops at EOF or error.
 	// Must be safe for concurrent use — spill workers poll it too.
 	Abort func() error
+	// Tap, when non-nil, observes every spill-file block transfer this sort
+	// causes (run formation, reduction merges, final merge reads) in
+	// addition to the normal device accounting: the sort's spill arenas are
+	// created tapped. Streaming execution passes the query's storage.Tap
+	// here so ExecStats.IO attributes spill I/O to the right query even
+	// under concurrent cursors.
+	Tap *storage.Tap
 	// SpillParallelism bounds each stage of spill work independently: at
 	// most this many run-forming sorts of an oversized segment's memory
 	// batches in flight, and at most this many run-reduction group merges

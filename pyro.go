@@ -37,6 +37,7 @@ import (
 	"pyro/internal/catalog"
 	"pyro/internal/core"
 	"pyro/internal/cost"
+	"pyro/internal/logical"
 	"pyro/internal/sortord"
 	"pyro/internal/storage"
 	"pyro/internal/types"
@@ -252,18 +253,35 @@ func WithoutHashAgg() OptimizeOption {
 	return func(o *core.Options) { o.DisableHashAgg = true }
 }
 
-// Plan is an optimized physical plan bound to its database.
+// Plan is an optimized physical plan bound to its database. It remembers
+// the logical query and the options it was optimized under, so execution
+// can re-plan it for a different consumption profile (WithRowTarget).
 type Plan struct {
 	db    *Database
 	inner *core.Plan
 	stats core.Stats
+	node  logical.Node
+	opts  core.Options
 }
 
 // Explain renders the plan tree with costs, cardinalities and sort orders.
+// Every node shows both cost phases: cost= is the full-drain total, and
+// startup= the blocking work before the node's first output row — under a
+// pipelined partial-sort plan the root's startup sits far below its cost,
+// while a blocking full-sort or hash plan shows the two nearly equal.
 func (p *Plan) Explain() string { return p.inner.Format() }
 
-// EstimatedCost returns the cost model's estimate in I/O units.
-func (p *Plan) EstimatedCost() float64 { return p.inner.Cost }
+// EstimatedCost returns the cost model's full-drain estimate in I/O units.
+func (p *Plan) EstimatedCost() float64 { return p.inner.Cost.Total }
+
+// EstimatedStartupCost returns the modeled blocking work before the plan's
+// first row — the time-to-first-row side of the two-phase cost model.
+func (p *Plan) EstimatedStartupCost() float64 { return p.inner.Cost.Startup }
+
+// EstimatedPrefixCost returns the modeled cost of producing only the first
+// k rows (EstimatedPrefixCost(N) equals EstimatedCost; a partial-sort plan
+// is charged ⌈k·D/N⌉ segment sorts).
+func (p *Plan) EstimatedPrefixCost(k int64) float64 { return p.inner.PrefixCost(k) }
 
 // OptimizerStats returns counters from the optimization run.
 func (p *Plan) OptimizerStats() core.Stats { return p.stats }
@@ -302,7 +320,7 @@ func (db *Database) Optimize(q *Query, opts ...OptimizeOption) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{db: db, inner: res.Plan, stats: res.Stats}, nil
+	return &Plan{db: db, inner: res.Plan, stats: res.Stats, node: q.node, opts: options}, nil
 }
 
 // Rows is a fully materialised query result.

@@ -244,7 +244,17 @@ func (q *Query) OrderBy(cols ...string) *Query {
 
 // Limit caps the result at k rows. Placed above OrderBy this is the Top-K
 // pattern: with a pipelined partial sort below, the first k results arrive
-// without sorting the whole input (§3.1 benefit 2 / §7 of the paper).
+// without sorting the whole input (§3.1 benefit 2 / §7 of the paper). The
+// optimizer plans the subtree under a row budget of k — candidates are
+// compared by the cost of their first k rows, so a small k flips blocking
+// full-sort/hash plans to pipelined partial-sort ones — and the executor's
+// Limit operator closes its input the moment the k-th row is out,
+// abandoning unsorted segments and unread spill runs without waiting for
+// the consumer.
+//
+// k must be non-negative. k = 0 has defined semantics: a valid query with
+// an empty result, planned at zero cost with no child pipeline at all (no
+// degenerate sort is built or opened).
 func (q *Query) Limit(k int64) *Query {
 	if q.err != nil {
 		return q
