@@ -6,8 +6,14 @@ GO ?= go
 # deltas; CI keeps the cheap smoke defaults.
 ABCOUNT ?= 1
 ABTIME ?= 1x
+# The A/B benchmark set: every arm that reports the deterministic work
+# counters (comparisons, radix passes, page I/O) bench-gate diffs.
+ABBENCH = 'RunFormation|SortKeys|TimeToFirstRow|TopKPlanned'
+# bench-gate tolerance in percent. The gated counters are deterministic,
+# so the slack only absorbs float formatting, not machine variance.
+TOLERANCE ?= 2
 
-.PHONY: build test race bench bench-ab fmt vet ci
+.PHONY: build test race race-serve bench bench-ab bench-gate bench-baseline fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -32,10 +38,38 @@ bench:
 # failing benchmark exit 0 through the pipe.
 bench-ab:
 	@out=$$(mktemp); \
-	if ! $(GO) test -run '^$$' -bench 'RunFormation|SortKeys|TimeToFirstRow|TopKPlanned' -benchtime $(ABTIME) -count $(ABCOUNT) . > $$out 2>&1; then \
+	if ! $(GO) test -run '^$$' -bench $(ABBENCH) -benchtime $(ABTIME) -count $(ABCOUNT) . > $$out 2>&1; then \
 		cat $$out; rm -f $$out; exit 1; \
 	fi; \
 	$(GO) run ./cmd/pyro-abdiff < $$out; rc=$$?; rm -f $$out; exit $$rc
+
+# Regression gate on the deterministic work counters: run the A/B set once
+# and diff every comparisons/radix-passes/io-pages/run-pages counter
+# against the checked-in baseline. The counters replicate bit-for-bit on
+# any machine (golden tests pin their parallelism invariance), so the gate
+# fails on real plan or engine regressions while staying immune to CI
+# wall-clock noise.
+bench-gate:
+	@out=$$(mktemp); \
+	if ! $(GO) test -run '^$$' -bench $(ABBENCH) -benchtime 1x . > $$out 2>&1; then \
+		cat $$out; rm -f $$out; exit 1; \
+	fi; \
+	$(GO) run ./cmd/pyro-abdiff -baseline testdata/bench-baseline.txt -tolerance $(TOLERANCE) < $$out; \
+	rc=$$?; rm -f $$out; exit $$rc
+
+# Refresh the bench-gate baseline after an intentional counter change
+# (new plan shape, algorithm change); commit the updated file with the
+# change that moved the counters.
+bench-baseline:
+	@mkdir -p testdata
+	$(GO) test -run '^$$' -bench $(ABBENCH) -benchtime 1x . > testdata/bench-baseline.txt
+	@echo "wrote testdata/bench-baseline.txt"
+
+# The serving layer's concurrency under the race detector at a forced
+# GOMAXPROCS: governor fairness/starvation, admission, plan cache and the
+# concurrent-cursor tests.
+race-serve:
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'Govern|Gate|Admission|Concurrent|Starv|PlanCache|Serving|Grant|Override' ./...
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -46,4 +80,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt test race bench bench-ab
+ci: build vet fmt test race race-serve bench bench-ab bench-gate

@@ -12,7 +12,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"pyro/internal/catalog"
 	"pyro/internal/core"
@@ -87,6 +91,59 @@ func BenchmarkFigure16Scalability(b *testing.B) { benchExperiment(b, "scalabilit
 // timing (31-node trees, 10 attributes per node, paper: < 6 ms).
 func BenchmarkPhase2Refinement31Nodes(b *testing.B) { benchExperiment(b, "refine") }
 
+// reportCursorCounters runs the plan once outside the timed loop — pinned
+// to the serial sort algorithm so the mid-flight counters of an
+// early-closed cursor are exact — and reports the arm's deterministic work
+// counters: key comparisons, radix passes, and total/run page I/O. These
+// are the numbers `make bench-gate` diffs against testdata/bench-baseline.txt:
+// wall-clock is noise on shared CI runners, but the counters replicate
+// bit-for-bit on any machine (the golden tests pin their parallelism
+// invariance), so a plan-shape or engine regression moves them
+// reproducibly and fails the gate.
+func reportCursorCounters(b *testing.B, db *Database, plan *Plan, pull int, opts ...ExecOption) {
+	b.Helper()
+	b.StopTimer()
+	defer b.StartTimer()
+	opts = append(opts, WithSortParallelism(1), WithSortSpillParallelism(1))
+	cur, err := db.Query(context.Background(), plan, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; pull < 0 || i < pull; i++ {
+		if !cur.Next() {
+			break
+		}
+	}
+	if err := cur.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := cur.Err(); err != nil {
+		b.Fatal(err)
+	}
+	st := cur.Stats()
+	var comps, radix int64
+	for _, s := range st.Sorts {
+		comps += s.Comparisons
+		radix += s.RadixPasses
+	}
+	b.ReportMetric(float64(comps), "comparisons/op")
+	b.ReportMetric(float64(radix), "radix-passes/op")
+	b.ReportMetric(float64(st.IO.PageReads+st.IO.PageWrites), "io-pages/op")
+	b.ReportMetric(float64(st.IO.RunPageReads+st.IO.RunPageWrites), "run-pages/op")
+}
+
+// reportSortCounters is the xsort-level twin of reportCursorCounters: the
+// benchmark loop hands in the last iteration's enforcer stats and device
+// ledger (every iteration does identical work, so the last one is as good
+// as any).
+func reportSortCounters(b *testing.B, st xsort.SortStats, io storage.IOStats) {
+	b.Helper()
+	b.ReportMetric(float64(st.Comparisons), "comparisons/op")
+	b.ReportMetric(float64(st.RadixPasses), "radix-passes/op")
+	b.ReportMetric(float64(io.PageReads+io.PageWrites), "io-pages/op")
+	b.ReportMetric(float64(io.RunPageReads+io.RunPageWrites), "run-pages/op")
+}
+
 // BenchmarkTimeToFirstRow measures first-Next latency at the public
 // boundary: each iteration opens a cursor, pulls one row and closes. The
 // baseline arm streams a pipelined partial-sort plan (first segment only);
@@ -126,12 +183,14 @@ func BenchmarkTimeToFirstRow(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			firstRow(b, partial)
 		}
+		reportCursorCounters(b, db, partial, 1)
 	})
 	b.Run("full-cursor", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			firstRow(b, full)
 		}
+		reportCursorCounters(b, db, full, 1)
 	})
 	b.Run("execute-materialise", func(b *testing.B) {
 		b.ReportAllocs()
@@ -187,6 +246,7 @@ func BenchmarkTopKPlanned(b *testing.B) {
 				b.Fatalf("rows = %d", rows)
 			}
 		}
+		reportCursorCounters(b, db, planned, -1)
 	})
 	b.Run("early-close", func(b *testing.B) {
 		b.ReportAllocs()
@@ -204,7 +264,86 @@ func BenchmarkTopKPlanned(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		reportCursorCounters(b, db, unlimited, k)
 	})
+}
+
+// BenchmarkConcurrentTopK drives the serving layer at its design point:
+// many concurrent Top-K cursors sharing one governed database. Each
+// iteration fires `queries` Top-K queries (ORDER BY + LIMIT over the
+// servingDB tables) from a bounded worker pool through the admission gate
+// and the sort-memory governor, records every query's end-to-end latency,
+// and reports the tail as p50/p95/p99 metrics. The governor's
+// PeakGrantedBlocks is asserted against the global pool, so the benchmark
+// doubles as a check that total sort memory stayed bounded however many
+// cursors were live.
+func BenchmarkConcurrentTopK(b *testing.B) {
+	db := servingDB(b, Config{
+		SortMemoryBlocks:       16,
+		GlobalSortMemoryBlocks: 64,
+		MaxConcurrentQueries:   32,
+	})
+	plan, err := db.Optimize(db.Scan("small").OrderBy("v").Limit(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	const queries = 1200
+	workers := 64
+	lat := make([]time.Duration, queries)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := next.Add(1) - 1
+					if j >= queries {
+						return
+					}
+					start := time.Now()
+					cur, err := db.Query(ctx, plan)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					for cur.Next() {
+					}
+					if err := cur.Err(); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := cur.Close(); err != nil {
+						b.Error(err)
+						return
+					}
+					lat[j] = time.Since(start)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lat)-1))
+		return float64(lat[idx]) / float64(time.Millisecond)
+	}
+	b.ReportMetric(pct(0.50), "p50-ms")
+	b.ReportMetric(pct(0.95), "p95-ms")
+	b.ReportMetric(pct(0.99), "p99-ms")
+	s := db.ServingStats()
+	b.ReportMetric(float64(s.Governor.PeakGrantedBlocks), "peak-blocks")
+	if s.Governor.PeakGrantedBlocks > 64 {
+		b.Fatalf("governor peak %d blocks exceeds the 64-block global pool", s.Governor.PeakGrantedBlocks)
+	}
+	if s.Admission.PeakLive > 32 {
+		b.Fatalf("admission peak %d exceeds the 32-query gate", s.Admission.PeakLive)
+	}
 }
 
 // --- Micro-benchmarks for the core mechanisms -----------------------------
@@ -305,6 +444,8 @@ func BenchmarkSRSSortKeys(b *testing.B) {
 	}{{"encoded", xsort.KeyEncoded}, {"comparator", xsort.KeyComparator}} {
 		b.Run(mode.name, func(b *testing.B) {
 			b.ReportAllocs()
+			var st xsort.SortStats
+			var io storage.IOStats
 			for i := 0; i < b.N; i++ {
 				d := storage.NewDisk(0)
 				s, err := xsort.NewSRS(iter.FromSlice(rows), sortBenchSchema,
@@ -317,7 +458,9 @@ func BenchmarkSRSSortKeys(b *testing.B) {
 				if _, err := iter.Drain(s); err != nil {
 					b.Fatal(err)
 				}
+				st, io = *s.Stats(), d.Stats()
 			}
+			reportSortCounters(b, st, io)
 		})
 	}
 }
@@ -333,6 +476,8 @@ func BenchmarkMRSSortKeys(b *testing.B) {
 	}{{"encoded", xsort.KeyEncoded}, {"comparator", xsort.KeyComparator}} {
 		b.Run(mode.name, func(b *testing.B) {
 			b.ReportAllocs()
+			var st xsort.SortStats
+			var io storage.IOStats
 			for i := 0; i < b.N; i++ {
 				d := storage.NewDisk(0)
 				m, err := xsort.NewMRS(iter.FromSlice(rows), sortBenchSchema,
@@ -345,7 +490,9 @@ func BenchmarkMRSSortKeys(b *testing.B) {
 				if _, err := iter.Drain(m); err != nil {
 					b.Fatal(err)
 				}
+				st, io = *m.Stats(), d.Stats()
 			}
+			reportSortCounters(b, st, io)
 		})
 	}
 }
@@ -374,6 +521,8 @@ func runFormationArms(b *testing.B, run func(b *testing.B, rf xsort.RunFormation
 func BenchmarkMRSPartialSortRunFormation(b *testing.B) {
 	rows := keyBenchRows(50_000, 100)
 	runFormationArms(b, func(b *testing.B, rf xsort.RunFormation) {
+		var st xsort.SortStats
+		var io storage.IOStats
 		for i := 0; i < b.N; i++ {
 			d := storage.NewDisk(0)
 			m, err := xsort.NewMRS(iter.FromSlice(rows), sortBenchSchema,
@@ -385,7 +534,9 @@ func BenchmarkMRSPartialSortRunFormation(b *testing.B) {
 			if _, err := iter.Drain(m); err != nil {
 				b.Fatal(err)
 			}
+			st, io = *m.Stats(), d.Stats()
 		}
+		reportSortCounters(b, st, io)
 	})
 }
 
@@ -396,6 +547,8 @@ func BenchmarkMRSPartialSortRunFormation(b *testing.B) {
 func BenchmarkMRSSpilledSortRunFormation(b *testing.B) {
 	rows := keyBenchRows(50_000, 4)
 	runFormationArms(b, func(b *testing.B, rf xsort.RunFormation) {
+		var st xsort.SortStats
+		var io storage.IOStats
 		for i := 0; i < b.N; i++ {
 			d := storage.NewDisk(0)
 			m, err := xsort.NewMRS(iter.FromSlice(rows), sortBenchSchema,
@@ -410,7 +563,9 @@ func BenchmarkMRSSpilledSortRunFormation(b *testing.B) {
 			if rf == xsort.RunFormRadix && m.Stats().RadixPasses == 0 {
 				b.Fatal("radix arm did no radix work")
 			}
+			st, io = *m.Stats(), d.Stats()
 		}
+		reportSortCounters(b, st, io)
 	})
 }
 
@@ -420,6 +575,8 @@ func BenchmarkMRSSpilledSortRunFormation(b *testing.B) {
 func BenchmarkSRSSortRunFormation(b *testing.B) {
 	rows := keyBenchRows(50_000, 100)
 	runFormationArms(b, func(b *testing.B, rf xsort.RunFormation) {
+		var st xsort.SortStats
+		var io storage.IOStats
 		for i := 0; i < b.N; i++ {
 			d := storage.NewDisk(0)
 			s, err := xsort.NewSRS(iter.FromSlice(rows), sortBenchSchema,
@@ -434,7 +591,9 @@ func BenchmarkSRSSortRunFormation(b *testing.B) {
 			if s.Stats().RunsGenerated != 0 {
 				b.Fatal("workload must stay in memory")
 			}
+			st, io = *s.Stats(), d.Stats()
 		}
+		reportSortCounters(b, st, io)
 	})
 }
 
@@ -444,6 +603,8 @@ func BenchmarkSRSSortRunFormation(b *testing.B) {
 func BenchmarkSRSSpilledSortRunFormation(b *testing.B) {
 	rows := keyBenchRows(50_000, 100)
 	runFormationArms(b, func(b *testing.B, rf xsort.RunFormation) {
+		var st xsort.SortStats
+		var io storage.IOStats
 		for i := 0; i < b.N; i++ {
 			d := storage.NewDisk(0)
 			s, err := xsort.NewSRS(iter.FromSlice(rows), sortBenchSchema,
@@ -458,7 +619,9 @@ func BenchmarkSRSSpilledSortRunFormation(b *testing.B) {
 			if s.Stats().RunsGenerated == 0 {
 				b.Fatal("workload must spill")
 			}
+			st, io = *s.Stats(), d.Stats()
 		}
+		reportSortCounters(b, st, io)
 	})
 }
 

@@ -44,13 +44,36 @@ func main() {
 	}
 	sort.Strings(names)
 
-	exp := flag.String("exp", "all", "experiment to run: all or one of "+strings.Join(names, ", "))
+	exp := flag.String("exp", "all", "experiment to run: all, serve, or one of "+strings.Join(names, ", "))
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	sortPar := flag.Int("sort-par", 0, "MRS segment-sort parallelism (0 = GOMAXPROCS, 1 = serial)")
 	spillPar := flag.Int("spill-par", 0, "spill-path parallelism (0 = inherit -sort-par, 1 = serial)")
 	runForm := flag.String("run-formation", "adaptive", "run formation: adaptive, compare or radix")
 	limit := flag.Int64("limit", 0, "Top-K row count for the limit-aware experiments (0 = default 10)")
+	// serve-mode knobs (ignored by the paper experiments).
+	queries := flag.Int("cursors", 2000, "serve: total Top-K queries to run")
+	workers := flag.Int("workers", 64, "serve: concurrent client goroutines")
+	topK := flag.Int64("topk", 5, "serve: LIMIT per query")
+	maxQ := flag.Int("max-queries", 32, "serve: admission gate width (0 = unlimited)")
+	globalBlks := flag.Int("global-blocks", 64, "serve: global sort-memory pool in blocks")
+	sortBlks := flag.Int("sort-blocks", 16, "serve: per-sort memory ask in blocks")
 	flag.Parse()
+
+	if *exp == "serve" {
+		err := runServe(os.Stdout, serveConfig{
+			Queries:     *queries,
+			Workers:     *workers,
+			TopK:        *topK,
+			MaxQueries:  *maxQ,
+			GlobalBlks:  *globalBlks,
+			PerSortBlks: *sortBlks,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pyro-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rf, err := xsort.ParseRunFormation(*runForm)
 	if err != nil {

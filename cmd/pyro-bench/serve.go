@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pyro"
+)
+
+// serveConfig parameterizes the many-cursor serving workload.
+type serveConfig struct {
+	Queries     int   // total Top-K queries to run
+	Workers     int   // concurrent client goroutines issuing them
+	TopK        int64 // LIMIT per query
+	MaxQueries  int   // admission gate width (0 = unlimited)
+	GlobalBlks  int   // global sort-memory pool in blocks
+	PerSortBlks int   // per-sort ask in blocks
+}
+
+// runServe exercises the serving layer end to end: a governed database, a
+// bounded admission gate, and Workers concurrent clients draining Queries
+// Top-K cursors between them. It prints the tail-latency distribution
+// (p50/p95/p99), throughput, and the governor/admission/plan-cache
+// counters — the numbers BENCHMARKS.md's serving table records. Unlike the
+// paper-figure experiments this is not a reproduction of a published
+// table; it is the load shape the PR 6 serving layer exists for.
+func runServe(w io.Writer, cfg serveConfig) error {
+	db := pyro.Open(pyro.Config{
+		SortMemoryBlocks:       cfg.PerSortBlks,
+		GlobalSortMemoryBlocks: cfg.GlobalBlks,
+		MaxConcurrentQueries:   cfg.MaxQueries,
+	})
+	const n, segSize = 20_000, 10_000
+	rows := make([][]any, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []any{int64(i / segSize), int64(i * 7 % 10_000), int64(i)}
+	}
+	if err := db.CreateTable("events", []pyro.Column{
+		{Name: "g", Type: pyro.Int64},
+		{Name: "v", Type: pyro.Int64},
+		{Name: "pad", Type: pyro.Int64},
+	}, pyro.ClusterOn("g"), rows); err != nil {
+		return err
+	}
+
+	plan, err := db.Optimize(db.Scan("events").OrderBy("g", "v").Limit(cfg.TopK))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	lat := make([]time.Duration, cfg.Queries)
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wk := 0; wk < cfg.Workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1) - 1)
+				if j >= cfg.Queries {
+					return
+				}
+				qs := time.Now()
+				cur, err := db.Query(ctx, plan)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				for cur.Next() {
+				}
+				err = cur.Err()
+				if cerr := cur.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				lat[j] = time.Since(qs)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return err
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
+	fmt.Fprintf(w, "== serving: %d Top-%d queries, %d workers, gate %d, pool %d blocks (%d/sort) ==\n",
+		cfg.Queries, cfg.TopK, cfg.Workers, cfg.MaxQueries, cfg.GlobalBlks, cfg.PerSortBlks)
+	fmt.Fprintf(w, "elapsed_ms=%.1f qps=%.0f\n",
+		float64(elapsed)/float64(time.Millisecond),
+		float64(cfg.Queries)/elapsed.Seconds())
+	fmt.Fprintf(w, "latency_ms p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		float64(pct(0.50))/float64(time.Millisecond),
+		float64(pct(0.95))/float64(time.Millisecond),
+		float64(pct(0.99))/float64(time.Millisecond),
+		float64(lat[len(lat)-1])/float64(time.Millisecond))
+	s := db.ServingStats()
+	fmt.Fprintf(w, "governor grants=%d waits=%d shrinks=%d reclaimed_blocks=%d peak_blocks=%d (pool %d)\n",
+		s.Governor.Grants, s.Governor.GrantWaits, s.Governor.Shrinks,
+		s.Governor.ReclaimedBlocks, s.Governor.PeakGrantedBlocks, cfg.GlobalBlks)
+	fmt.Fprintf(w, "admission admitted=%d waits=%d peak_live=%d\n",
+		s.Admission.Admitted, s.Admission.Waits, s.Admission.PeakLive)
+	fmt.Fprintf(w, "plan_cache hits=%d misses=%d evictions=%d entries=%d\n",
+		s.PlanCache.Hits, s.PlanCache.Misses, s.PlanCache.Evictions, s.PlanCache.Entries)
+	if s.Governor.PeakGrantedBlocks > cfg.GlobalBlks {
+		return fmt.Errorf("governor peak %d blocks exceeds the %d-block pool",
+			s.Governor.PeakGrantedBlocks, cfg.GlobalBlks)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"pyro/internal/core"
 	"pyro/internal/exec"
+	"pyro/internal/govern"
 	"pyro/internal/storage"
 	"pyro/internal/types"
 	"pyro/internal/xsort"
@@ -23,6 +24,9 @@ type SortStats = xsort.SortStats
 type execConfig struct {
 	Config
 	rowTarget int64
+	// memoryOverride records that WithSortMemoryBlocks pinned the budget
+	// explicitly, which bypasses the sort-memory governor.
+	memoryOverride bool
 }
 
 // ExecOption overrides one execution knob for a single Query call, leaving
@@ -51,9 +55,16 @@ func WithSortRunFormation(rf RunFormation) ExecOption {
 }
 
 // WithSortMemoryBlocks overrides the per-sort memory budget M (in disk
-// blocks) for this query.
+// blocks) for this query. The explicit value is taken literally: the query
+// bypasses the database's sort-memory governor entirely — it takes no
+// grant from the global pool and its budget is never shrunk under
+// contention. Use it for experiments that need an exact, reproducible M
+// per query; leave it unset to share the pool.
 func WithSortMemoryBlocks(n int) ExecOption {
-	return func(c *execConfig) { c.SortMemoryBlocks = n }
+	return func(c *execConfig) {
+		c.SortMemoryBlocks = n
+		c.memoryOverride = true
+	}
 }
 
 // WithRowTarget declares that this consumer wants the first k rows fast —
@@ -96,6 +107,21 @@ type ExecStats struct {
 	// query's scans and spills never appear here, and the sum of all
 	// cursors' IO equals the device's delta.
 	IO IOStats
+	// QueuedTime is how long the query waited in the admission gate before
+	// executing (zero when admitted immediately or when
+	// Config.MaxConcurrentQueries is unlimited).
+	QueuedTime time.Duration
+	// GrantedBlocks is the sort-memory grant this query received from the
+	// global governor, in blocks, as initially issued (spill-pressure
+	// reclaim may have shrunk it since). Zero when the query took no grant:
+	// the governor is disabled, the budget was pinned with
+	// WithSortMemoryBlocks, or the plan has no memory-consuming operator.
+	GrantedBlocks int
+	// GrantWait is how long the query blocked waiting for sort memory;
+	// GrantWaits is 1 when it blocked at all (per-query grants block at
+	// most once, at acquisition).
+	GrantWait  time.Duration
+	GrantWaits int64
 }
 
 // Cursor streams one query's results row by row, in the database/sql
@@ -126,6 +152,12 @@ type Cursor struct {
 	cols  []string
 	sorts []*exec.Sort
 	tap   *storage.Tap
+
+	// Serving-layer state: the admission slot and sort-memory grant this
+	// query holds, both released exactly once when the cursor finishes.
+	admitted bool
+	queued   time.Duration
+	grant    *govern.Grant
 
 	start    time.Time
 	firstRow time.Duration
@@ -162,26 +194,77 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 	for _, o := range opts {
 		o(&cfg)
 	}
-	inner := p.inner
-	if cfg.rowTarget != 0 {
-		if cfg.rowTarget < 0 {
-			return nil, fmt.Errorf("pyro: negative row target %d", cfg.rowTarget)
-		}
-		if p.node == nil {
-			return nil, fmt.Errorf("pyro: plan carries no query to re-optimize for a row target")
-		}
-		ropts := p.opts
-		ropts.RowTarget = cfg.rowTarget
-		res, err := core.Optimize(p.node, ropts)
+	if cfg.rowTarget < 0 {
+		return nil, fmt.Errorf("pyro: negative row target %d", cfg.rowTarget)
+	}
+	if cfg.rowTarget != 0 && p.node == nil {
+		return nil, fmt.Errorf("pyro: plan carries no query to re-optimize for a row target")
+	}
+
+	// Admission: with a bounded gate the query queues (cancellably) for an
+	// execution slot before any optimizer or build work happens.
+	var queued time.Duration
+	admitted := false
+	if db.gate != nil {
+		var err error
+		queued, err = db.gate.Enter(ctx.Err)
 		if err != nil {
 			return nil, err
 		}
-		inner = res.Plan
+		admitted = true
+	}
+	// Until the cursor exists and owns them, every error return must give
+	// back the admission slot and the memory grant.
+	var grant *govern.Grant
+	ok := false
+	defer func() {
+		if ok {
+			return
+		}
+		if grant != nil {
+			grant.Release()
+		}
+		if admitted {
+			db.gate.Leave()
+		}
+	}()
+
+	inner := p.inner
+	if cfg.rowTarget != 0 {
+		ropts := p.opts
+		ropts.RowTarget = cfg.rowTarget
+		rplan, _, err := db.optimize(p.node, ropts)
+		if err != nil {
+			return nil, err
+		}
+		inner = rplan
 	}
 	tap := storage.NewTap()
+
+	// Sort-memory grant: governed queries whose plan buffers sort memory
+	// ask the global pool for their configured budget. A lone query gets
+	// its full ask (single-cursor execution is identical to the ungoverned
+	// engine); under contention the grant is a fair share and may be shrunk
+	// further while the query spills. The grant doubles as the live
+	// xsort.Budget every sort enforcer re-reads, and the tap lets the
+	// governor see this query's spill writes. Explicit WithSortMemoryBlocks
+	// bypasses all of this, as does a plan with no sort or spool operator.
+	buildBlocks := cfg.SortMemoryBlocks
+	var budget xsort.Budget
+	if db.gov != nil && !cfg.memoryOverride && planUsesSortMemory(inner) {
+		g, err := db.gov.Acquire(cfg.SortMemoryBlocks, tap, ctx.Err)
+		if err != nil {
+			return nil, err
+		}
+		grant = g
+		buildBlocks = g.Initial()
+		budget = g
+	}
+
 	op, err := core.Build(inner, core.BuildConfig{
 		Disk:                 db.disk,
-		SortMemoryBlocks:     cfg.SortMemoryBlocks,
+		SortMemoryBlocks:     buildBlocks,
+		SortBudget:           budget,
 		SortParallelism:      cfg.SortParallelism,
 		SortSpillParallelism: cfg.SortSpillParallelism,
 		SortRunFormation:     cfg.SortRunFormation,
@@ -192,21 +275,33 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 		return nil, err
 	}
 	c := &Cursor{
-		db:    db,
-		ctx:   ctx,
-		op:    op,
-		cols:  inner.Schema.Names(),
-		sorts: exec.CollectSorts(op),
-		tap:   tap,
-		start: time.Now(),
+		db:       db,
+		ctx:      ctx,
+		op:       op,
+		cols:     inner.Schema.Names(),
+		sorts:    exec.CollectSorts(op),
+		tap:      tap,
+		admitted: admitted,
+		queued:   queued,
+		grant:    grant,
+		start:    time.Now(),
 	}
+	ok = true // c.finish releases the slot and grant from here on
 	if err := op.Open(); err != nil {
-		if cerr := op.Close(); cerr != nil {
+		if cerr := c.Close(); cerr != nil {
 			err = errors.Join(err, cerr)
 		}
 		return nil, err
 	}
 	return c, nil
+}
+
+// planUsesSortMemory reports whether the plan contains an operator that
+// buffers tuples against the sort-memory budget — a sort enforcer or a
+// block-nested-loops join spool. Plans without one (pure scans, filters,
+// hash operators) run grant-free: they take nothing from the global pool.
+func planUsesSortMemory(p *core.Plan) bool {
+	return p.CountKind(core.OpSort) > 0 || p.CountKind(core.OpNLJoin) > 0
 }
 
 // Next advances to the next row, reporting whether one is available. It
@@ -335,7 +430,9 @@ func (c *Cursor) fail(err error) {
 	c.finish()
 }
 
-// finish closes the operator tree exactly once and freezes the stats.
+// finish closes the operator tree exactly once, returns the query's
+// serving resources (sort-memory grant, admission slot) and freezes the
+// stats.
 func (c *Cursor) finish() {
 	if c.finished {
 		return
@@ -350,6 +447,12 @@ func (c *Cursor) finish() {
 		}
 	}
 	c.final = c.snapshot()
+	if c.grant != nil {
+		c.grant.Release()
+	}
+	if c.admitted {
+		c.db.gate.Leave()
+	}
 }
 
 // Stats reports the query's execution counters: a live snapshot while the
@@ -367,6 +470,12 @@ func (c *Cursor) snapshot() ExecStats {
 		TimeToFirstRow: c.firstRow,
 		Elapsed:        time.Since(c.start),
 		IO:             c.tap.Stats(),
+		QueuedTime:     c.queued,
+	}
+	if c.grant != nil {
+		s.GrantedBlocks = c.grant.Initial()
+		s.GrantWait = c.grant.Waited()
+		s.GrantWaits = c.grant.Waits()
 	}
 	if len(c.sorts) > 0 {
 		s.Sorts = make([]SortStats, len(c.sorts))

@@ -47,6 +47,13 @@ type BuildConfig struct {
 	// on one Database get exact, disjoint I/O attribution instead of
 	// overlapping windows over the shared device counters.
 	IOTap *storage.Tap
+	// SortBudget, when non-nil, is the query's live sort-memory allowance:
+	// every sort enforcer re-reads it at its buffering decisions, so a
+	// global governor can shrink a running query's memory and its sorts
+	// spill at the new bound. SortMemoryBlocks still fixes the structural
+	// decisions (merge fan-in) and should be set to the allowance's initial
+	// value. Nil means the static SortMemoryBlocks budget.
+	SortBudget xsort.Budget
 }
 
 // Build compiles a physical plan into an executable operator tree.
@@ -72,6 +79,7 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 	xcfg := xsort.Config{
 		Disk:             cfg.Disk,
 		MemoryBlocks:     cfg.SortMemoryBlocks,
+		Budget:           cfg.SortBudget,
 		Parallelism:      cfg.SortParallelism,
 		SpillParallelism: cfg.SortSpillParallelism,
 		Keys:             cfg.SortKeys,

@@ -1,0 +1,119 @@
+package govern
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// GateStats is a snapshot of an admission gate's counters.
+type GateStats struct {
+	// Admitted is how many Enter calls have succeeded.
+	Admitted int64
+	// Waits is how many of those had to queue for a slot.
+	Waits int64
+	// Live is the current number of admitted queries; PeakLive its
+	// high-water mark (never exceeds Max).
+	Live     int
+	PeakLive int
+	// Queued is the current number of callers waiting for admission.
+	Queued int
+}
+
+// Gate is a bounded concurrent-query admission gate. At most Max queries
+// hold a slot at once; excess Enter calls queue. All methods are safe for
+// concurrent use.
+type Gate struct {
+	max  int
+	poll time.Duration
+
+	mu     sync.Mutex
+	live   int
+	queued int
+	gen    chan struct{}
+	stats  GateStats
+}
+
+// NewGate returns a gate admitting at most max concurrent queries. max
+// must be positive (callers model "unlimited" by not using a gate at all).
+// poll bounds how long a queued Enter waits between abort polls
+// (0 = 200µs).
+func NewGate(max int, poll time.Duration) (*Gate, error) {
+	if max <= 0 {
+		return nil, fmt.Errorf("govern: gate max must be positive, got %d", max)
+	}
+	if poll <= 0 {
+		poll = 200 * time.Microsecond
+	}
+	return &Gate{max: max, poll: poll, gen: make(chan struct{})}, nil
+}
+
+// Max returns the gate's concurrency bound.
+func (t *Gate) Max() int { return t.max }
+
+// Stats returns a snapshot of the gate's counters.
+func (t *Gate) Stats() GateStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.Live = t.live
+	s.Queued = t.queued
+	return s
+}
+
+// Enter blocks until a slot is free, polling abort (nil = wait
+// indefinitely) so a context cancellation reaches a queued query. It
+// returns how long the caller queued (0 when admitted immediately). Every
+// successful Enter must be paired with exactly one Leave.
+func (t *Gate) Enter(abort func() error) (time.Duration, error) {
+	start := time.Now()
+	waited := false
+	t.mu.Lock()
+	for {
+		if t.live < t.max {
+			t.live++
+			t.stats.Admitted++
+			if t.live > t.stats.PeakLive {
+				t.stats.PeakLive = t.live
+			}
+			t.mu.Unlock()
+			if waited {
+				return time.Since(start), nil
+			}
+			return 0, nil
+		}
+		if !waited {
+			waited = true
+			t.stats.Waits++
+		}
+		t.queued++
+		ch := t.gen
+		t.mu.Unlock()
+		select {
+		case <-ch:
+		case <-time.After(t.poll):
+		}
+		var aerr error
+		if abort != nil {
+			aerr = abort()
+		}
+		t.mu.Lock()
+		t.queued--
+		if aerr != nil {
+			t.mu.Unlock()
+			return 0, aerr
+		}
+	}
+}
+
+// Leave releases a slot taken by a successful Enter and wakes the queue.
+func (t *Gate) Leave() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.live <= 0 {
+		panic("govern: Gate.Leave without matching Enter")
+	}
+	t.live--
+	close(t.gen)
+	t.gen = make(chan struct{})
+}

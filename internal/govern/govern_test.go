@@ -1,0 +1,342 @@
+package govern
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pyro/internal/storage"
+)
+
+// spillingTap returns a tap whose ledger already shows run-page writes —
+// the signal the governor reads as "this query is spilling".
+func spillingTap(t *testing.T) *storage.Tap {
+	t.Helper()
+	d := storage.NewDisk(4096)
+	tap := storage.NewTap()
+	a := d.NewArenaTapped(tap)
+	t.Cleanup(a.Release)
+	a.CreateTemp("run", storage.KindRun).AppendPage([]byte{1})
+	if tap.Stats().RunPageWrites == 0 {
+		t.Fatal("tap shows no run-page writes after writing a run page")
+	}
+	return tap
+}
+
+func TestLoneQueryGetsFullAsk(t *testing.T) {
+	g, err := New(Config{TotalBlocks: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := g.Acquire(1000, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Blocks() != 1000 {
+		t.Fatalf("lone query granted %d blocks, want the full 1000", gr.Blocks())
+	}
+	if gr.Waited() != 0 || gr.Waits() != 0 {
+		t.Fatalf("lone query waited (%v, %d waits), want immediate grant", gr.Waited(), gr.Waits())
+	}
+	gr.Release()
+	if s := g.Stats(); s.GrantedBlocks != 0 || s.LiveGrants != 0 {
+		t.Fatalf("after release: %+v, want empty pool", s)
+	}
+}
+
+func TestAskClampedToPool(t *testing.T) {
+	g, _ := New(Config{TotalBlocks: 100})
+	gr, err := g.Acquire(5000, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gr.Release()
+	if gr.Blocks() != 100 {
+		t.Fatalf("granted %d, want pool-clamped 100", gr.Blocks())
+	}
+}
+
+func TestConcurrentGrantsNeverOvercommit(t *testing.T) {
+	const total = 64
+	g, _ := New(Config{TotalBlocks: total, PollInterval: 50 * time.Microsecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				gr, err := g.Acquire(total, nil, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				gr.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	s := g.Stats()
+	if s.PeakGrantedBlocks > total {
+		t.Fatalf("peak granted %d blocks exceeds the %d-block pool", s.PeakGrantedBlocks, total)
+	}
+	if s.GrantedBlocks != 0 || s.LiveGrants != 0 {
+		t.Fatalf("pool not empty after all releases: %+v", s)
+	}
+	if s.Grants != 32*50 {
+		t.Fatalf("recorded %d grants, want %d", s.Grants, 32*50)
+	}
+}
+
+func TestReleaseUnblocksWaiter(t *testing.T) {
+	g, _ := New(Config{TotalBlocks: 10, MinGrantBlocks: 10})
+	first, err := g.Acquire(10, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *Grant, 1)
+	go func() {
+		gr, err := g.Acquire(10, nil, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- gr
+	}()
+	select {
+	case <-got:
+		t.Fatal("second acquire succeeded while the pool was exhausted")
+	case <-time.After(20 * time.Millisecond):
+	}
+	first.Release()
+	select {
+	case gr := <-got:
+		if gr.Blocks() == 0 {
+			t.Fatal("woken waiter got an empty grant")
+		}
+		if gr.Waits() != 1 || gr.Waited() == 0 {
+			t.Fatalf("woken waiter reports waits=%d waited=%v, want a recorded wait", gr.Waits(), gr.Waited())
+		}
+		gr.Release()
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter not woken by release")
+	}
+}
+
+func TestAbortReachesBlockedAcquire(t *testing.T) {
+	g, _ := New(Config{TotalBlocks: 10, MinGrantBlocks: 10, PollInterval: 100 * time.Microsecond})
+	hold, err := g.Acquire(10, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Release()
+	boom := errors.New("canceled")
+	var fired atomic.Bool
+	abort := func() error {
+		if fired.Load() {
+			return boom
+		}
+		return nil
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(10, nil, abort)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	fired.Store(true)
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("blocked acquire returned %v, want the abort error", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abort did not reach the blocked acquire")
+	}
+	if s := g.Stats(); s.GrantedBlocks != 10 {
+		t.Fatalf("aborted waiter disturbed the pool: %+v", s)
+	}
+}
+
+func TestSpillPressureShrinksHoarder(t *testing.T) {
+	g, _ := New(Config{TotalBlocks: 100, MinGrantBlocks: 1, PollInterval: 100 * time.Microsecond})
+	// The first query takes the whole pool and is spilling.
+	big, err := g.Acquire(100, spillingTap(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Blocks() != 100 {
+		t.Fatalf("first grant %d, want 100", big.Blocks())
+	}
+	// A second query arrives: reclaim must shrink the spilling holder to
+	// the fair share instead of blocking behind it.
+	small, err := g.Acquire(100, nil, func() error { return errors.New("had to wait: reclaim failed") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Release()
+	if big.Blocks() > 50 {
+		t.Fatalf("spilling hoarder still holds %d blocks, want <= fair share 50", big.Blocks())
+	}
+	if small.Blocks() == 0 {
+		t.Fatal("second query got nothing despite reclaim")
+	}
+	s := g.Stats()
+	if s.Shrinks == 0 || s.ReclaimedBlocks == 0 {
+		t.Fatalf("no reclaim recorded: %+v", s)
+	}
+	big.Release()
+}
+
+func TestNonSpillingGrantIsNotShrunk(t *testing.T) {
+	g, _ := New(Config{TotalBlocks: 100, MinGrantBlocks: 10, PollInterval: 100 * time.Microsecond})
+	// In-memory (non-spilling) holder of the whole pool.
+	mem, err := g.Acquire(100, storage.NewTap(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A waiter must NOT be able to steal from it; it waits until release.
+	done := make(chan *Grant, 1)
+	go func() {
+		gr, err := g.Acquire(100, nil, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- gr
+	}()
+	select {
+	case <-done:
+		t.Fatal("waiter acquired while a non-spilling grant held the pool")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if mem.Blocks() != 100 {
+		t.Fatalf("non-spilling grant shrunk to %d blocks", mem.Blocks())
+	}
+	mem.Release()
+	gr := <-done
+	gr.Release()
+}
+
+func TestPartialGrantAboveMinimum(t *testing.T) {
+	g, _ := New(Config{TotalBlocks: 100, MinGrantBlocks: 5})
+	hold, err := g.Acquire(90, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Release()
+	// 10 blocks free, fair share would be 50: the second query takes the
+	// partial 10 rather than queueing.
+	gr, err := g.Acquire(100, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gr.Release()
+	if gr.Blocks() != 10 {
+		t.Fatalf("partial grant %d, want the 10 free blocks", gr.Blocks())
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	g, _ := New(Config{TotalBlocks: 10})
+	gr, err := g.Acquire(10, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Release()
+	gr.Release()
+	if s := g.Stats(); s.GrantedBlocks != 0 {
+		t.Fatalf("double release corrupted the pool: %+v", s)
+	}
+	gr2, err := g.Acquire(10, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr2.Blocks() != 10 {
+		t.Fatalf("pool lost blocks to double release: got %d", gr2.Blocks())
+	}
+	gr2.Release()
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{TotalBlocks: 0}); err == nil {
+		t.Fatal("New accepted a zero pool")
+	}
+	if _, err := New(Config{TotalBlocks: 10, MinGrantBlocks: -1}); err == nil {
+		t.Fatal("New accepted a negative min grant")
+	}
+	if _, err := NewGate(0, 0); err == nil {
+		t.Fatal("NewGate accepted max 0")
+	}
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const max = 4
+	gt, err := NewGate(max, 50*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := gt.Enter(nil); err != nil {
+				t.Error(err)
+				return
+			}
+			n := live.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			live.Add(-1)
+			gt.Leave()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > max {
+		t.Fatalf("observed %d concurrent holders, gate max is %d", p, max)
+	}
+	s := gt.Stats()
+	if s.Admitted != 64 {
+		t.Fatalf("admitted %d, want 64", s.Admitted)
+	}
+	if s.PeakLive > max {
+		t.Fatalf("gate recorded peak %d above max %d", s.PeakLive, max)
+	}
+	if s.Waits == 0 {
+		t.Fatal("64 callers through a 4-slot gate recorded no queue waits")
+	}
+	if s.Live != 0 || s.Queued != 0 {
+		t.Fatalf("gate not drained: %+v", s)
+	}
+}
+
+func TestGateAbortWhileQueued(t *testing.T) {
+	gt, _ := NewGate(1, 100*time.Microsecond)
+	if _, err := gt.Enter(nil); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("canceled")
+	done := make(chan error, 1)
+	go func() {
+		_, err := gt.Enter(func() error { return boom })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("queued Enter returned %v, want abort error", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abort did not reach the queued Enter")
+	}
+	gt.Leave()
+	if s := gt.Stats(); s.Live != 0 {
+		t.Fatalf("gate corrupted after aborted wait: %+v", s)
+	}
+}

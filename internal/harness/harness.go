@@ -127,7 +127,7 @@ func measure(disk *storage.Disk, op exec.Operator) (runStats, error) {
 	for {
 		_, ok, err := op.Next()
 		if err != nil {
-			op.Close()
+			_ = op.Close() // the Next error is the one to report
 			return runStats{}, err
 		}
 		if !ok {

@@ -106,7 +106,7 @@ func RunA2(w io.Writer, scale Scale) error {
 		if err := op.Open(); err != nil {
 			return nil, err
 		}
-		defer op.Close()
+		defer func() { _ = op.Close() }()
 		marks := make([]time.Duration, len(checkpoints))
 		next := 0
 		var n int64

@@ -556,7 +556,6 @@ func (m *MRS) collect(limit int) (*segment, error) {
 		m.col = &segCollector{first: m.pending, ky: m.segmentKeyer(m.pending)}
 	}
 	c := m.col
-	budget := m.cfg.memoryBytes()
 	read := 0
 	for {
 		// An oversized segment keeps the consumer in this loop for its whole
@@ -571,7 +570,11 @@ func (m *MRS) collect(limit int) (*segment, error) {
 		if m.liveBytes > m.stats.PeakMemBytes {
 			m.stats.PeakMemBytes = m.liveBytes
 		}
-		if c.memBytes >= budget {
+		// The budget is re-read per tuple, not cached across the loop: a
+		// governed query's live allowance (xsort.Budget) can shrink
+		// mid-segment under spill pressure, and the next buffering decision
+		// must see it.
+		if c.memBytes >= m.cfg.memoryBytes() {
 			c.spilled = true
 			if err := m.flush(c); err != nil {
 				return nil, err

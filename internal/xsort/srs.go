@@ -110,7 +110,6 @@ func (s *SRS) open() error {
 		return err
 	}
 	h := newRunHeap(s.ky, &s.stats.Comparisons)
-	budget := s.cfg.memoryBytes()
 	// Open is where SRS blocks for its entire input, so it is the loop a
 	// cancellation most needs to reach (a canceled query must not sort two
 	// million tuples first).
@@ -125,7 +124,10 @@ func (s *SRS) open() error {
 	inputDone := false
 	var fill []keyed
 	var fillBytes int64
-	for fillBytes < budget {
+	// The budget is re-read per iteration: a governed sort's allowance can
+	// shrink while the fill is being read, capping the heap (and every
+	// later phase's memory) at the new bound.
+	for fillBytes < s.cfg.memoryBytes() {
 		if err := guard.Check(); err != nil {
 			return err
 		}

@@ -153,12 +153,31 @@ func ParseRunFormation(s string) (RunFormation, error) {
 	return 0, fmt.Errorf("xsort: unknown run formation %q (want adaptive, compare or radix)", s)
 }
 
+// Budget is a live sort-memory allowance in disk blocks. A sort consults
+// it at every buffering decision (per tuple collected, per fill-loop
+// iteration), so an external governor can shrink a running sort's memory
+// mid-query and the sort starts spilling at the new bound from its next
+// tuple on. Implementations must be safe for concurrent use — a sort's
+// spill workers and the governor read and write it from different
+// goroutines.
+type Budget interface {
+	// Blocks returns the current allowance in disk blocks.
+	Blocks() int
+}
+
 // Config carries the resources available to a sort operator.
 type Config struct {
 	Disk *storage.Disk
 	// MemoryBlocks is M, the number of disk blocks worth of main memory
 	// available for sorting (the paper uses M = 10000 blocks = 40 MB).
 	MemoryBlocks int
+	// Budget, when non-nil, overrides MemoryBlocks as the live memory
+	// allowance: buffering decisions re-read it, so it may shrink (or grow)
+	// while the sort runs. MemoryBlocks still sizes the structural choices
+	// fixed at build time — the merge fan-in and the cost model's M — so a
+	// governor shrink changes where the sort spills, never the shape of its
+	// merge. With Budget nil behaviour is exactly the static budget.
+	Budget Budget
 	// TempPrefix names the run files for debuggability.
 	TempPrefix string
 	// Keys selects normalized-key (default) or comparator key comparison.
@@ -208,7 +227,13 @@ type Config struct {
 }
 
 func (c Config) memoryBytes() int64 {
-	return int64(c.MemoryBlocks) * int64(c.Disk.PageSize())
+	blocks := c.MemoryBlocks
+	if c.Budget != nil {
+		if b := c.Budget.Blocks(); b > 0 && b < blocks {
+			blocks = b
+		}
+	}
+	return int64(blocks) * int64(c.Disk.PageSize())
 }
 
 func (c Config) fanIn() int {

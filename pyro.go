@@ -37,6 +37,7 @@ import (
 	"pyro/internal/catalog"
 	"pyro/internal/core"
 	"pyro/internal/cost"
+	"pyro/internal/govern"
 	"pyro/internal/logical"
 	"pyro/internal/sortord"
 	"pyro/internal/storage"
@@ -114,6 +115,37 @@ type Config struct {
 	// key may emit in a different relative order under a full sort — that
 	// order was never guaranteed).
 	SortRunFormation RunFormation
+
+	// GlobalSortMemoryBlocks is the database-wide sort-memory pool, in
+	// blocks, shared by all concurrently executing queries through the
+	// sort-memory governor. Each query asks for SortMemoryBlocks; a lone
+	// query is granted its full ask (making single-cursor execution
+	// identical to the ungoverned engine), concurrent queries share the
+	// pool by fair shares, and a query already spilling (observed through
+	// its per-query I/O tap) is shrunk toward its fair share while others
+	// wait. 0 defaults to SortMemoryBlocks — the pool admits one
+	// full-budget sort's worth of memory in total. Negative disables the
+	// governor: every query gets the static per-sort budget, as before.
+	// Queries that override their budget with WithSortMemoryBlocks bypass
+	// the governor entirely (the explicit value is taken literally, as
+	// documented there).
+	GlobalSortMemoryBlocks int
+	// MinSortGrantBlocks is the smallest sort-memory grant the governor
+	// will issue or shrink to (0 defaults to GlobalSortMemoryBlocks/256,
+	// at least 1). Raising it bounds how far contention can squeeze a
+	// query's sorts.
+	MinSortGrantBlocks int
+	// MaxConcurrentQueries bounds how many queries execute at once; excess
+	// Query calls queue (cancellably) and report their wait in
+	// ExecStats.QueuedTime. 0 means unlimited (no admission gate).
+	MaxConcurrentQueries int
+	// PlanCacheSize bounds the database's plan cache, which lets repeated
+	// Optimize calls and WithRowTarget re-optimizations of the same query
+	// shape skip the optimizer: entries are keyed by (logical query
+	// signature, optimizer options, row-target band), so any option that
+	// could change plan choice misses. 0 defaults to 256 entries; negative
+	// disables caching.
+	PlanCacheSize int
 }
 
 // RunFormation selects the sort enforcers' run-formation algorithm.
@@ -131,6 +163,14 @@ type Database struct {
 	disk *storage.Disk
 	cat  *catalog.Catalog
 	cfg  Config
+
+	// Serving layer: shared across every concurrent query of this
+	// database. gov arbitrates the global sort-memory pool (nil when
+	// disabled), gate bounds concurrent queries (nil = unlimited), plans
+	// caches optimization results (nil when disabled).
+	gov   *govern.Governor
+	gate  *govern.Gate
+	plans *planCache
 }
 
 // Open creates an empty database.
@@ -142,7 +182,57 @@ func Open(cfg Config) *Database {
 		cfg.SortMemoryBlocks = 10000
 	}
 	disk := storage.NewDisk(cfg.PageSize)
-	return &Database{disk: disk, cat: catalog.New(disk), cfg: cfg}
+	db := &Database{disk: disk, cat: catalog.New(disk), cfg: cfg}
+	if cfg.GlobalSortMemoryBlocks >= 0 {
+		total := cfg.GlobalSortMemoryBlocks
+		if total == 0 {
+			total = cfg.SortMemoryBlocks
+		}
+		// Config errors are impossible here: total is positive and the min
+		// grant non-negative by the clamps above.
+		db.gov, _ = govern.New(govern.Config{
+			TotalBlocks:    total,
+			MinGrantBlocks: cfg.MinSortGrantBlocks,
+		})
+	}
+	if cfg.MaxConcurrentQueries > 0 {
+		db.gate, _ = govern.NewGate(cfg.MaxConcurrentQueries, 0)
+	}
+	cacheSize := cfg.PlanCacheSize
+	if cacheSize == 0 {
+		cacheSize = 256
+	}
+	db.plans = newPlanCache(cacheSize)
+	return db
+}
+
+// ServingStats aggregates the database's serving-layer counters: the
+// sort-memory governor, the admission gate and the plan cache.
+type ServingStats struct {
+	// Governor reports sort-memory grant activity. Zero when the governor
+	// is disabled (GlobalSortMemoryBlocks < 0).
+	Governor govern.Stats
+	// Admission reports the concurrent-query gate. Zero when unlimited
+	// (MaxConcurrentQueries == 0).
+	Admission govern.GateStats
+	// PlanCache reports optimizer-result reuse. Zero when disabled
+	// (PlanCacheSize < 0).
+	PlanCache PlanCacheStats
+}
+
+// ServingStats returns a snapshot of the serving layer's counters.
+func (db *Database) ServingStats() ServingStats {
+	var s ServingStats
+	if db.gov != nil {
+		s.Governor = db.gov.Stats()
+	}
+	if db.gate != nil {
+		s.Admission = db.gate.Stats()
+	}
+	if db.plans != nil {
+		s.PlanCache = db.plans.snapshot()
+	}
+	return s
 }
 
 // ClusterOn names the clustering order for CreateTable.
@@ -316,11 +406,42 @@ func (db *Database) Optimize(q *Query, opts ...OptimizeOption) (*Plan, error) {
 	if spillPar > 1 {
 		options.Model.SpillParallelism = spillPar
 	}
-	res, err := core.Optimize(q.node, options)
+	inner, stats, err := db.optimize(q.node, options)
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{db: db, inner: res.Plan, stats: res.Stats, node: q.node, opts: options}, nil
+	return &Plan{db: db, inner: inner, stats: stats, node: q.node, opts: options}, nil
+}
+
+// optimize runs the optimizer through the plan cache. The cache key is the
+// query's full logical signature plus the complete (comparable) option set
+// with the row target banded into power-of-two buckets; the optimizer is a
+// pure function of exactly those inputs, so a hit returns the identical
+// plan and optimizer stats the miss path would have computed (the one
+// exception being row targets within one band, which deliberately share a
+// plan). On a miss the optimizer runs at the actual requested row target —
+// the first call per band behaves exactly like the uncached engine — and
+// the result is stored under the band key. Cached plan trees are immutable
+// and shared by reference.
+func (db *Database) optimize(node logical.Node, options core.Options) (*core.Plan, core.Stats, error) {
+	if db.plans == nil {
+		res, err := core.Optimize(node, options)
+		if err != nil {
+			return nil, core.Stats{}, err
+		}
+		return res.Plan, res.Stats, nil
+	}
+	key := planKey{shape: logical.Signature(node), opts: options, band: rowTargetBand(options.RowTarget)}
+	key.opts.RowTarget = 0 // the band carries it
+	if plan, stats, ok := db.plans.get(key); ok {
+		return plan, stats, nil
+	}
+	res, err := core.Optimize(node, options)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	db.plans.put(key, res.Plan, res.Stats)
+	return res.Plan, res.Stats, nil
 }
 
 // Rows is a fully materialised query result.
@@ -348,7 +469,7 @@ func (db *Database) Execute(p *Plan) (*Rows, error) {
 		out.Data = append(out.Data, cur.Row())
 	}
 	if err := cur.Err(); err != nil {
-		cur.Close()
+		_ = cur.Close() // the drain error is the one to report
 		return nil, err
 	}
 	return out, cur.Close()

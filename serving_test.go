@@ -1,0 +1,500 @@
+package pyro
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// servingDB builds a database with a deliberately small sort budget, a big
+// clustered table whose partial-sort segments each overflow that budget
+// (so its MRS cursors spill), and a small table for cheap Top-K queries.
+func servingDB(t testing.TB, extra Config) *Database {
+	t.Helper()
+	cfg := extra
+	if cfg.SortMemoryBlocks == 0 {
+		cfg.SortMemoryBlocks = 16
+	}
+	db := Open(cfg)
+	const n, segSize = 20_000, 10_000
+	rows := make([][]any, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []any{int64(i / segSize), int64(i * 7 % 10_000), int64(i)}
+	}
+	if err := db.CreateTable("big", []Column{
+		{Name: "g", Type: Int64},
+		{Name: "v", Type: Int64},
+		{Name: "pad", Type: Int64},
+	}, ClusterOn("g"), rows); err != nil {
+		t.Fatal(err)
+	}
+	small := make([][]any, 1000)
+	for i := range small {
+		small[i] = []any{int64(i % 7), int64((i * 13) % 1000)}
+	}
+	if err := db.CreateTable("small", []Column{
+		{Name: "k", Type: Int64},
+		{Name: "v", Type: Int64},
+	}, ClusterOn("k"), small); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSingleCursorGetsFullGrant(t *testing.T) {
+	db := segmentedDB(t, 10_000, 500)
+	plan, err := db.Optimize(db.Scan("big").OrderBy("g", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := db.Query(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for cur.Next() {
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := cur.Stats()
+	// A lone governed query gets exactly the configured per-sort budget —
+	// the guarantee that keeps single-cursor execution identical to the
+	// ungoverned engine.
+	if st.GrantedBlocks != 64 {
+		t.Fatalf("lone cursor granted %d blocks, want the full SortMemoryBlocks=64", st.GrantedBlocks)
+	}
+	if st.GrantWaits != 0 || st.GrantWait != 0 {
+		t.Fatalf("lone cursor waited for memory: %+v", st)
+	}
+	gov := db.ServingStats().Governor
+	if gov.Grants == 0 {
+		t.Fatal("governor recorded no grants")
+	}
+	if gov.GrantedBlocks != 0 || gov.LiveGrants != 0 {
+		t.Fatalf("grant not returned at cursor close: %+v", gov)
+	}
+}
+
+func TestExplicitMemoryOverrideBypassesGovernor(t *testing.T) {
+	db := segmentedDB(t, 5_000, 500)
+	plan, err := db.Optimize(db.Scan("big").OrderBy("g", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.ServingStats().Governor.Grants
+	cur, err := db.Query(context.Background(), plan, WithSortMemoryBlocks(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cur.Next() {
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if g := cur.Stats().GrantedBlocks; g != 0 {
+		t.Fatalf("pinned-budget cursor reports a grant of %d blocks, want none", g)
+	}
+	if after := db.ServingStats().Governor.Grants; after != before {
+		t.Fatalf("pinned-budget query took a governor grant (%d -> %d)", before, after)
+	}
+}
+
+func TestScanOnlyPlanTakesNoGrant(t *testing.T) {
+	db := segmentedDB(t, 1_000, 100)
+	plan, err := db.Optimize(db.Scan("big"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := db.Query(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cur.Next() {
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if g := cur.Stats().GrantedBlocks; g != 0 {
+		t.Fatalf("sort-free scan took a %d-block grant", g)
+	}
+}
+
+// TestGovernorStarvationFairness is the serving layer's liveness property:
+// one huge spilling sort holding the whole pool must not starve a queue of
+// small Top-K cursors. The big cursor spills its first oversized segment
+// and then sits mid-stream, pinning its grant; the small queries must all
+// complete promptly because spill-pressure reclaim shrinks the hoarder to
+// its fair share.
+func TestGovernorStarvationFairness(t *testing.T) {
+	db := servingDB(t, Config{})
+	bigPlan, err := db.Optimize(db.Scan("big").OrderBy("g", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := db.Query(context.Background(), bigPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer big.Close()
+	// Pull a few rows: the first 10k-row segment has been collected and
+	// spilled (16 blocks = 64 KB cannot hold it), so the cursor now holds
+	// the full 16-block grant with run-page writes on its tap.
+	for i := 0; i < 10 && big.Next(); i++ {
+	}
+	if err := big.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if spills := big.Stats().Sorts[0].SpilledSegs; spills == 0 {
+		t.Fatal("big cursor did not spill; the starvation scenario needs a spilling hoarder")
+	}
+	if got := db.ServingStats().Governor.GrantedBlocks; got != 16 {
+		t.Fatalf("big cursor holds %d blocks, want the whole 16-block pool", got)
+	}
+
+	smallPlan, err := db.Optimize(db.Scan("small").OrderBy("v").Limit(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const K = 6
+	done := make(chan ExecStats, K)
+	errs := make(chan error, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			cur, err := db.Query(ctx, smallPlan)
+			if err != nil {
+				errs <- err
+				return
+			}
+			rows := 0
+			for cur.Next() {
+				rows++
+			}
+			if err := cur.Close(); err != nil {
+				errs <- err
+				return
+			}
+			if rows != 5 {
+				errs <- context.DeadlineExceeded
+				return
+			}
+			done <- cur.Stats()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("small Top-K query failed or starved behind the spilling sort: %v", err)
+	}
+	close(done)
+	for st := range done {
+		if st.GrantedBlocks == 0 {
+			t.Fatal("small query completed without a grant")
+		}
+	}
+	gov := db.ServingStats().Governor
+	if gov.Shrinks == 0 || gov.ReclaimedBlocks == 0 {
+		t.Fatalf("spilling hoarder was never reclaimed: %+v", gov)
+	}
+	if gov.PeakGrantedBlocks > 16 {
+		t.Fatalf("pool overcommitted: peak %d > 16", gov.PeakGrantedBlocks)
+	}
+	// The big cursor, shrunk but never revoked, still streams to completion.
+	for big.Next() {
+	}
+	if err := big.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows := big.Stats().Rows; rows != 20_000 {
+		t.Fatalf("big cursor returned %d rows after reclaim, want 20000", rows)
+	}
+}
+
+func TestPlanCacheHitsAndMisses(t *testing.T) {
+	db := segmentedDB(t, 2_000, 100)
+	q := func() *Query { return db.Scan("big").OrderBy("g", "v") }
+
+	if _, err := db.Optimize(q()); err != nil {
+		t.Fatal(err)
+	}
+	base := db.ServingStats().PlanCache
+	if base.Misses == 0 {
+		t.Fatal("first Optimize did not miss the plan cache")
+	}
+	if _, err := db.Optimize(q()); err != nil {
+		t.Fatal(err)
+	}
+	after := db.ServingStats().PlanCache
+	if after.Hits != base.Hits+1 {
+		t.Fatalf("repeated Optimize did not hit the cache: %+v -> %+v", base, after)
+	}
+
+	// An option that changes plan choice must miss.
+	if _, err := db.Optimize(q(), WithoutPartialSort()); err != nil {
+		t.Fatal(err)
+	}
+	ablated := db.ServingStats().PlanCache
+	if ablated.Misses != after.Misses+1 {
+		t.Fatalf("ablated Optimize did not miss: %+v -> %+v", after, ablated)
+	}
+
+	// Different projection expressions under identical output names must
+	// not collide (the signature includes expressions, not just names).
+	p1, err := db.Optimize(db.Scan("big").Project(Proj{Name: "x", Expr: Col("v")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := db.Optimize(db.Scan("big").Project(Proj{Name: "x", Expr: Add(Col("v"), Int(1))}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.inner == p2.inner {
+		t.Fatal("plan cache collided on queries that differ only in projection expressions")
+	}
+
+	r1, err := db.Execute(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.Execute(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Data[0][0].(int64)+1 != r2.Data[0][0].(int64) {
+		t.Fatalf("colliding plans returned wrong results: %v vs %v", r1.Data[0], r2.Data[0])
+	}
+}
+
+func TestPlanCacheRowTargetBands(t *testing.T) {
+	db := segmentedDB(t, 2_000, 100)
+	plan, err := db.Optimize(db.Scan("big").OrderBy("g", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(k int64) {
+		t.Helper()
+		cur, err := db.Query(context.Background(), plan, WithRowTarget(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur.Next()
+		if err := cur.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.ServingStats().PlanCache
+
+	run(5) // band {5..8}: first sighting must miss and re-optimize
+	s1 := db.ServingStats().PlanCache
+	if s1.Misses != before.Misses+1 {
+		t.Fatalf("first row-target query did not miss: %+v -> %+v", before, s1)
+	}
+
+	run(6) // same band: must hit
+	s2 := db.ServingStats().PlanCache
+	if s2.Hits != s1.Hits+1 || s2.Misses != s1.Misses {
+		t.Fatalf("same-band row target did not hit: %+v -> %+v", s1, s2)
+	}
+
+	run(100) // different band: the differing ExecOption must miss
+	s3 := db.ServingStats().PlanCache
+	if s3.Misses != s2.Misses+1 {
+		t.Fatalf("different-band row target did not miss: %+v -> %+v", s2, s3)
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	db := Open(Config{PlanCacheSize: -1, SortMemoryBlocks: 16})
+	if err := db.CreateTable("t", []Column{{Name: "a", Type: Int64}}, nil, [][]any{{int64(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Optimize(db.Scan("t").OrderBy("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Optimize(db.Scan("t").OrderBy("a")); err != nil {
+		t.Fatal(err)
+	}
+	if s := db.ServingStats().PlanCache; s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
+		t.Fatalf("disabled plan cache recorded activity: %+v", s)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	db := Open(Config{PlanCacheSize: 2, SortMemoryBlocks: 16})
+	if err := db.CreateTable("t", []Column{
+		{Name: "a", Type: Int64}, {Name: "b", Type: Int64}, {Name: "c", Type: Int64},
+	}, nil, [][]any{{int64(1), int64(2), int64(3)}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"a", "b", "c"} {
+		if _, err := db.Optimize(db.Scan("t").OrderBy(col)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := db.ServingStats().PlanCache
+	if s.Entries != 2 {
+		t.Fatalf("cache holds %d entries, capacity is 2", s.Entries)
+	}
+	if s.Evictions != 1 {
+		t.Fatalf("recorded %d evictions, want 1: %+v", s.Evictions, s)
+	}
+	// The least recently used entry (OrderBy a) is gone: re-optimizing it
+	// must miss again.
+	miss := s.Misses
+	if _, err := db.Optimize(db.Scan("t").OrderBy("a")); err != nil {
+		t.Fatal(err)
+	}
+	if after := db.ServingStats().PlanCache; after.Misses != miss+1 {
+		t.Fatalf("evicted entry did not miss on reuse: %+v", after)
+	}
+}
+
+func TestAdmissionGateQueuesSecondQuery(t *testing.T) {
+	db := servingDB(t, Config{MaxConcurrentQueries: 1})
+	plan, err := db.Optimize(db.Scan("small").OrderBy("v").Limit(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := db.Query(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		stats ExecStats
+		err   error
+	}
+	got := make(chan result, 1)
+	go func() {
+		cur, err := db.Query(context.Background(), plan)
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		for cur.Next() {
+		}
+		err = cur.Close()
+		got <- result{stats: cur.Stats(), err: err}
+	}()
+	select {
+	case r := <-got:
+		t.Fatalf("second query ran through a full 1-slot gate: %+v", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.stats.QueuedTime == 0 {
+			t.Fatalf("queued query reports zero QueuedTime: %+v", r.stats)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second query never admitted after the first closed")
+	}
+	s := db.ServingStats().Admission
+	if s.Admitted != 2 || s.Waits != 1 {
+		t.Fatalf("gate stats %+v, want Admitted=2 Waits=1", s)
+	}
+	if s.Live != 0 || s.Queued != 0 {
+		t.Fatalf("gate not drained: %+v", s)
+	}
+}
+
+func TestAdmissionGateHonorsCancellation(t *testing.T) {
+	db := servingDB(t, Config{MaxConcurrentQueries: 1})
+	plan, err := db.Optimize(db.Scan("small").OrderBy("v").Limit(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := db.Query(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := db.Query(ctx, plan)
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-got:
+		if err != context.Canceled {
+			t.Fatalf("queued query returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not reach the queued query")
+	}
+}
+
+// TestConcurrentGovernedCursors drives many concurrent governed Top-K
+// cursors and checks the global invariants: the pool is never
+// overcommitted, every cursor completes correctly, and all grants drain.
+func TestConcurrentGovernedCursors(t *testing.T) {
+	db := servingDB(t, Config{SortMemoryBlocks: 32, MaxConcurrentQueries: 8})
+	plan, err := db.Optimize(db.Scan("small").OrderBy("v").Limit(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, rounds = 8, 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				cur, err := db.Query(context.Background(), plan)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var prev int64 = -1
+				rows := 0
+				for cur.Next() {
+					var v int64
+					var k any
+					if err := cur.Scan(&k, &v); err != nil {
+						t.Error(err)
+						return
+					}
+					if v < prev {
+						t.Errorf("out-of-order result under concurrency: %d after %d", v, prev)
+						return
+					}
+					prev = v
+					rows++
+				}
+				if err := cur.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+				if rows != 3 {
+					t.Errorf("got %d rows, want 3", rows)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := db.ServingStats()
+	if s.Governor.PeakGrantedBlocks > 32 {
+		t.Fatalf("pool overcommitted: peak %d > 32", s.Governor.PeakGrantedBlocks)
+	}
+	if s.Governor.GrantedBlocks != 0 || s.Governor.LiveGrants != 0 {
+		t.Fatalf("grants leaked: %+v", s.Governor)
+	}
+	if s.Admission.Live != 0 || s.Admission.PeakLive > 8 {
+		t.Fatalf("admission slots leaked or exceeded: %+v", s.Admission)
+	}
+}
