@@ -8,7 +8,7 @@ ABCOUNT ?= 1
 ABTIME ?= 1x
 # The A/B benchmark set: every arm that reports the deterministic work
 # counters (comparisons, radix passes, page I/O) bench-gate diffs.
-ABBENCH = 'RunFormation|SortKeys|TimeToFirstRow|TopKPlanned'
+ABBENCH = 'RunFormation|SortKeys|TimeToFirstRow|TopKPlanned|Throughput'
 # bench-gate tolerance in percent. The gated counters are deterministic,
 # so the slack only absorbs float formatting, not machine variance.
 TOLERANCE ?= 2
@@ -66,10 +66,10 @@ bench-baseline:
 	@echo "wrote testdata/bench-baseline.txt"
 
 # The serving layer's concurrency under the race detector at a forced
-# GOMAXPROCS: governor fairness/starvation, admission, plan cache and the
-# concurrent-cursor tests.
+# GOMAXPROCS: governor fairness/starvation, admission, plan cache, the
+# concurrent-cursor tests and the chunked executor's pooled-buffer paths.
 race-serve:
-	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'Govern|Gate|Admission|Concurrent|Starv|PlanCache|Serving|Grant|Override' ./...
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'Govern|Gate|Admission|Concurrent|Starv|PlanCache|Serving|Grant|Override|Chunk' ./...
 
 fmt:
 	@out=$$(gofmt -l .); \

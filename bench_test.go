@@ -346,6 +346,98 @@ func BenchmarkConcurrentTopK(b *testing.B) {
 	}
 }
 
+// chunkArms runs a benchmark once per executor mode: the legacy
+// row-at-a-time path (WithExecBatchSize(1)) against the default chunked
+// path. Both arms drain identical plans with identical counters (the
+// differential tests pin that), so the wall-clock and allocs/op deltas in
+// `make bench-ab` are pure per-row overhead removed by batching.
+func chunkArms(b *testing.B, run func(b *testing.B, opts ...ExecOption)) {
+	for _, arm := range []struct {
+		name string
+		opts []ExecOption
+	}{{"row", []ExecOption{WithExecBatchSize(1)}}, {"chunk", nil}} {
+		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			run(b, arm.opts...)
+		})
+	}
+}
+
+// BenchmarkScanFilterThroughput measures the vectorized executor on its
+// target pipeline: a full drain of scan→filter, where the chunked path
+// moves one page's tuples per operator call — the scan decodes into pooled
+// column vectors, the filter marks a selection vector in a tight loop, and
+// the cursor serves rows out of a reused buffer. rows/op is the drained row
+// count (throughput = rows/op ÷ ns/op); the deterministic work counters
+// feed the bench gate and must be identical across arms.
+func BenchmarkScanFilterThroughput(b *testing.B) {
+	db := segmentedDB(b, 50_000, 500)
+	plan, err := db.Optimize(db.Scan("big").Filter(Gt(Col("v"), Int(100))))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	chunkArms(b, func(b *testing.B, opts ...ExecOption) {
+		var rows int64
+		for i := 0; i < b.N; i++ {
+			cur, err := db.Query(ctx, plan, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = 0
+			for cur.Next() {
+				rows++
+			}
+			if err := cur.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if err := cur.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(rows), "rows/op")
+		reportCursorCounters(b, db, plan, -1, opts...)
+	})
+}
+
+// BenchmarkScanSortLimitThroughput measures batching under a blocking
+// enforcer: scan→full-sort→limit, where the chunked arm batches the sort's
+// input collection (chunk reads off each page, one batched key encode per
+// chunk) while the tuple-level sort algorithm and its counters stay
+// untouched.
+func BenchmarkScanSortLimitThroughput(b *testing.B) {
+	db := segmentedDB(b, 50_000, 500)
+	plan, err := db.Optimize(db.Scan("big").OrderBy("v", "pad").Limit(1_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	chunkArms(b, func(b *testing.B, opts ...ExecOption) {
+		var rows int64
+		for i := 0; i < b.N; i++ {
+			cur, err := db.Query(ctx, plan, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = 0
+			for cur.Next() {
+				rows++
+			}
+			if err := cur.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if err := cur.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if rows != 1_000 {
+			b.Fatalf("rows = %d, want 1000", rows)
+		}
+		b.ReportMetric(float64(rows), "rows/op")
+		reportCursorCounters(b, db, plan, -1, opts...)
+	})
+}
+
 // --- Micro-benchmarks for the core mechanisms -----------------------------
 
 func sortBenchRows(n int, segments int64) []types.Tuple {

@@ -39,6 +39,9 @@ var gateMetrics = map[string]bool{
 	"radix-passes/op": true,
 	"io-pages/op":     true,
 	"run-pages/op":    true,
+	// Throughput arms report the exact drained row count; row and chunk
+	// executor paths must agree on it bit for bit.
+	"rows/op": true,
 }
 
 // sample is one metric's accumulated measurements across -count runs.

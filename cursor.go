@@ -67,6 +67,16 @@ func WithSortMemoryBlocks(n int) ExecOption {
 	}
 }
 
+// WithExecBatchSize overrides the vectorized executor's chunk capacity for
+// this query (see Config.ExecBatchSize): 0 picks the default
+// (types.DefaultChunkCapacity), 1 runs the exact legacy row-at-a-time
+// path, and n > 1 moves up to n rows per chunk through chunk-capable
+// operator subtrees. Results, sort counters and per-query I/O are
+// identical at every setting; only the per-row constant factor changes.
+func WithExecBatchSize(n int) ExecOption {
+	return func(c *execConfig) { c.ExecBatchSize = n }
+}
+
 // WithRowTarget declares that this consumer wants the first k rows fast —
 // the streaming analogue of a LIMIT the query doesn't have. Query
 // re-optimizes the plan with the optimizer's row budget set to k, so plan
@@ -163,6 +173,16 @@ type Cursor struct {
 	firstRow time.Duration
 	rows     int64
 
+	// Batch-path state: when the plan's top subtree is chunk-capable and
+	// batching is on, Next drains pooled chunks internally and serves rows
+	// out of them — the public row semantics (TTFR at the first row, early
+	// Close shedding, ctx polling per Next) are unchanged.
+	chunkOp    exec.ChunkOperator
+	chunkBatch int
+	chunk      *types.Chunk
+	chunkPos   int
+	rowBuf     types.Tuple
+
 	cur      types.Tuple
 	err      error
 	closeErr error
@@ -196,6 +216,9 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 	}
 	if cfg.rowTarget < 0 {
 		return nil, fmt.Errorf("pyro: negative row target %d", cfg.rowTarget)
+	}
+	if cfg.ExecBatchSize < 0 {
+		return nil, fmt.Errorf("pyro: negative exec batch size %d", cfg.ExecBatchSize)
 	}
 	if cfg.rowTarget != 0 && p.node == nil {
 		return nil, fmt.Errorf("pyro: plan carries no query to re-optimize for a row target")
@@ -261,6 +284,10 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 		budget = g
 	}
 
+	batch := cfg.ExecBatchSize
+	if batch <= 0 {
+		batch = types.DefaultChunkCapacity
+	}
 	op, err := core.Build(inner, core.BuildConfig{
 		Disk:                 db.disk,
 		SortMemoryBlocks:     buildBlocks,
@@ -270,6 +297,7 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 		SortRunFormation:     cfg.SortRunFormation,
 		SortAbort:            ctx.Err,
 		IOTap:                tap,
+		ExecBatchSize:        batch,
 	})
 	if err != nil {
 		return nil, err
@@ -285,6 +313,10 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 		queued:   queued,
 		grant:    grant,
 		start:    time.Now(),
+	}
+	if batch > 1 && exec.ChunkCapable(op) {
+		c.chunkOp = op.(exec.ChunkOperator)
+		c.chunkBatch = batch
 	}
 	ok = true // c.finish releases the slot and grant from here on
 	if err := op.Open(); err != nil {
@@ -317,6 +349,9 @@ func (c *Cursor) Next() bool {
 		c.fail(err)
 		return false
 	}
+	if c.chunkOp != nil {
+		return c.nextChunked()
+	}
 	t, ok, err := c.op.Next()
 	if err != nil {
 		c.fail(err)
@@ -331,6 +366,37 @@ func (c *Cursor) Next() bool {
 	}
 	c.rows++
 	c.cur = t
+	return true
+}
+
+// nextChunked serves the next row out of the cursor's chunk, refilling it
+// from the operator tree at batch boundaries. The current row lives in a
+// reused buffer (Row and Scan copy values out), so steady-state draining
+// allocates nothing per row. TimeToFirstRow is stamped when the first row
+// is surfaced to the caller — after the chunk refill, so batching cannot
+// claim a first row it has not yet served.
+func (c *Cursor) nextChunked() bool {
+	for c.chunk == nil || c.chunkPos >= c.chunk.Rows() {
+		if c.chunk == nil {
+			c.chunk = types.GetChunk(len(c.cols), c.chunkBatch)
+		}
+		if err := c.chunkOp.NextChunk(c.chunk); err != nil {
+			c.fail(err)
+			return false
+		}
+		c.chunkPos = 0
+		if c.chunk.Rows() == 0 {
+			c.finish()
+			return false
+		}
+	}
+	c.rowBuf = c.chunk.CopyRow(c.rowBuf, c.chunkPos)
+	c.chunkPos++
+	if c.rows == 0 {
+		c.firstRow = time.Since(c.start)
+	}
+	c.rows++
+	c.cur = c.rowBuf
 	return true
 }
 
@@ -439,6 +505,10 @@ func (c *Cursor) finish() {
 	}
 	c.finished = true
 	c.cur = nil
+	if c.chunk != nil {
+		types.PutChunk(c.chunk)
+		c.chunk = nil
+	}
 	if c.closeErr = c.op.Close(); c.closeErr != nil {
 		if c.err == nil {
 			c.err = c.closeErr

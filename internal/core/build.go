@@ -5,6 +5,7 @@ import (
 
 	"pyro/internal/exec"
 	"pyro/internal/storage"
+	"pyro/internal/types"
 	"pyro/internal/xsort"
 )
 
@@ -54,6 +55,13 @@ type BuildConfig struct {
 	// decisions (merge fan-in) and should be set to the allowance's initial
 	// value. Nil means the static SortMemoryBlocks budget.
 	SortBudget xsort.Budget
+	// ExecBatchSize is the chunk capacity of the vectorized executor:
+	// chunk-capable operator subtrees move batches of up to this many rows
+	// (exec.ChunkOperator), sort enforcers batch their input collection
+	// (xsort.Config.BatchSize), and blocking consumers drain through the
+	// row/chunk bridge. 0 picks types.DefaultChunkCapacity; 1 disables
+	// batching entirely — every operator runs its legacy row path.
+	ExecBatchSize int
 }
 
 // Build compiles a physical plan into an executable operator tree.
@@ -63,6 +71,9 @@ func Build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 	}
 	if cfg.SortMemoryBlocks <= 0 {
 		cfg.SortMemoryBlocks = 1000
+	}
+	if cfg.ExecBatchSize <= 0 {
+		cfg.ExecBatchSize = types.DefaultChunkCapacity
 	}
 	return build(p, cfg)
 }
@@ -86,6 +97,7 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 		RunFormation:     cfg.SortRunFormation,
 		Abort:            cfg.SortAbort,
 		Tap:              cfg.IOTap,
+		BatchSize:        cfg.ExecBatchSize,
 	}
 
 	switch p.Kind {
@@ -113,7 +125,12 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 	case OpMergeJoin:
 		return exec.NewMergeJoin(children[0], children[1], p.LeftKey, p.RightKey, p.JoinType)
 	case OpHashJoin:
-		return exec.NewHashJoin(children[0], children[1], p.LeftKeys, p.RightKeys, p.JoinType)
+		hj, err := exec.NewHashJoin(children[0], children[1], p.LeftKeys, p.RightKeys, p.JoinType)
+		if err != nil {
+			return nil, err
+		}
+		hj.SetExecBatch(cfg.ExecBatchSize)
+		return hj, nil
 	case OpNLJoin:
 		nl, err := exec.NewNLJoin(children[0], children[1], p.Pred, p.JoinType, cfg.Disk, cfg.SortMemoryBlocks)
 		if err != nil {
@@ -122,9 +139,19 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 		nl.SetIOTap(cfg.IOTap)
 		return nl, nil
 	case OpGroupAgg:
-		return exec.NewGroupAggregate(children[0], p.GroupCols, p.Aggs)
+		ga, err := exec.NewGroupAggregate(children[0], p.GroupCols, p.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		ga.SetExecBatch(cfg.ExecBatchSize)
+		return ga, nil
 	case OpHashAgg:
-		return exec.NewHashAggregate(children[0], p.GroupCols, p.Aggs)
+		ha, err := exec.NewHashAggregate(children[0], p.GroupCols, p.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		ha.SetExecBatch(cfg.ExecBatchSize)
+		return ha, nil
 	case OpMergeUnion:
 		return exec.NewMergeUnion(children[0], children[1], p.UnionOrder, p.DedupRows)
 	case OpUnionAll:

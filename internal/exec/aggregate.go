@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pyro/internal/expr"
+	"pyro/internal/iter"
 	"pyro/internal/types"
 )
 
@@ -179,6 +180,11 @@ type GroupAggregate struct {
 	pending types.Tuple
 	done    bool
 	opened  bool
+
+	// in is the stream the aggregate actually pulls: the child itself, or
+	// a rowAdapter over it when batching is on (the aggregate retains its
+	// lookahead, so it needs owned rows either way).
+	in iter.Iterator
 }
 
 // NewGroupAggregate builds a sort-based aggregate over contiguous groups.
@@ -197,8 +203,17 @@ func NewGroupAggregate(child Operator, groupCols []string, aggs []AggSpec) (*Gro
 	}
 	return &GroupAggregate{
 		child: child, groupCols: append([]string(nil), groupCols...), groupOrds: ords,
-		aggs: aggs, bound: bound, schema: schema,
+		aggs: aggs, bound: bound, schema: schema, in: child,
 	}, nil
+}
+
+// SetExecBatch switches the aggregate's input collection to the batch path
+// (n rows per chunk) when the child supports it. Must be called before
+// Open; n <= 1 keeps the legacy row path.
+func (g *GroupAggregate) SetExecBatch(n int) {
+	if a := newRowAdapter(g.child, n); a != nil {
+		g.in = a
+	}
 }
 
 // Schema returns group columns followed by aggregate columns.
@@ -210,13 +225,13 @@ func (g *GroupAggregate) Children() []Operator { return []Operator{g.child} }
 // GroupCols returns the grouping columns.
 func (g *GroupAggregate) GroupCols() []string { return g.groupCols }
 
-// Open opens the child and primes the lookahead.
+// Open opens the input and primes the lookahead.
 func (g *GroupAggregate) Open() error {
 	g.opened = true
-	if err := g.child.Open(); err != nil {
+	if err := g.in.Open(); err != nil {
 		return err
 	}
-	t, ok, err := g.child.Next()
+	t, ok, err := g.in.Next()
 	if err != nil {
 		return err
 	}
@@ -258,7 +273,7 @@ func (g *GroupAggregate) Next() (types.Tuple, bool, error) {
 	}
 	fold(first)
 	for {
-		t, ok, err := g.child.Next()
+		t, ok, err := g.in.Next()
 		if err != nil {
 			return nil, false, err
 		}
@@ -283,8 +298,8 @@ func (g *GroupAggregate) Next() (types.Tuple, bool, error) {
 	return out, true, nil
 }
 
-// Close closes the child.
-func (g *GroupAggregate) Close() error { return g.child.Close() }
+// Close closes the input (the adapter, when batching, closes the child).
+func (g *GroupAggregate) Close() error { return g.in.Close() }
 
 // HashAggregate accumulates all groups in a hash table and emits them after
 // the input is exhausted (blocking). Output group order is the groups'
@@ -300,6 +315,7 @@ type HashAggregate struct {
 
 	results []types.Tuple
 	pos     int
+	batch   int
 }
 
 // NewHashAggregate builds a hash aggregate; input order is irrelevant.
@@ -328,7 +344,15 @@ func (h *HashAggregate) Schema() *types.Schema { return h.schema }
 // Children returns the aggregated input.
 func (h *HashAggregate) Children() []Operator { return []Operator{h.child} }
 
-// Open consumes the entire input, building all groups.
+// SetExecBatch makes Open drain its input through the batch path (n rows
+// per chunk) when the child supports it. Must be called before Open; n <= 1
+// keeps the legacy row path.
+func (h *HashAggregate) SetExecBatch(n int) { h.batch = n }
+
+// Open consumes the entire input, building all groups. With batching on it
+// folds chunk row views directly (consuming any selection) and clones a
+// tuple only for each group's first-seen representative — one allocation
+// per group instead of one per input row.
 func (h *HashAggregate) Open() error {
 	if err := h.child.Open(); err != nil {
 		return err
@@ -341,21 +365,21 @@ func (h *HashAggregate) Open() error {
 	groups := make(map[string]*groupState)
 	var keyBuf []byte
 	seq := 0
-	for {
-		t, ok, err := h.child.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	// ingest folds one row; owned says whether t may be retained as a
+	// group representative or must be cloned first (chunk views are
+	// overwritten on refill).
+	ingest := func(t types.Tuple, owned bool) {
 		keyBuf = keyBuf[:0]
 		for _, o := range h.groupOrds {
 			keyBuf = t[o : o+1].Encode(keyBuf)
 		}
 		gs, found := groups[string(keyBuf)]
 		if !found {
-			gs = &groupState{rep: t, accs: make([]accumulator, len(h.bound)), seq: seq}
+			rep := t
+			if !owned {
+				rep = t.Clone()
+			}
+			gs = &groupState{rep: rep, accs: make([]accumulator, len(h.bound)), seq: seq}
 			seq++
 			for i := range gs.accs {
 				gs.accs[i].fn = h.bound[i].fn
@@ -368,6 +392,36 @@ func (h *HashAggregate) Open() error {
 			} else {
 				gs.accs[i].add(b.ev(t))
 			}
+		}
+	}
+	if h.batch > 1 && ChunkCapable(h.child) {
+		child := h.child.(ChunkOperator)
+		c := types.GetChunk(h.child.Schema().Len(), h.batch)
+		defer types.PutChunk(c)
+		var view types.Tuple
+		for {
+			if err := child.NextChunk(c); err != nil {
+				return err
+			}
+			live := c.Rows()
+			if live == 0 {
+				break
+			}
+			for i := 0; i < live; i++ {
+				view = c.CopyRow(view, i)
+				ingest(view, false)
+			}
+		}
+	} else {
+		for {
+			t, ok, err := h.child.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			ingest(t, true)
 		}
 	}
 	ordered := make([]*groupState, 0, len(groups))

@@ -7,11 +7,12 @@ import (
 
 // Filter passes through tuples satisfying a predicate. Order-preserving.
 type Filter struct {
-	child Operator
-	pred  func(types.Tuple) bool
-	text  string
-	in    int64
-	out   int64
+	child   Operator
+	pred    func(types.Tuple) bool
+	text    string
+	in      int64
+	out     int64
+	scratch types.Tuple // batch-path row view, reused across rows
 }
 
 // NewFilter compiles pred against the child schema.
@@ -58,6 +59,43 @@ func (f *Filter) Next() (types.Tuple, bool, error) {
 	}
 }
 
+// CanChunk reports whether the batch path is available (iff the child's is).
+func (f *Filter) CanChunk() bool { return ChunkCapable(f.child) }
+
+// NextChunk pulls child chunks into c and marks the survivors in a
+// selection vector — rows are never moved. It keeps pulling while a batch
+// has zero survivors, exactly the pages the row path would read before
+// its next qualifying row, so stopping after any served row charges
+// identical I/O.
+func (f *Filter) NextChunk(c *types.Chunk) error {
+	child := f.child.(ChunkOperator)
+	for {
+		if err := child.NextChunk(c); err != nil {
+			return err
+		}
+		live := c.Rows()
+		if live == 0 {
+			return nil
+		}
+		f.in += int64(live)
+		// Writing survivor j of the scratch selection while reading live
+		// row i is safe even when c's selection already aliases the same
+		// scratch: j <= i always (survivors are a subsequence).
+		sel := c.SelScratch()
+		for i := 0; i < live; i++ {
+			f.scratch = c.CopyRow(f.scratch, i)
+			if f.pred(f.scratch) {
+				sel = append(sel, int32(c.RowIndex(i)))
+			}
+		}
+		f.out += int64(len(sel))
+		if len(sel) > 0 {
+			c.SetSel(sel)
+			return nil
+		}
+	}
+}
+
 // Close closes the child.
 func (f *Filter) Close() error { return f.child.Close() }
 
@@ -68,6 +106,13 @@ type Project struct {
 	child  Operator
 	schema *types.Schema
 	evals  []expr.Evaluator
+
+	// Batch-path buffers: the child's chunk (lazily pooled), an input row
+	// view and an output row, all reused so projection allocates nothing
+	// per row.
+	in         *types.Chunk
+	inScratch  types.Tuple
+	outScratch types.Tuple
 }
 
 // ProjCol is one output column of a projection.
@@ -130,5 +175,42 @@ func (p *Project) Next() (types.Tuple, bool, error) {
 	return out, true, nil
 }
 
-// Close closes the child.
-func (p *Project) Close() error { return p.child.Close() }
+// CanChunk reports whether the batch path is available (iff the child's is).
+func (p *Project) CanChunk() bool { return ChunkCapable(p.child) }
+
+// NextChunk pulls one child chunk and evaluates the projection into c's
+// column vectors, consuming the child's selection: the output chunk is
+// dense.
+func (p *Project) NextChunk(c *types.Chunk) error {
+	child := p.child.(ChunkOperator)
+	if p.in == nil {
+		p.in = types.GetChunk(p.child.Schema().Len(), c.Cap())
+	}
+	if err := child.NextChunk(p.in); err != nil {
+		return err
+	}
+	c.Reset()
+	if cap(p.outScratch) < len(p.evals) {
+		p.outScratch = make(types.Tuple, len(p.evals))
+	}
+	out := p.outScratch[:len(p.evals)]
+	live := p.in.Rows()
+	for i := 0; i < live; i++ {
+		p.inScratch = p.in.CopyRow(p.inScratch, i)
+		for j, ev := range p.evals {
+			out[j] = ev(p.inScratch)
+		}
+		c.AppendRow(out)
+	}
+	return nil
+}
+
+// Close returns the batch-path input buffer to the pool and closes the
+// child.
+func (p *Project) Close() error {
+	if p.in != nil {
+		types.PutChunk(p.in)
+		p.in = nil
+	}
+	return p.child.Close()
+}

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"pyro/internal/iter"
 	"pyro/internal/types"
 )
 
@@ -26,6 +27,11 @@ type HashJoin struct {
 	outPos     int
 	rightWidth int
 	keyBuf     []byte
+
+	// buildIn is the build input as pulled: the right child itself, or a
+	// rowAdapter over it when batching is on (build tuples are retained in
+	// the table, so they must be owned either way).
+	buildIn iter.Iterator
 }
 
 // NewHashJoin builds a hash join; keys are positional pairs as in merge
@@ -59,7 +65,17 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []string, jt JoinType
 		joinType:   jt,
 		schema:     left.Schema().Concat(right.Schema()),
 		rightWidth: right.Schema().Len(),
+		buildIn:    right,
 	}, nil
+}
+
+// SetExecBatch switches the build-side drain to the batch path (n rows per
+// chunk) when the build input supports it. Must be called before Open;
+// n <= 1 keeps the legacy row path.
+func (h *HashJoin) SetExecBatch(n int) {
+	if a := newRowAdapter(h.right, n); a != nil {
+		h.buildIn = a
+	}
 }
 
 // Schema returns the concatenated output schema.
@@ -91,12 +107,12 @@ func (h *HashJoin) Open() error {
 	if err := h.left.Open(); err != nil {
 		return err
 	}
-	if err := h.right.Open(); err != nil {
+	if err := h.buildIn.Open(); err != nil {
 		return err
 	}
 	h.table = make(map[string][]types.Tuple)
 	for {
-		t, ok, err := h.right.Next()
+		t, ok, err := h.buildIn.Next()
 		if err != nil {
 			return err
 		}
@@ -148,11 +164,12 @@ func (h *HashJoin) Next() (types.Tuple, bool, error) {
 	}
 }
 
-// Close closes both inputs and drops the table.
+// Close closes both inputs and drops the table. The build side is closed
+// through buildIn so the adapter (when batching) can return its buffer.
 func (h *HashJoin) Close() error {
 	h.table = nil
 	errL := h.left.Close()
-	errR := h.right.Close()
+	errR := h.buildIn.Close()
 	if errL != nil {
 		return errL
 	}

@@ -56,6 +56,19 @@ func (s *TableScan) Next() (types.Tuple, bool, error) {
 	return t, ok, err
 }
 
+// CanChunk reports that the scan fills chunks directly from heap pages.
+func (s *TableScan) CanChunk() bool { return true }
+
+// NextChunk fills c with the tuples remaining on the current heap page,
+// decoding straight into the chunk's column vectors. A chunk never spans
+// pages, so batch and row consumers charge identical I/O at any stop point.
+func (s *TableScan) NextChunk(c *types.Chunk) error {
+	c.Reset()
+	n, err := s.reader.ReadChunk(c)
+	s.rows += int64(n)
+	return err
+}
+
 // Close releases the reader.
 func (s *TableScan) Close() error {
 	s.reader = nil
@@ -112,6 +125,17 @@ func (s *IndexScan) Next() (types.Tuple, bool, error) {
 	return t, ok, err
 }
 
+// CanChunk reports that the scan fills chunks directly from index pages.
+func (s *IndexScan) CanChunk() bool { return true }
+
+// NextChunk fills c with the tuples remaining on the current index page.
+func (s *IndexScan) NextChunk(c *types.Chunk) error {
+	c.Reset()
+	n, err := s.reader.ReadChunk(c)
+	s.rows += int64(n)
+	return err
+}
+
 // Close releases the reader.
 func (s *IndexScan) Close() error {
 	s.reader = nil
@@ -152,6 +176,20 @@ func (v *Values) Next() (types.Tuple, bool, error) {
 	t := v.rows[v.pos]
 	v.pos++
 	return t, true, nil
+}
+
+// CanChunk reports that literal rows batch trivially.
+func (v *Values) CanChunk() bool { return true }
+
+// NextChunk fills c to capacity from the literal rows (already in memory,
+// so batching them costs no extra work at any stop point).
+func (v *Values) NextChunk(c *types.Chunk) error {
+	c.Reset()
+	for v.pos < len(v.rows) && !c.Full() {
+		c.AppendRow(v.rows[v.pos])
+		v.pos++
+	}
+	return nil
 }
 
 // Close is a no-op.

@@ -191,6 +191,28 @@ func (u *UnionAll) Next() (types.Tuple, bool, error) {
 	return u.right.Next()
 }
 
+// CanChunk reports whether the batch path is available (both inputs must
+// offer it).
+func (u *UnionAll) CanChunk() bool {
+	return ChunkCapable(u.left) && ChunkCapable(u.right)
+}
+
+// NextChunk drains the left input's chunks, then the right's. Detecting
+// left EOF and pulling the first right chunk happen in one call, just as
+// the row path's Next falls through.
+func (u *UnionAll) NextChunk(c *types.Chunk) error {
+	if !u.onRight {
+		if err := u.left.(ChunkOperator).NextChunk(c); err != nil {
+			return err
+		}
+		if c.Rows() > 0 {
+			return nil
+		}
+		u.onRight = true
+	}
+	return u.right.(ChunkOperator).NextChunk(c)
+}
+
 // Close closes both inputs.
 func (u *UnionAll) Close() error {
 	errL := u.left.Close()
@@ -205,8 +227,9 @@ func (u *UnionAll) Close() error {
 // columns this is SQL DISTINCT — the sort-based duplicate elimination the
 // paper lists among operators with factorially many interesting orders.
 type Dedup struct {
-	child Operator
-	last  types.Tuple
+	child   Operator
+	last    types.Tuple
+	scratch types.Tuple // batch-path row view, reused across rows
 }
 
 // NewDedup builds a duplicate eliminator over (assumed) sorted input.
@@ -236,6 +259,39 @@ func (d *Dedup) Next() (types.Tuple, bool, error) {
 		}
 		d.last = t
 		return t, true, nil
+	}
+}
+
+// CanChunk reports whether the batch path is available (iff the child's is).
+func (d *Dedup) CanChunk() bool { return ChunkCapable(d.child) }
+
+// NextChunk marks the distinct rows of each child chunk in a selection
+// vector, pulling further chunks while a batch yields no distinct row —
+// the same pages the row path would read before its next distinct tuple.
+func (d *Dedup) NextChunk(c *types.Chunk) error {
+	child := d.child.(ChunkOperator)
+	for {
+		if err := child.NextChunk(c); err != nil {
+			return err
+		}
+		live := c.Rows()
+		if live == 0 {
+			return nil
+		}
+		sel := c.SelScratch()
+		for i := 0; i < live; i++ {
+			d.scratch = c.CopyRow(d.scratch, i)
+			if d.last != nil && tupleEqual(d.last, d.scratch) {
+				continue
+			}
+			sel = append(sel, int32(c.RowIndex(i)))
+			// Own the datums: the chunk is refilled underneath us.
+			d.last = append(d.last[:0], d.scratch...)
+		}
+		if len(sel) > 0 {
+			c.SetSel(sel)
+			return nil
+		}
 	}
 }
 
@@ -321,6 +377,37 @@ func (l *Limit) Next() (types.Tuple, bool, error) {
 		l.closeChild()
 	}
 	return t, true, nil
+}
+
+// CanChunk reports whether the batch path is available (iff the child's is).
+func (l *Limit) CanChunk() bool { return ChunkCapable(l.child) }
+
+// NextChunk passes the child's chunk through, truncating the batch that
+// carries the K-th live row and closing the child at that point — the same
+// early-exit the row path performs, at the same page boundary (the
+// truncated rows were co-resident on an already-read page).
+func (l *Limit) NextChunk(c *types.Chunk) error {
+	if l.n >= l.k {
+		c.Reset()
+		return l.closeChild()
+	}
+	if err := l.child.(ChunkOperator).NextChunk(c); err != nil {
+		return err
+	}
+	live := int64(c.Rows())
+	if live == 0 {
+		return nil
+	}
+	if l.n+live >= l.k {
+		c.Truncate(int(l.k - l.n))
+		l.n = l.k
+		// As in the row path, a close failure here surfaces from Close or
+		// a later call, never eating the rows themselves.
+		_ = l.closeChild()
+		return nil
+	}
+	l.n += live
+	return nil
 }
 
 // Close closes the child (already done if the limit was reached; the

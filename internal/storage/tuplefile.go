@@ -107,6 +107,44 @@ func (r *TupleReader) Next() (types.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// ReadChunk decodes tuples from the current page directly into c's column
+// vectors and returns the number of rows appended (0 at end of file).
+//
+// The fill discipline is the batch executor's I/O-identity invariant: a
+// chunk never crosses a page boundary. The reader advances to the next
+// page only when no tuple of the current one remains — exactly when the
+// row path's Next would — so a consumer that stops after row j has read
+// precisely the pages the row path would have read to serve row j.
+func (r *TupleReader) ReadChunk(c *types.Chunk) (int, error) {
+	for r.left == 0 {
+		if r.page >= r.file.NumPages() {
+			return 0, nil
+		}
+		data, err := r.file.ReadPage(r.page)
+		if err != nil {
+			return 0, err
+		}
+		r.page++
+		if len(data) < 2 {
+			return 0, fmt.Errorf("storage: malformed page in %q", r.file.Name())
+		}
+		r.data = data
+		r.left = int(binary.BigEndian.Uint16(data[:2]))
+		r.pos = 2
+	}
+	rows := 0
+	for r.left > 0 && !c.Full() {
+		n, err := c.AppendEncoded(r.data[r.pos:])
+		if err != nil {
+			return rows, fmt.Errorf("storage: decoding %q page %d: %w", r.file.Name(), r.page-1, err)
+		}
+		r.pos += n
+		r.left--
+		rows++
+	}
+	return rows, nil
+}
+
 // Rewind repositions the reader at the start of the file and charges a seek.
 func (r *TupleReader) Rewind() {
 	r.page = 0

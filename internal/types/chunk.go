@@ -1,0 +1,213 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// DefaultChunkCapacity is the batch size of the vectorized executor when the
+// caller does not choose one: large enough to amortize per-batch dispatch
+// over a full storage page of tuples, small enough that a chunk of the
+// widest workload tuples stays cache-resident.
+const DefaultChunkCapacity = 1024
+
+// Chunk is a batch of up to Cap rows in columnar form: one datum vector per
+// schema column plus an optional selection vector. Operators pass chunks
+// through the executor's batch protocol (exec.ChunkOperator) so that the
+// per-row interface dispatch and per-tuple allocation of the Volcano row
+// path are paid once per batch instead of once per row.
+//
+// A filter does not move rows: it marks the surviving physical row indices
+// in the selection vector, and downstream consumers iterate live rows
+// through it. A nil selection means all physical rows are live.
+//
+// Chunks are reused aggressively (see GetChunk/PutChunk): the datums a
+// chunk holds are only valid until the next NextChunk call that refills it,
+// so consumers that retain rows must copy them out (OwnedRow).
+type Chunk struct {
+	cols     [][]Datum
+	n        int     // physical rows appended
+	sel      []int32 // live physical row indices, nil = all n rows live
+	selBuf   []int32 // scratch selection storage, capacity cap(chunk)
+	capacity int
+}
+
+// NewChunk returns an empty chunk for ncols columns holding up to capacity
+// rows (capacity <= 0 picks DefaultChunkCapacity).
+func NewChunk(ncols, capacity int) *Chunk {
+	c := &Chunk{}
+	c.reshape(ncols, capacity)
+	return c
+}
+
+func (c *Chunk) reshape(ncols, capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultChunkCapacity
+	}
+	c.capacity = capacity
+	if cap(c.cols) < ncols {
+		c.cols = make([][]Datum, ncols)
+	}
+	c.cols = c.cols[:ncols]
+	for j := range c.cols {
+		if cap(c.cols[j]) < capacity {
+			c.cols[j] = make([]Datum, 0, capacity)
+		}
+	}
+	if cap(c.selBuf) < capacity {
+		c.selBuf = make([]int32, 0, capacity)
+	}
+	c.Reset()
+}
+
+// Cap returns the chunk's row capacity.
+func (c *Chunk) Cap() int { return c.capacity }
+
+// NumCols returns the number of column vectors.
+func (c *Chunk) NumCols() int { return len(c.cols) }
+
+// Reset empties the chunk (keeping its buffers) and clears the selection.
+func (c *Chunk) Reset() {
+	for j := range c.cols {
+		c.cols[j] = c.cols[j][:0]
+	}
+	c.n = 0
+	c.sel = nil
+}
+
+// Full reports whether the chunk has reached its capacity.
+func (c *Chunk) Full() bool { return c.n >= c.capacity }
+
+// Rows returns the number of live rows: the selection's length when one is
+// set, the physical row count otherwise.
+func (c *Chunk) Rows() int {
+	if c.sel != nil {
+		return len(c.sel)
+	}
+	return c.n
+}
+
+// Sel returns the selection vector (nil = all physical rows live).
+func (c *Chunk) Sel() []int32 { return c.sel }
+
+// SetSel installs a selection vector of live physical row indices, in
+// ascending order. The slice is retained, not copied.
+func (c *Chunk) SetSel(sel []int32) { c.sel = sel }
+
+// SelScratch returns the chunk's scratch selection buffer, empty, with
+// capacity Cap. Filters fill it with surviving indices and hand it back via
+// SetSel; writing survivor j while reading live row i is safe because
+// j <= i always holds (survivors are a subsequence of the rows read).
+func (c *Chunk) SelScratch() []int32 { return c.selBuf[:0] }
+
+// RowIndex returns the physical index of live row i.
+func (c *Chunk) RowIndex(i int) int {
+	if c.sel != nil {
+		return int(c.sel[i])
+	}
+	return i
+}
+
+// DatumAt returns the datum of column col at live row i.
+func (c *Chunk) DatumAt(col, i int) Datum { return c.cols[col][c.RowIndex(i)] }
+
+// AppendRow appends one physical row. The tuple's arity must match the
+// chunk's column count and the chunk must not be full.
+func (c *Chunk) AppendRow(t Tuple) {
+	for j := range c.cols {
+		c.cols[j] = append(c.cols[j], t[j])
+	}
+	c.n++
+}
+
+// CopyRow materializes live row i into dst (reallocating only when dst is
+// too small) and returns it. The result aliases dst, not the chunk: it
+// stays valid after the chunk is refilled, but a second CopyRow into the
+// same dst overwrites it.
+func (c *Chunk) CopyRow(dst Tuple, i int) Tuple {
+	phys := c.RowIndex(i)
+	if cap(dst) < len(c.cols) {
+		dst = make(Tuple, len(c.cols))
+	}
+	dst = dst[:len(c.cols)]
+	for j := range c.cols {
+		dst[j] = c.cols[j][phys]
+	}
+	return dst
+}
+
+// OwnedRow returns live row i as a freshly allocated tuple the caller may
+// retain.
+func (c *Chunk) OwnedRow(i int) Tuple {
+	return c.CopyRow(nil, i)
+}
+
+// Truncate keeps only the first k live rows (no-op when k >= Rows).
+func (c *Chunk) Truncate(k int) {
+	if k >= c.Rows() {
+		return
+	}
+	if c.sel != nil {
+		c.sel = c.sel[:k]
+		return
+	}
+	for j := range c.cols {
+		c.cols[j] = c.cols[j][:k]
+	}
+	c.n = k
+}
+
+// AppendEncoded decodes one encoded tuple (the Tuple.Encode layout) from
+// buf directly into the chunk's column vectors — the batch path's
+// replacement for DecodeTuple, skipping the per-row tuple allocation. It
+// returns the number of bytes consumed. The encoded arity must match the
+// chunk's column count.
+func (c *Chunk) AppendEncoded(buf []byte) (int, error) {
+	if len(buf) < 4 {
+		return 0, fmt.Errorf("types: short tuple header (%d bytes)", len(buf))
+	}
+	n := int(binary.BigEndian.Uint32(buf[:4]))
+	if n != len(c.cols) {
+		return 0, fmt.Errorf("types: encoded tuple has arity %d, chunk wants %d", n, len(c.cols))
+	}
+	pos := 4
+	for i := 0; i < n; i++ {
+		if pos >= len(buf) {
+			return 0, fmt.Errorf("types: truncated tuple at datum %d", i)
+		}
+		d, sz, err := decodeDatum(buf[pos:])
+		if err != nil {
+			return 0, err
+		}
+		c.cols[i] = append(c.cols[i], d)
+		pos += sz
+	}
+	c.n++
+	return pos, nil
+}
+
+// chunkPool recycles chunks across operators and queries so steady-state
+// batch execution allocates nothing per chunk, let alone per row.
+var chunkPool sync.Pool
+
+// GetChunk returns an empty pooled chunk shaped for ncols columns and up to
+// capacity rows (capacity <= 0 picks DefaultChunkCapacity). Pair with
+// PutChunk when the holder is done.
+func GetChunk(ncols, capacity int) *Chunk {
+	c, _ := chunkPool.Get().(*Chunk)
+	if c == nil {
+		c = &Chunk{}
+	}
+	c.reshape(ncols, capacity)
+	return c
+}
+
+// PutChunk returns a chunk to the pool. The caller must not use it again.
+func PutChunk(c *Chunk) {
+	if c == nil {
+		return
+	}
+	c.Reset()
+	chunkPool.Put(c)
+}

@@ -79,6 +79,46 @@ func (t Tuple) Encode(buf []byte) []byte {
 	return buf
 }
 
+// decodeDatum parses one encoded datum (kind byte + payload) from buf,
+// returning the datum and the number of bytes consumed. Both the row path
+// (DecodeTuple) and the batch path (Chunk.AppendEncoded) decode through
+// here, so the two cannot drift apart.
+func decodeDatum(buf []byte) (Datum, int, error) {
+	kind := Kind(buf[0])
+	pos := 1
+	switch kind {
+	case KindNull:
+		return Null, pos, nil
+	case KindInt:
+		if pos+8 > len(buf) {
+			return Null, 0, fmt.Errorf("types: truncated int datum")
+		}
+		return NewInt(int64(binary.BigEndian.Uint64(buf[pos : pos+8]))), pos + 8, nil
+	case KindFloat:
+		if pos+8 > len(buf) {
+			return Null, 0, fmt.Errorf("types: truncated float datum")
+		}
+		return NewFloat(math.Float64frombits(binary.BigEndian.Uint64(buf[pos : pos+8]))), pos + 8, nil
+	case KindBool:
+		if pos+1 > len(buf) {
+			return Null, 0, fmt.Errorf("types: truncated bool datum")
+		}
+		return NewBool(buf[pos] != 0), pos + 1, nil
+	case KindString:
+		if pos+4 > len(buf) {
+			return Null, 0, fmt.Errorf("types: truncated string length")
+		}
+		l := int(binary.BigEndian.Uint32(buf[pos : pos+4]))
+		pos += 4
+		if pos+l > len(buf) {
+			return Null, 0, fmt.Errorf("types: truncated string payload")
+		}
+		return NewString(string(buf[pos : pos+l])), pos + l, nil
+	default:
+		return Null, 0, fmt.Errorf("types: unknown datum kind %d", kind)
+	}
+}
+
 // DecodeTuple parses one tuple from buf, returning the tuple and the number
 // of bytes consumed.
 func DecodeTuple(buf []byte) (Tuple, int, error) {
@@ -92,43 +132,12 @@ func DecodeTuple(buf []byte) (Tuple, int, error) {
 		if pos >= len(buf) {
 			return nil, 0, fmt.Errorf("types: truncated tuple at datum %d", i)
 		}
-		kind := Kind(buf[pos])
-		pos++
-		switch kind {
-		case KindNull:
-			t[i] = Null
-		case KindInt:
-			if pos+8 > len(buf) {
-				return nil, 0, fmt.Errorf("types: truncated int datum")
-			}
-			t[i] = NewInt(int64(binary.BigEndian.Uint64(buf[pos : pos+8])))
-			pos += 8
-		case KindFloat:
-			if pos+8 > len(buf) {
-				return nil, 0, fmt.Errorf("types: truncated float datum")
-			}
-			t[i] = NewFloat(math.Float64frombits(binary.BigEndian.Uint64(buf[pos : pos+8])))
-			pos += 8
-		case KindBool:
-			if pos+1 > len(buf) {
-				return nil, 0, fmt.Errorf("types: truncated bool datum")
-			}
-			t[i] = NewBool(buf[pos] != 0)
-			pos++
-		case KindString:
-			if pos+4 > len(buf) {
-				return nil, 0, fmt.Errorf("types: truncated string length")
-			}
-			l := int(binary.BigEndian.Uint32(buf[pos : pos+4]))
-			pos += 4
-			if pos+l > len(buf) {
-				return nil, 0, fmt.Errorf("types: truncated string payload")
-			}
-			t[i] = NewString(string(buf[pos : pos+l]))
-			pos += l
-		default:
-			return nil, 0, fmt.Errorf("types: unknown datum kind %d", kind)
+		d, sz, err := decodeDatum(buf[pos:])
+		if err != nil {
+			return nil, 0, err
 		}
+		t[i] = d
+		pos += sz
 	}
 	return t, pos, nil
 }

@@ -34,6 +34,7 @@ type keyer struct {
 	skip    int
 	scratch []byte
 	arena   []byte // current arena block; keys are copied in to batch allocations
+	ends    []int  // wrapBatch scratch: per-key end offsets within scratch
 }
 
 const arenaBlockSize = 64 << 10
@@ -87,6 +88,38 @@ func (k *keyer) wrap(t types.Tuple) keyed {
 	start := len(k.arena)
 	k.arena = append(k.arena, k.scratch...)
 	return keyed{key: k.arena[start:len(k.arena):len(k.arena)], t: t}
+}
+
+// wrapBatch attaches sort keys to a whole batch of tuples, appending the
+// keyed entries to out. It is the batch analogue of wrap: the chunk's keys
+// are encoded back-to-back into the scratch buffer (keys.Codec.EncodeBatch)
+// and copied into the arena under a single capacity check, so the
+// per-tuple cost shrinks to slicing offsets. Byte content and key
+// boundaries are identical to per-tuple wrap calls.
+func (k *keyer) wrapBatch(rows []types.Tuple, out []keyed) []keyed {
+	if k.codec == nil {
+		for _, t := range rows {
+			out = append(out, keyed{t: t})
+		}
+		return out
+	}
+	k.scratch, k.ends = k.codec.EncodeBatch(k.scratch[:0], rows, k.ends[:0])
+	total := len(k.scratch)
+	if cap(k.arena)-len(k.arena) < total {
+		size := arenaBlockSize
+		if total > size {
+			size = total
+		}
+		k.arena = make([]byte, 0, size)
+	}
+	base := len(k.arena)
+	k.arena = append(k.arena, k.scratch...)
+	prev := 0
+	for i, end := range k.ends {
+		out = append(out, keyed{key: k.arena[base+prev : base+end : base+end], t: rows[i]})
+		prev = end
+	}
+	return out
 }
 
 // compare orders two keyed tuples. Callers count comparisons; compare does

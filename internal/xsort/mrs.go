@@ -69,6 +69,8 @@ type MRS struct {
 
 	// Input state.
 	pending     types.Tuple // lookahead: first tuple of the next segment
+	pendingKT   keyed       // pending with its sort key (wrapped by src)
+	src         *tupleSource
 	inputDone   bool
 	passthrough bool // given == target: nothing to do
 
@@ -233,7 +235,15 @@ func (m *MRS) Open() error {
 	if err := m.input.Open(); err != nil {
 		return err
 	}
-	t, ok, err := m.input.Next()
+	// The source wraps each tuple with its sort key as it is pulled. A
+	// passthrough (given == target) never compares keys, so it gets a
+	// comparator-mode keyer and skips the encodes entirely.
+	ky := m.ky
+	if m.passthrough {
+		ky = &keyer{cmp: m.ky.cmp}
+	}
+	m.src = newTupleSource(m.input, m.schema, ky, m.cfg)
+	kt, ok, err := m.src.next()
 	if err != nil {
 		return err
 	}
@@ -242,7 +252,8 @@ func (m *MRS) Open() error {
 		return nil
 	}
 	m.stats.TuplesIn++
-	m.pending = t
+	m.pending = kt.t
+	m.pendingKT = kt
 	return nil
 }
 
@@ -564,7 +575,7 @@ func (m *MRS) collect(limit int) (*segment, error) {
 			return nil, err
 		}
 		t := m.pending
-		c.buf = append(c.buf, m.ky.wrap(t))
+		c.buf = append(c.buf, m.pendingKT)
 		c.memBytes += int64(t.MemSize())
 		m.liveBytes += int64(t.MemSize())
 		if m.liveBytes > m.stats.PeakMemBytes {
@@ -674,23 +685,28 @@ func (m *MRS) finish(c *segCollector) (*segment, error) {
 	return seg, nil
 }
 
-// advance pulls the next input tuple into pending (nil at EOF).
+// advance pulls the next input tuple into pending (nil at EOF), already
+// wrapped with its sort key. TuplesIn counts here, per tuple the sort
+// actually takes — source-side chunk buffering is invisible to the stats.
 func (m *MRS) advance() error {
 	if m.inputDone {
 		m.pending = nil
+		m.pendingKT = keyed{}
 		return nil
 	}
-	t, ok, err := m.input.Next()
+	kt, ok, err := m.src.next()
 	if err != nil {
 		return err
 	}
 	if !ok {
 		m.inputDone = true
 		m.pending = nil
+		m.pendingKT = keyed{}
 		return nil
 	}
 	m.stats.TuplesIn++
-	m.pending = t
+	m.pending = kt.t
+	m.pendingKT = kt
 	return nil
 }
 
@@ -716,6 +732,9 @@ func (m *MRS) Close() error {
 	if m.col != nil {
 		m.releaseSpill(m.col.sp)
 		m.col = nil
+	}
+	if m.src != nil {
+		m.src.release()
 	}
 	return m.input.Close()
 }

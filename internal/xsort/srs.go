@@ -50,6 +50,7 @@ type SRS struct {
 	merger *runMerger
 	runs   []*storage.File
 	arena  *storage.SpillArena // lazily created spill namespace; owns all temps
+	src    *tupleSource        // keyed input collection (batched when configured)
 	opened bool
 	closed bool
 }
@@ -109,6 +110,7 @@ func (s *SRS) open() error {
 	if err := s.input.Open(); err != nil {
 		return err
 	}
+	s.src = newTupleSource(s.input, s.schema, s.ky, s.cfg)
 	h := newRunHeap(s.ky, &s.stats.Comparisons)
 	// Open is where SRS blocks for its entire input, so it is the loop a
 	// cancellation most needs to reach (a canceled query must not sort two
@@ -131,7 +133,7 @@ func (s *SRS) open() error {
 		if err := guard.Check(); err != nil {
 			return err
 		}
-		t, ok, err := s.input.Next()
+		kt, ok, err := s.src.next()
 		if err != nil {
 			return err
 		}
@@ -140,8 +142,8 @@ func (s *SRS) open() error {
 			break
 		}
 		s.stats.TuplesIn++
-		fill = append(fill, s.ky.wrap(t))
-		fillBytes += int64(t.MemSize())
+		fill = append(fill, kt)
+		fillBytes += int64(kt.t.MemSize())
 	}
 	s.trackPeak(fillBytes)
 
@@ -213,7 +215,7 @@ func (s *SRS) open() error {
 		}
 		lastOut = e.kt
 		if !inputDone {
-			t, ok, err := s.input.Next()
+			kt, ok, err := s.src.next()
 			if err != nil {
 				return err
 			}
@@ -221,7 +223,6 @@ func (s *SRS) open() error {
 				inputDone = true
 			} else {
 				s.stats.TuplesIn++
-				kt := s.ky.wrap(t)
 				tag := currentRun
 				s.stats.Comparisons++
 				if s.ky.compare(kt, lastOut) < 0 {
@@ -296,5 +297,8 @@ func (s *SRS) Close() error {
 	}
 	s.closed = true
 	s.removeTemps()
+	if s.src != nil {
+		s.src.release()
+	}
 	return s.input.Close()
 }

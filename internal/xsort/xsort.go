@@ -213,6 +213,15 @@ type Config struct {
 	// here so ExecStats.IO attributes spill I/O to the right query even
 	// under concurrent cursors.
 	Tap *storage.Tap
+	// BatchSize, when > 1, batches the sort's *input* collection: tuples
+	// are pulled from a chunk-capable input (see source.go) a chunk at a
+	// time and their sort keys encoded per batch (keys.Codec.EncodeBatch).
+	// The sort's tuple-level algorithm — segment boundaries, budget checks,
+	// abort polling, emission — is untouched, and a chunk never crosses a
+	// storage page, so output bytes, SortStats and I/O are identical at
+	// every batch size. 0 or 1 means row-at-a-time collection (the legacy
+	// path, exactly).
+	BatchSize int
 	// SpillParallelism bounds each stage of spill work independently: at
 	// most this many run-forming sorts of an oversized segment's memory
 	// batches in flight, and at most this many run-reduction group merges
@@ -274,6 +283,9 @@ func (c Config) validate() error {
 	}
 	if c.RunFormation > RunFormRadix {
 		return fmt.Errorf("xsort: unknown RunFormation %d", c.RunFormation)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("xsort: BatchSize must be non-negative, got %d", c.BatchSize)
 	}
 	return nil
 }
