@@ -13,7 +13,7 @@ ABBENCH = 'RunFormation|SortKeys|TimeToFirstRow|TopKPlanned|Throughput'
 # so the slack only absorbs float formatting, not machine variance.
 TOLERANCE ?= 2
 
-.PHONY: build test race race-serve bench bench-ab bench-gate bench-baseline fmt vet ci
+.PHONY: build test race race-serve chaos bench bench-ab bench-gate bench-baseline fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,13 @@ bench-baseline:
 race-serve:
 	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'Govern|Gate|Admission|Concurrent|Starv|PlanCache|Serving|Grant|Override|Chunk' ./...
 
+# Fault-sweep harness at full resolution: every page transfer of every
+# plan-matrix arm is failed (and panicked) in turn, under the race
+# detector with GOMAXPROCS forced, plus the temp-quota ENOSPC and
+# deadline arms. The default `make test` runs the same sweep strided.
+chaos:
+	PYRO_CHAOS_FULL=1 GOMAXPROCS=8 $(GO) test -race -count=1 -run 'Chaos|QueryTimeout|WithDeadline|Deadline' .
+
 fmt:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
@@ -80,4 +87,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt test race race-serve bench bench-ab bench-gate
+ci: build vet fmt test race race-serve chaos bench bench-ab bench-gate

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pyro"
+	"pyro/internal/storage"
+	"pyro/internal/storage/faulttest"
+)
+
+// chaosConfig parameterizes the fault-injected serving workload.
+type chaosConfig struct {
+	Queries     int   // total Top-K queries to run
+	Workers     int   // concurrent client goroutines issuing them
+	TopK        int64 // LIMIT per query
+	MaxQueries  int   // admission gate width (0 = unlimited)
+	GlobalBlks  int   // global sort-memory pool in blocks
+	PerSortBlks int   // per-sort ask in blocks
+	Faults      int   // fault points drawn into the schedule
+	Seed        int64 // schedule seed (0 = derive from the clock)
+}
+
+// runChaos drives the serve experiment's concurrent Top-K workload with a
+// randomized storage fault schedule installed: Faults page transfers drawn
+// reproducibly from Seed fail (every eighth one panics at the storage call
+// site instead) while Workers clients drain Queries cursors. It prints the
+// seed, how many queries survived versus failed cleanly, and the
+// end-of-run audit — leaked temp files/arenas, pool and gate restoration,
+// and a final no-fault query — and returns an error if any audit fails.
+// Failed-clean means the fault came back as a Cursor error; a hang, an
+// escaped panic or a leak is a bug this experiment exists to catch.
+func runChaos(w io.Writer, cfg chaosConfig) error {
+	db := pyro.Open(pyro.Config{
+		SortMemoryBlocks:       cfg.PerSortBlks,
+		GlobalSortMemoryBlocks: cfg.GlobalBlks,
+		MaxConcurrentQueries:   cfg.MaxQueries,
+	})
+	const n, segSize = 20_000, 10_000
+	rows := make([][]any, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []any{int64(i / segSize), int64(i * 7 % 10_000), int64(i)}
+	}
+	if err := db.CreateTable("events", []pyro.Column{
+		{Name: "g", Type: pyro.Int64},
+		{Name: "v", Type: pyro.Int64},
+		{Name: "pad", Type: pyro.Int64},
+	}, pyro.ClusterOn("g"), rows); err != nil {
+		return err
+	}
+	plan, err := db.Optimize(db.Scan("events").OrderBy("g", "v").Limit(cfg.TopK))
+	if err != nil {
+		return err
+	}
+
+	runOne := func() error {
+		cur, err := db.Query(context.Background(), plan)
+		if err != nil {
+			return err
+		}
+		for cur.Next() {
+		}
+		err = cur.Err()
+		if cerr := cur.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+
+	// One observed query calibrates the per-query transfer counts; the
+	// schedule is drawn across the whole run's transfer space so faults
+	// land throughout, not just in the first queries.
+	counts, err := faulttest.Observe(db.Disk(), runOne)
+	if err != nil {
+		return err
+	}
+	scaled := make(map[storage.FaultClass]int64, len(counts))
+	for c, k := range counts {
+		scaled[c] = k * int64(cfg.Queries)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	points := faulttest.RandomSchedule(seed, scaled, cfg.Faults)
+	rules := make([]storage.FaultRule, len(points))
+	for i, p := range points {
+		rules[i] = storage.FaultRule{Class: p.Class, At: p.At, Panic: i%8 == 7}
+	}
+	fp := storage.NewFaultPlan(rules...)
+	db.Disk().SetFaultPlan(fp)
+
+	var survived, failedClean atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wk := 0; wk < cfg.Workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if int(next.Add(1)) > cfg.Queries {
+					return
+				}
+				if err := runOne(); err != nil {
+					failedClean.Add(1)
+				} else {
+					survived.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fired := fp.Triggered()
+	db.Disk().SetFaultPlan(nil)
+
+	leakedFiles := db.Disk().LiveTempFiles()
+	leakedArenas := db.Disk().LiveArenas()
+	s := db.ServingStats()
+	poolRestored := s.Governor.GrantedBlocks == 0 && s.Governor.LiveGrants == 0 &&
+		s.Admission.Live == 0
+
+	fmt.Fprintf(w, "== chaos: %d Top-%d queries, %d workers, %d faults (seed %d) ==\n",
+		cfg.Queries, cfg.TopK, cfg.Workers, len(points), seed)
+	fmt.Fprintf(w, "elapsed_ms=%.1f qps=%.0f\n",
+		float64(elapsed)/float64(time.Millisecond),
+		float64(cfg.Queries)/elapsed.Seconds())
+	fmt.Fprintf(w, "queries survived=%d failed_clean=%d faults_fired=%d/%d\n",
+		survived.Load(), failedClean.Load(), fired, len(points))
+	fmt.Fprintf(w, "audit leaked_files=%d leaked_arenas=%d pool_restored=%v\n",
+		len(leakedFiles), leakedArenas, poolRestored)
+
+	if len(leakedFiles) > 0 || leakedArenas > 0 {
+		sample := leakedFiles
+		if len(sample) > 5 {
+			sample = sample[:5]
+		}
+		return fmt.Errorf("chaos run leaked %d temp files, %d arenas (seed %d): %v...",
+			len(leakedFiles), leakedArenas, seed, sample)
+	}
+	if !poolRestored {
+		return fmt.Errorf("serving pool not restored after chaos run (seed %d): %d blocks / %d grants / %d gate slots live",
+			seed, s.Governor.GrantedBlocks, s.Governor.LiveGrants, s.Admission.Live)
+	}
+	if got := survived.Load() + failedClean.Load(); got != int64(cfg.Queries) {
+		return fmt.Errorf("lost queries: %d of %d accounted for (seed %d)", got, cfg.Queries, seed)
+	}
+	// The device is healthy again; the workload must be too.
+	if err := runOne(); err != nil {
+		return fmt.Errorf("post-chaos query failed (seed %d): %w", seed, err)
+	}
+	return nil
+}

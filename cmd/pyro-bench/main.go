@@ -57,7 +57,28 @@ func main() {
 	maxQ := flag.Int("max-queries", 32, "serve: admission gate width (0 = unlimited)")
 	globalBlks := flag.Int("global-blocks", 64, "serve: global sort-memory pool in blocks")
 	sortBlks := flag.Int("sort-blocks", 16, "serve: per-sort memory ask in blocks")
+	// chaos-mode knobs (the serve knobs above shape its workload too).
+	faults := flag.Int("faults", 200, "chaos: fault points drawn into the schedule")
+	chaosSeed := flag.Int64("chaos-seed", 0, "chaos: schedule seed (0 = derive from the clock; printed for replay)")
 	flag.Parse()
+
+	if *exp == "chaos" {
+		err := runChaos(os.Stdout, chaosConfig{
+			Queries:     *queries,
+			Workers:     *workers,
+			TopK:        *topK,
+			MaxQueries:  *maxQ,
+			GlobalBlks:  *globalBlks,
+			PerSortBlks: *sortBlks,
+			Faults:      *faults,
+			Seed:        *chaosSeed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pyro-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *exp == "serve" {
 		err := runServe(os.Stdout, serveConfig{

@@ -63,7 +63,11 @@ func main() {
 
 	fmt.Printf("%-12s %10s %8s  %-28s %s\n", "table", "rows", "blocks", "clustered on", "indices")
 	for _, name := range cat.TableNames() {
-		tb := cat.MustTable(name)
+		tb, err := cat.Table(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pyro-datagen:", err)
+			os.Exit(1)
+		}
 		idx := ""
 		for i, ix := range tb.Indices {
 			if i > 0 {

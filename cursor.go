@@ -24,6 +24,7 @@ type SortStats = xsort.SortStats
 type execConfig struct {
 	Config
 	rowTarget int64
+	deadline  time.Time
 	// memoryOverride records that WithSortMemoryBlocks pinned the budget
 	// explicitly, which bypasses the sort-memory governor.
 	memoryOverride bool
@@ -75,6 +76,17 @@ func WithSortMemoryBlocks(n int) ExecOption {
 // identical at every setting; only the per-row constant factor changes.
 func WithExecBatchSize(n int) ExecOption {
 	return func(c *execConfig) { c.ExecBatchSize = n }
+}
+
+// WithDeadline imposes an absolute deadline on this query. Reaching it
+// aborts the query wherever it is — queued at the admission gate, blocked
+// on a sort-memory grant, or deep in a sort or spill loop — and surfaces as
+// context.DeadlineExceeded from Cursor.Err. The effective deadline is the
+// earlier of this and Config.QueryTimeout; a zero time means none. Unlike
+// context.WithDeadline this needs no goroutine or timer, and it keeps
+// working for callers who pass context.Background().
+func WithDeadline(t time.Time) ExecOption {
+	return func(c *execConfig) { c.deadline = t }
 }
 
 // WithRowTarget declares that this consumer wants the first k rows fast —
@@ -158,6 +170,7 @@ type ExecStats struct {
 type Cursor struct {
 	db    *Database
 	ctx   context.Context
+	abort func() error // ctx.Err, extended with the query deadline
 	op    exec.Operator
 	cols  []string
 	sorts []*exec.Sort
@@ -224,13 +237,23 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 		return nil, fmt.Errorf("pyro: plan carries no query to re-optimize for a row target")
 	}
 
+	// The abort check every blocking point of this query polls: context
+	// cancellation, extended with the effective deadline when one is set.
+	abort := ctx.Err
+	if dl, has := queryDeadline(cfg, time.Now()); has {
+		abort = deadlineAbort(ctx, dl)
+		if err := abort(); err != nil {
+			return nil, err
+		}
+	}
+
 	// Admission: with a bounded gate the query queues (cancellably) for an
 	// execution slot before any optimizer or build work happens.
 	var queued time.Duration
 	admitted := false
 	if db.gate != nil {
 		var err error
-		queued, err = db.gate.Enter(ctx.Err)
+		queued, err = db.gate.Enter(abort)
 		if err != nil {
 			return nil, err
 		}
@@ -275,7 +298,7 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 	buildBlocks := cfg.SortMemoryBlocks
 	var budget xsort.Budget
 	if db.gov != nil && !cfg.memoryOverride && planUsesSortMemory(inner) {
-		g, err := db.gov.Acquire(cfg.SortMemoryBlocks, tap, ctx.Err)
+		g, err := db.gov.Acquire(cfg.SortMemoryBlocks, tap, abort)
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +318,7 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 		SortParallelism:      cfg.SortParallelism,
 		SortSpillParallelism: cfg.SortSpillParallelism,
 		SortRunFormation:     cfg.SortRunFormation,
-		SortAbort:            ctx.Err,
+		SortAbort:            abort,
 		IOTap:                tap,
 		ExecBatchSize:        batch,
 	})
@@ -305,6 +328,7 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 	c := &Cursor{
 		db:       db,
 		ctx:      ctx,
+		abort:    abort,
 		op:       op,
 		cols:     inner.Schema.Names(),
 		sorts:    exec.CollectSorts(op),
@@ -319,13 +343,72 @@ func (db *Database) Query(ctx context.Context, p *Plan, opts ...ExecOption) (*Cu
 		c.chunkBatch = batch
 	}
 	ok = true // c.finish releases the slot and grant from here on
-	if err := op.Open(); err != nil {
+	if err := openOp(op); err != nil {
 		if cerr := c.Close(); cerr != nil {
 			err = errors.Join(err, cerr)
 		}
 		return nil, err
 	}
 	return c, nil
+}
+
+// queryDeadline resolves the query's effective absolute deadline: the
+// earlier of WithDeadline and now + Config.QueryTimeout.
+func queryDeadline(cfg execConfig, now time.Time) (time.Time, bool) {
+	dl := cfg.deadline
+	if cfg.QueryTimeout > 0 {
+		if t := now.Add(cfg.QueryTimeout); dl.IsZero() || t.Before(dl) {
+			dl = t
+		}
+	}
+	return dl, !dl.IsZero()
+}
+
+// deadlineAbort builds a query abort check that reports context
+// cancellation first and then the absolute deadline. The one function feeds
+// every blocking point — admission, the memory governor, sort and spill
+// loops, Next — so a query blocked anywhere observes its deadline exactly
+// the way a cancelled one observes cancellation.
+func deadlineAbort(ctx context.Context, dl time.Time) func() error {
+	return func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(dl) {
+			return fmt.Errorf("pyro: query deadline %s exceeded: %w", dl.Format(time.RFC3339Nano), context.DeadlineExceeded)
+		}
+		return nil
+	}
+}
+
+// recoverQuery converts a panic escaping the operator tree into an error at
+// *dst. Without it a panicking operator would unwind through Query or Next
+// past the cursor's accounting, wedging the admission slot and sort-memory
+// grant the query holds; with it the panic becomes a Cursor.Err and finish
+// releases everything as on any other failure.
+func recoverQuery(dst *error) {
+	if r := recover(); r != nil {
+		// A panic value that is itself an error keeps its chain, so callers
+		// can still errors.Is against sentinels (e.g. an injected storage
+		// fault in panic mode) on the contained path.
+		var err error
+		if perr, ok := r.(error); ok {
+			err = fmt.Errorf("pyro: panic during query execution: %w", perr)
+		} else {
+			err = fmt.Errorf("pyro: panic during query execution: %v", r)
+		}
+		if *dst == nil {
+			*dst = err
+		} else {
+			*dst = errors.Join(*dst, err)
+		}
+	}
+}
+
+// openOp opens the operator tree with panic containment.
+func openOp(op exec.Operator) (err error) {
+	defer recoverQuery(&err)
+	return op.Open()
 }
 
 // planUsesSortMemory reports whether the plan contains an operator that
@@ -345,14 +428,14 @@ func (c *Cursor) Next() bool {
 	if c.finished {
 		return false
 	}
-	if err := c.ctx.Err(); err != nil {
+	if err := c.abort(); err != nil {
 		c.fail(err)
 		return false
 	}
 	if c.chunkOp != nil {
 		return c.nextChunked()
 	}
-	t, ok, err := c.op.Next()
+	t, ok, err := c.safeNext()
 	if err != nil {
 		c.fail(err)
 		return false
@@ -380,7 +463,7 @@ func (c *Cursor) nextChunked() bool {
 		if c.chunk == nil {
 			c.chunk = types.GetChunk(len(c.cols), c.chunkBatch)
 		}
-		if err := c.chunkOp.NextChunk(c.chunk); err != nil {
+		if err := c.safeNextChunk(); err != nil {
 			c.fail(err)
 			return false
 		}
@@ -398,6 +481,18 @@ func (c *Cursor) nextChunked() bool {
 	c.rows++
 	c.cur = c.rowBuf
 	return true
+}
+
+// safeNext pulls one row with panic containment.
+func (c *Cursor) safeNext() (t types.Tuple, ok bool, err error) {
+	defer recoverQuery(&err)
+	return c.op.Next()
+}
+
+// safeNextChunk refills the cursor's chunk with panic containment.
+func (c *Cursor) safeNextChunk() (err error) {
+	defer recoverQuery(&err)
+	return c.chunkOp.NextChunk(c.chunk)
 }
 
 // Row returns the current row (the one the last successful Next moved to)
@@ -509,7 +604,7 @@ func (c *Cursor) finish() {
 		types.PutChunk(c.chunk)
 		c.chunk = nil
 	}
-	if c.closeErr = c.op.Close(); c.closeErr != nil {
+	if c.closeErr = closeOp(c.op); c.closeErr != nil {
 		if c.err == nil {
 			c.err = c.closeErr
 		} else {
@@ -523,6 +618,13 @@ func (c *Cursor) finish() {
 	if c.admitted {
 		c.db.gate.Leave()
 	}
+}
+
+// closeOp closes the operator tree with panic containment — a panicking
+// Close must still hand finish control to release the grant and gate slot.
+func closeOp(op exec.Operator) (err error) {
+	defer recoverQuery(&err)
+	return op.Close()
 }
 
 // Stats reports the query's execution counters: a live snapshot while the

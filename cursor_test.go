@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"pyro/internal/storage"
 )
 
 // segmentedDB builds a table of n rows clustered on g with rows/segSize
@@ -16,6 +18,7 @@ import (
 func segmentedDB(t testing.TB, n, segSize int) *Database {
 	t.Helper()
 	db := Open(Config{SortMemoryBlocks: 64})
+	t.Cleanup(func() { storage.AssertNoLeaks(t, db.disk) })
 	rows := make([][]any, n)
 	for i := 0; i < n; i++ {
 		rows[i] = []any{int64(i / segSize), int64(i * 7 % 10_000), int64(i)}

@@ -185,15 +185,6 @@ func (c *Catalog) Table(name string) (*Table, error) {
 	return t, nil
 }
 
-// MustTable is Table that panics (for generated workloads and tests).
-func (c *Catalog) MustTable(name string) *Table {
-	t, err := c.Table(name)
-	if err != nil {
-		panic(err)
-	}
-	return t
-}
-
 // TableNames lists tables in deterministic order.
 func (c *Catalog) TableNames() []string {
 	out := make([]string, 0, len(c.tables))
@@ -229,7 +220,9 @@ func (c *Catalog) CreateTable(name string, schema *types.Schema, clusterOrder so
 			return nil, err
 		}
 	}
-	w.Close()
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
 	// Build the page directory for clustered tables (key columns only).
 	var pageKeys []types.Tuple
 	if !clusterOrder.IsEmpty() {

@@ -86,15 +86,10 @@ func TestTableLookup(t *testing.T) {
 	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
 		t.Fatalf("TableNames = %v", names)
 	}
-	if c.MustTable("x").Name != "x" {
-		t.Fatal("MustTable broken")
+	tb, err := c.Table("x")
+	if err != nil || tb.Name != "x" {
+		t.Fatalf("Table(x) = %v, %v", tb, err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustTable on missing table should panic")
-		}
-	}()
-	c.MustTable("zz")
 }
 
 func TestCreateIndexSortedAndCovering(t *testing.T) {

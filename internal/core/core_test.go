@@ -85,8 +85,8 @@ func (f *fixture) buildQ3World(t *testing.T, parts, supps int64) {
 // q3 assembles the paper's Query 3.
 func (f *fixture) q3(t *testing.T) logical.Node {
 	t.Helper()
-	ps := logical.NewScan(f.cat.MustTable("partsupp"))
-	li := logical.NewScan(f.cat.MustTable("lineitem"))
+	ps := logical.NewScan(mustTable(f.cat, "partsupp"))
+	li := logical.NewScan(mustTable(f.cat, "lineitem"))
 	liF := logical.NewSelect(li, expr.Eq(expr.Col("l_linestatus"), expr.StrLit("O")))
 	join := logical.NewJoin(ps, liF, expr.AndOf(
 		expr.Eq(expr.Col("ps_suppkey"), expr.Col("l_suppkey")),
@@ -299,9 +299,9 @@ func (f *fixture) q4World(t *testing.T, rows int64) (r1, r2, r3 *catalog.Table) 
 // attributes c4 and c5.
 func (f *fixture) q4(t *testing.T) logical.Node {
 	t.Helper()
-	r1 := logical.NewScan(f.cat.MustTable("r1"))
-	r2 := logical.NewScan(f.cat.MustTable("r2"))
-	r3 := logical.NewScan(f.cat.MustTable("r3"))
+	r1 := logical.NewScan(mustTable(f.cat, "r1"))
+	r2 := logical.NewScan(mustTable(f.cat, "r2"))
+	r3 := logical.NewScan(mustTable(f.cat, "r3"))
 	j1 := logical.NewJoin(r1, r2, expr.AndOf(
 		expr.Eq(expr.Col("a_c5"), expr.Col("b_c5")),
 		expr.Eq(expr.Col("a_c4"), expr.Col("b_c4")),
@@ -441,7 +441,7 @@ func TestOptimizeStatsPopulated(t *testing.T) {
 func TestDistinctAndUnionPlans(t *testing.T) {
 	f := newFixture(t)
 	f.buildQ3World(t, 10, 3)
-	ps := f.cat.MustTable("partsupp")
+	ps := mustTable(f.cat, "partsupp")
 
 	// DISTINCT over a projection.
 	proj := logical.NewProjectNames(logical.NewScan(ps), []string{"ps_suppkey", "ps_partkey"})
@@ -484,8 +484,8 @@ func TestDistinctAndUnionPlans(t *testing.T) {
 func TestNLJoinForNonEquiPredicate(t *testing.T) {
 	f := newFixture(t)
 	f.q4World(t, 40)
-	r1 := logical.NewScan(f.cat.MustTable("r1"))
-	r2 := logical.NewScan(f.cat.MustTable("r2"))
+	r1 := logical.NewScan(mustTable(f.cat, "r1"))
+	r2 := logical.NewScan(mustTable(f.cat, "r2"))
 	j := logical.NewJoin(r1, r2, expr.Compare(expr.LT, expr.Col("a_c1"), expr.Col("b_c1")), exec.InnerJoin)
 	res := mustOptimize(t, j, DefaultOptions(HeuristicFavorable))
 	if res.Plan.CountKind(OpNLJoin) == 0 {
@@ -494,8 +494,8 @@ func TestNLJoinForNonEquiPredicate(t *testing.T) {
 	rows := execPlan(t, f, res.Plan)
 	// Verify against a direct count.
 	want := 0
-	r1Rows, _ := storage.ReadAll(f.cat.MustTable("r1").File())
-	r2Rows, _ := storage.ReadAll(f.cat.MustTable("r2").File())
+	r1Rows, _ := storage.ReadAll(mustTable(f.cat, "r1").File())
+	r2Rows, _ := storage.ReadAll(mustTable(f.cat, "r2").File())
 	for _, a := range r1Rows {
 		for _, b := range r2Rows {
 			if a[0].Int() < b[0].Int() {
@@ -541,7 +541,7 @@ func TestRequiredOrderOnGeneratedColumnFallsBack(t *testing.T) {
 	// pushed below the Project, so an enforcer must appear above it.
 	f := newFixture(t)
 	f.buildQ3World(t, 8, 3)
-	ps := logical.NewScan(f.cat.MustTable("partsupp"))
+	ps := logical.NewScan(mustTable(f.cat, "partsupp"))
 	proj := logical.NewProject(ps, []logical.ProjCol{
 		{Name: "x", Expr: expr.Arith{Op: expr.Mul, L: expr.Col("ps_partkey"), R: expr.IntLit(2)}},
 		{Name: "ps_suppkey", Expr: expr.Col("ps_suppkey")},
@@ -558,4 +558,14 @@ func TestRequiredOrderOnGeneratedColumnFallsBack(t *testing.T) {
 	if res.Plan.CountKind(OpSort) == 0 {
 		t.Fatal("expected an explicit sort above the projection")
 	}
+}
+
+// mustTable fetches a table the test fixture itself created; a lookup
+// failure is a fixture bug, not a condition under test.
+func mustTable(c *catalog.Catalog, name string) *catalog.Table {
+	tb, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return tb
 }

@@ -55,8 +55,8 @@ func (f *fixture) buildQ3WorldNoIndices(t *testing.T, parts, supps int64) {
 	t.Helper()
 	f.buildQ3World(t, parts, supps)
 	// Strip the indices from both tables (fixture builds them).
-	f.cat.MustTable("partsupp").Indices = nil
-	f.cat.MustTable("lineitem").Indices = nil
+	mustTable(f.cat, "partsupp").Indices = nil
+	mustTable(f.cat, "lineitem").Indices = nil
 }
 
 // TestRequiredOrderAlwaysInMemoKey: two different requirements on the same
@@ -64,7 +64,7 @@ func (f *fixture) buildQ3WorldNoIndices(t *testing.T, parts, supps int64) {
 func TestRequiredOrderAlwaysInMemoKey(t *testing.T) {
 	f := newFixture(t)
 	f.buildQ3World(t, 30, 5)
-	ps := logical.NewScan(f.cat.MustTable("partsupp"))
+	ps := logical.NewScan(mustTable(f.cat, "partsupp"))
 	opt := &Optimizer{
 		opts:   DefaultOptions(HeuristicFavorable),
 		fc:     ford.NewComputer(ps),
@@ -96,7 +96,7 @@ func TestEnforceIdempotent(t *testing.T) {
 	f := newFixture(t)
 	f.buildQ3World(t, 30, 5)
 	root := logical.NewOrderBy(
-		logical.NewScan(f.cat.MustTable("partsupp")),
+		logical.NewScan(mustTable(f.cat, "partsupp")),
 		sortord.New("ps_partkey", "ps_suppkey")) // the clustering order
 	res := mustOptimize(t, root, DefaultOptions(HeuristicFavorable))
 	if res.Plan.CountKind(OpSort) != 0 {

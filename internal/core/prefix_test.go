@@ -59,7 +59,7 @@ func TestPartialSortEnforcerTwoPhase(t *testing.T) {
 	// partsupp is clustered on (ps_partkey, ps_suppkey); requiring
 	// (ps_partkey, ps_availqty) forces a partial sort over the ps_partkey
 	// prefix.
-	scan := logical.NewScan(f.cat.MustTable("partsupp"))
+	scan := logical.NewScan(mustTable(f.cat, "partsupp"))
 	root := logical.NewOrderBy(scan, sortord.New("ps_partkey", "ps_availqty"))
 
 	res := mustOptimize(t, root, DefaultOptions(HeuristicFavorable))
@@ -110,7 +110,7 @@ func withNoPartialSort() func(*Options) {
 func TestLimitPlansUnderRowBudget(t *testing.T) {
 	f := newFixture(t)
 	f.buildQ3World(t, 40, 8)
-	scan := logical.NewScan(f.cat.MustTable("partsupp"))
+	scan := logical.NewScan(mustTable(f.cat, "partsupp"))
 	ordered := logical.NewOrderBy(scan, sortord.New("ps_partkey", "ps_availqty"))
 
 	limited := mustOptimize(t, logical.NewLimit(ordered, 5), DefaultOptions(HeuristicFavorable))

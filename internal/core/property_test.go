@@ -49,7 +49,7 @@ func randWorld(rng *rand.Rand) (*catalog.Catalog, *storage.Disk) {
 		if rng.Intn(2) == 0 {
 			key := fmt.Sprintf("%s%d", name, rng.Intn(4))
 			include := schema.Names()
-			if _, err := cat.CreateIndex(name+"_ix", cat.MustTable(name),
+			if _, err := cat.CreateIndex(name+"_ix", mustTable(cat, name),
 				sortord.New(key), include); err != nil {
 				panic(err)
 			}
@@ -60,8 +60,8 @@ func randWorld(rng *rand.Rand) (*catalog.Catalog, *storage.Disk) {
 
 // randQuery assembles a random join + optional filter/group/order query.
 func randQuery(cat *catalog.Catalog, rng *rand.Rand) logical.Node {
-	x := logical.NewScan(cat.MustTable("x"))
-	y := logical.NewScan(cat.MustTable("y"))
+	x := logical.NewScan(mustTable(cat, "x"))
+	y := logical.NewScan(mustTable(cat, "y"))
 
 	var left logical.Node = x
 	if rng.Intn(2) == 0 {

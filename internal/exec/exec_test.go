@@ -57,7 +57,9 @@ func eqInts(a, b []int64) bool {
 
 func newTestCatalog(t *testing.T, pageSize int) *catalog.Catalog {
 	t.Helper()
-	return catalog.New(storage.NewDisk(pageSize))
+	d := storage.NewDisk(pageSize)
+	t.Cleanup(func() { storage.AssertNoLeaks(t, d) })
+	return catalog.New(d)
 }
 
 func TestTableScanAndIndexScan(t *testing.T) {

@@ -175,7 +175,9 @@ func TestTupleWriterPageStarts(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	w.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
 	starts := w.PageStarts()
 	if len(starts) != f.NumPages() {
 		t.Fatalf("%d page starts for %d pages", len(starts), f.NumPages())

@@ -97,7 +97,9 @@ func (n *NLJoin) Open() error {
 			return err
 		}
 	}
-	w.Close()
+	if err := w.Close(); err != nil {
+		return err
+	}
 	return n.loadBlock()
 }
 

@@ -57,8 +57,8 @@ func buildQ3Catalog(t *testing.T) *catalog.Catalog {
 // buildQ3 assembles the paper's Query 3 logical tree.
 func buildQ3(t *testing.T, c *catalog.Catalog) (logical.Node, *logical.Join) {
 	t.Helper()
-	ps := logical.NewScan(c.MustTable("partsupp"))
-	li := logical.NewScan(c.MustTable("lineitem"))
+	ps := logical.NewScan(mustTable(c, "partsupp"))
+	li := logical.NewScan(mustTable(c, "lineitem"))
 	liFiltered := logical.NewSelect(li, expr.Eq(expr.Col("l_linestatus"), expr.StrLit("O")))
 	join := logical.NewJoin(ps, liFiltered, expr.AndOf(
 		expr.Eq(expr.Col("ps_suppkey"), expr.Col("l_suppkey")),
@@ -175,7 +175,7 @@ func TestAFMJoinExtendsPrefixes(t *testing.T) {
 
 func TestAFMProjectRenames(t *testing.T) {
 	c := buildQ3Catalog(t)
-	ps := logical.NewScan(c.MustTable("partsupp"))
+	ps := logical.NewScan(mustTable(c, "partsupp"))
 	proj := logical.NewProject(ps, []logical.ProjCol{
 		{Name: "pk", Expr: expr.Col("ps_partkey")},
 		{Name: "sk", Expr: expr.Col("ps_suppkey")},
@@ -190,7 +190,7 @@ func TestAFMProjectRenames(t *testing.T) {
 
 func TestAFMProjectTruncatesAtDroppedColumn(t *testing.T) {
 	c := buildQ3Catalog(t)
-	ps := logical.NewScan(c.MustTable("partsupp"))
+	ps := logical.NewScan(mustTable(c, "partsupp"))
 	// Project drops ps_partkey: clustering order (ps_partkey, ps_suppkey)
 	// contributes nothing (its first attribute is gone).
 	proj := logical.NewProjectNames(ps, []string{"ps_suppkey", "ps_availqty"})
@@ -290,8 +290,8 @@ func TestRemoveRedundant(t *testing.T) {
 
 func TestAFMUnion(t *testing.T) {
 	c := buildQ3Catalog(t)
-	l := logical.NewProjectNames(logical.NewScan(c.MustTable("partsupp")), []string{"ps_partkey", "ps_suppkey"})
-	r := logical.NewProjectNames(logical.NewScan(c.MustTable("partsupp")), []string{"ps_partkey", "ps_suppkey"})
+	l := logical.NewProjectNames(logical.NewScan(mustTable(c, "partsupp")), []string{"ps_partkey", "ps_suppkey"})
+	r := logical.NewProjectNames(logical.NewScan(mustTable(c, "partsupp")), []string{"ps_partkey", "ps_suppkey"})
 	u := logical.NewUnion(l, r, true)
 	root := logical.NewOrderBy(u, sortord.New("ps_partkey"))
 	fc := NewComputer(root)
@@ -316,7 +316,7 @@ func TestNeededAttrsUnknownTable(t *testing.T) {
 	root, _ := buildQ3(t, c)
 	fc := NewComputer(root)
 	// A table not in the query: needed = all its columns (conservative).
-	other := c.MustTable("lineitem")
+	other := mustTable(c, "lineitem")
 	if fc.NeededAttrs(other).Len() == 0 {
 		t.Fatal("needed attrs must never be empty for a real table")
 	}
@@ -336,4 +336,14 @@ func TestAFMMemoization(t *testing.T) {
 			t.Fatal("memoized orders differ")
 		}
 	}
+}
+
+// mustTable fetches a table the test fixture itself created; a lookup
+// failure is a fixture bug, not a condition under test.
+func mustTable(c *catalog.Catalog, name string) *catalog.Table {
+	tb, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return tb
 }

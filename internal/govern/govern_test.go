@@ -18,7 +18,9 @@ func spillingTap(t *testing.T) *storage.Tap {
 	tap := storage.NewTap()
 	a := d.NewArenaTapped(tap)
 	t.Cleanup(a.Release)
-	a.CreateTemp("run", storage.KindRun).AppendPage([]byte{1})
+	if _, err := a.CreateTemp("run", storage.KindRun).AppendPage([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
 	if tap.Stats().RunPageWrites == 0 {
 		t.Fatal("tap shows no run-page writes after writing a run page")
 	}

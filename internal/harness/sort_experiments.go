@@ -27,7 +27,10 @@ func RunA1(w io.Writer, scale Scale) error {
 	if err := workload.BuildTPCH(cat, cfg); err != nil {
 		return err
 	}
-	li := cat.MustTable("lineitem")
+	li, err := cat.Table("lineitem")
+	if err != nil {
+		return err
+	}
 	ix := li.Index("li_sk")
 	target := sortord.New("l_suppkey", "l_partkey")
 	const sortBlocks = 32

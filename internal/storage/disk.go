@@ -152,8 +152,10 @@ type TempSpace interface {
 // the file/arena registry. Stats reports the global ledger plus every live
 // arena's, so I/O-count assertions hold no matter which shard did the work.
 type Disk struct {
-	pageSize int
-	stats    ledger
+	pageSize  int
+	stats     ledger
+	fault     atomic.Pointer[faultSlot] // installed FaultPlan; nil slot or plan = no faults
+	tempQuota atomic.Int64              // max live run pages; <= 0 = unlimited
 
 	mu        sync.Mutex
 	files     map[string]*File
@@ -203,7 +205,7 @@ func (d *Disk) ResetStats() {
 
 // newFile builds a file charging the given ledger.
 func (d *Disk) newFile(name string, kind FileKind, l *ledger) *File {
-	return &File{ledger: l, pageSize: d.pageSize, name: name, kind: kind, data: &pageStore{}}
+	return &File{disk: d, ledger: l, pageSize: d.pageSize, name: name, kind: kind, data: &pageStore{}}
 }
 
 // Create creates (or truncates) a named file of the given kind.
@@ -277,12 +279,41 @@ func (d *Disk) TotalPages() int {
 	return n
 }
 
+// LiveArenas returns the number of unreleased spill arenas — nonzero after a
+// query finishes means a failure path skipped an arena Release.
+func (d *Disk) LiveArenas() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.arenas)
+}
+
+// LiveTempFiles lists every live temporary file: KindRun files in the global
+// namespace plus all files inside live arenas. Table and index data files
+// are permanent and excluded; everything returned here should be gone once
+// no query is in flight.
+func (d *Disk) LiveTempFiles() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for n, f := range d.files {
+		if f.kind == KindRun {
+			out = append(out, n)
+		}
+	}
+	for _, a := range d.arenas {
+		out = append(out, a.fileNames()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // File is a paged file on the simulated disk. Its transfers charge the
 // ledger it was created under — the disk's global one, or a SpillArena's —
 // plus, for tapped views (File.Tapped), one query's observation Tap. Views
 // share the underlying page store, so a tapped view and the registry's
 // original are the same file with different attribution.
 type File struct {
+	disk     *Disk // owning device, consulted for fault plan and temp quota
 	ledger   *ledger
 	tap      *ledger // optional per-query observer; nil on untapped files
 	pageSize int
@@ -335,10 +366,21 @@ func (f *File) NumPages() int {
 }
 
 // AppendPage writes a new page at the end of the file and charges one block
-// write. The page contents are copied.
-func (f *File) AppendPage(data []byte) int {
+// write. The page contents are copied. The write can fail: on an injected
+// write fault, on a run-page write past the disk's temp-space quota
+// (ErrNoTempSpace), or on a page larger than the block size. Nothing is
+// appended or charged on failure.
+func (f *File) AppendPage(data []byte) (int, error) {
 	if len(data) > f.pageSize {
-		panic(fmt.Sprintf("storage: page of %d bytes exceeds page size %d", len(data), f.pageSize))
+		return 0, fmt.Errorf("storage: page of %d bytes exceeds page size %d in %q", len(data), f.pageSize, f.name)
+	}
+	if err := f.faultCheck(OpWrite); err != nil {
+		return 0, err
+	}
+	if f.kind == KindRun && f.disk != nil {
+		if err := f.disk.checkTempQuota(); err != nil {
+			return 0, err
+		}
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -347,12 +389,15 @@ func (f *File) AppendPage(data []byte) int {
 	n := len(f.data.pages)
 	f.data.mu.Unlock()
 	f.charge(0, 1, false)
-	return n - 1
+	return n - 1, nil
 }
 
 // ReadPage returns page i, charging one block read. The returned slice must
 // not be modified by the caller.
 func (f *File) ReadPage(i int) ([]byte, error) {
+	if err := f.faultCheck(OpRead); err != nil {
+		return nil, err
+	}
 	f.data.mu.Lock()
 	if i < 0 || i >= len(f.data.pages) {
 		n := len(f.data.pages)

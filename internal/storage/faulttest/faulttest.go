@@ -1,0 +1,121 @@
+// Package faulttest builds deterministic fault schedules for storage-level
+// chaos testing. The workflow is observe → enumerate → inject: run a query
+// once under a pure-observer FaultPlan to count the page transfers it makes
+// per fault class, turn those counts into a sweep of addressable fault
+// points, and re-run the query once per point with a one-rule plan that
+// fails exactly that transfer. Because the observation counters are
+// deterministic (the engine's page traffic is identical run to run), every
+// point in the sweep names a transfer the workload really performs.
+package faulttest
+
+import (
+	"math/rand"
+
+	"pyro/internal/storage"
+)
+
+// Observe runs fn with a rule-less (pure observer) FaultPlan installed on d
+// and returns the per-class transfer counts it saw. The previous plan is
+// restored afterwards. fn's error is returned untouched so callers can
+// observe failing workloads too.
+func Observe(d *storage.Disk, fn func() error) (map[storage.FaultClass]int64, error) {
+	prev := d.FaultPlan()
+	plan := storage.NewFaultPlan()
+	d.SetFaultPlan(plan)
+	defer d.SetFaultPlan(prev)
+	err := fn()
+	return plan.Counts(), err
+}
+
+// Point addresses one page transfer of a workload: the At'th transfer
+// (1-based) of the class. Panic makes the storage layer panic there instead
+// of returning an error, modelling a library bug at that exact site.
+type Point struct {
+	Class storage.FaultClass
+	At    int64
+	Panic bool
+}
+
+// Plan builds a single-rule FaultPlan that fails this point.
+func (p Point) Plan() *storage.FaultPlan {
+	return storage.NewFaultPlan(storage.FaultRule{Class: p.Class, At: p.At, Panic: p.Panic})
+}
+
+// String names the point for test logs.
+func (p Point) String() string {
+	s := p.Class.String()
+	if p.Panic {
+		s += "/panic"
+	}
+	return s
+}
+
+// Enumerate turns observed transfer counts into a sweep of fault points:
+// for each class in canonical order, up to perClass points spread evenly
+// across the class's 1..count transfer range (perClass <= 0 means every
+// transfer). The first and last transfers of a class are always included —
+// faults at the edges (first spill write, final merge read) historically
+// hide the best bugs.
+func Enumerate(counts map[storage.FaultClass]int64, perClass int) []Point {
+	var out []Point
+	for _, c := range storage.FaultClasses {
+		n := counts[c]
+		if n <= 0 {
+			continue
+		}
+		if perClass <= 0 || int64(perClass) >= n {
+			for at := int64(1); at <= n; at++ {
+				out = append(out, Point{Class: c, At: at})
+			}
+			continue
+		}
+		// Evenly strided sample including both endpoints.
+		k := int64(perClass)
+		seen := make(map[int64]bool, k)
+		for i := int64(0); i < k; i++ {
+			at := 1 + i*(n-1)/(k-1)
+			if k == 1 {
+				at = 1
+			}
+			if !seen[at] {
+				seen[at] = true
+				out = append(out, Point{Class: c, At: at})
+			}
+		}
+	}
+	return out
+}
+
+// RandomSchedule draws n fault points uniformly across the observed
+// transfer space, reproducibly from seed. Classes with zero observed
+// transfers are never drawn.
+func RandomSchedule(seed int64, counts map[storage.FaultClass]int64, n int) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	var classes []storage.FaultClass
+	total := int64(0)
+	for _, c := range storage.FaultClasses {
+		if counts[c] > 0 {
+			classes = append(classes, c)
+			total += counts[c]
+		}
+	}
+	if len(classes) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		// Weight class choice by its transfer count so the schedule lands
+		// where the workload actually does I/O.
+		x := rng.Int63n(total)
+		var c storage.FaultClass
+		for _, cand := range classes {
+			if x < counts[cand] {
+				c = cand
+				break
+			}
+			x -= counts[cand]
+		}
+		out = append(out, Point{Class: c, At: 1 + rng.Int63n(counts[c])})
+	}
+	return out
+}

@@ -38,8 +38,12 @@ func TestPageIOAccounting(t *testing.T) {
 	d := NewDisk(128)
 	f := d.Create("f", KindData)
 	r := d.Create("r", KindRun)
-	f.AppendPage([]byte{1, 2, 3})
-	r.AppendPage([]byte{4})
+	if _, err := f.AppendPage([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AppendPage([]byte{4}); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := f.ReadPage(0); err != nil {
 		t.Fatal(err)
 	}
@@ -87,18 +91,20 @@ func TestAppendPageCopiesAndBounds(t *testing.T) {
 	d := NewDisk(64)
 	f := d.Create("f", KindData)
 	buf := []byte{9, 9}
-	f.AppendPage(buf)
+	if _, err := f.AppendPage(buf); err != nil {
+		t.Fatal(err)
+	}
 	buf[0] = 1
 	p, _ := f.ReadPage(0)
 	if p[0] != 9 {
 		t.Fatal("AppendPage must copy")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("oversized page should panic")
-		}
-	}()
-	f.AppendPage(make([]byte, 65))
+	if _, err := f.AppendPage(make([]byte, 65)); err == nil {
+		t.Fatal("oversized page should error")
+	}
+	if f.NumPages() != 1 {
+		t.Fatal("failed append must not allocate a page")
+	}
 }
 
 func TestTupleWriterReaderRoundTrip(t *testing.T) {
@@ -113,7 +119,9 @@ func TestTupleWriterReaderRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	w.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if w.TuplesWritten() != 500 {
 		t.Fatalf("TuplesWritten = %d", w.TuplesWritten())
 	}
@@ -176,7 +184,9 @@ func TestEmptyFileRead(t *testing.T) {
 	}
 	// Close on empty writer writes nothing.
 	w := NewTupleWriter(f)
-	w.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if f.NumPages() != 0 {
 		t.Fatal("empty close should not write a page")
 	}
@@ -198,7 +208,9 @@ func TestCreateTempUnique(t *testing.T) {
 func TestTruncate(t *testing.T) {
 	d := NewDisk(0)
 	f := d.Create("f", KindData)
-	f.AppendPage([]byte{1})
+	if _, err := f.AppendPage([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
 	f.Truncate()
 	if f.NumPages() != 0 {
 		t.Fatal("Truncate failed")
@@ -217,7 +229,10 @@ func TestConcurrentDiskAccess(t *testing.T) {
 			defer wg.Done()
 			f := d.Create(fmt.Sprintf("f%d", g), KindData)
 			for i := 0; i < 50; i++ {
-				f.AppendPage([]byte{byte(i)})
+				if _, err := f.AppendPage([]byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
 				if _, err := f.ReadPage(i); err != nil {
 					t.Error(err)
 					return
@@ -311,7 +326,9 @@ func TestArenaStatsMergeOnRelease(t *testing.T) {
 	d := NewDisk(128)
 	a := d.NewArena()
 	f := a.CreateTemp("run", KindRun)
-	f.AppendPage([]byte{1})
+	if _, err := f.AppendPage([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := f.ReadPage(0); err != nil {
 		t.Fatal(err)
 	}
@@ -334,8 +351,12 @@ func TestArenaStatsMergeOnRelease(t *testing.T) {
 func TestArenaResetStatsCoversLiveArenas(t *testing.T) {
 	d := NewDisk(128)
 	a := d.NewArena()
-	a.CreateTemp("run", KindRun).AppendPage([]byte{1})
-	d.Create("t", KindData).AppendPage([]byte{2})
+	if _, err := a.CreateTemp("run", KindRun).AppendPage([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Create("t", KindData).AppendPage([]byte{2}); err != nil {
+		t.Fatal(err)
+	}
 	if d.Stats().PageWrites != 2 {
 		t.Fatalf("stats = %+v", d.Stats())
 	}
@@ -372,7 +393,10 @@ func TestConcurrentArenaWriters(t *testing.T) {
 		run := func(a *SpillArena) {
 			f := a.CreateTemp("spill", KindRun)
 			for i := 0; i < pagesEach; i++ {
-				f.AppendPage([]byte{byte(i)})
+				if _, err := f.AppendPage([]byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
 			}
 			for i := 0; i < pagesEach; i++ {
 				if _, err := f.ReadPage(i); err != nil {
@@ -441,7 +465,10 @@ func TestConcurrentArenaSharedByWorkers(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < files; i++ {
 				f := a.CreateTemp("seg", KindRun)
-				f.AppendPage([]byte{1})
+				if _, err := f.AppendPage([]byte{1}); err != nil {
+					t.Error(err)
+					return
+				}
 			}
 		}()
 	}

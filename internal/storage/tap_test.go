@@ -11,7 +11,9 @@ func TestTappedFileChargesBothLedgers(t *testing.T) {
 	tap := NewTap()
 	view := f.Tapped(tap)
 
-	view.AppendPage(make([]byte, 16))
+	if _, err := view.AppendPage(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := view.ReadPage(0); err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +58,9 @@ func TestTappedArenaAttributesSpills(t *testing.T) {
 	tap := NewTap()
 	a := d.NewArenaTapped(tap)
 	f := a.CreateTemp("run", KindRun)
-	f.AppendPage(make([]byte, 8))
+	if _, err := f.AppendPage(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := f.ReadPage(0); err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +91,9 @@ func TestConcurrentTapsAreDisjoint(t *testing.T) {
 	d := NewDisk(64)
 	shared := d.Create("shared", KindData)
 	for i := 0; i < 8; i++ {
-		shared.AppendPage(make([]byte, 8))
+		if _, err := shared.AppendPage(make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	base := d.Stats()
 
@@ -104,7 +110,10 @@ func TestConcurrentTapsAreDisjoint(t *testing.T) {
 			arena := d.NewArenaTapped(tap)
 			defer arena.Release()
 			run := arena.CreateTemp("run", KindRun)
-			run.AppendPage(make([]byte, 8))
+			if _, err := run.AppendPage(make([]byte, 8)); err != nil {
+				t.Error(err)
+				return
+			}
 			for i := 0; i < readsPer; i++ {
 				if _, err := view.ReadPage(i % 8); err != nil {
 					t.Error(err)

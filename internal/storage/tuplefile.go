@@ -10,13 +10,16 @@ import (
 // TupleWriter appends encoded tuples to a file, packing as many tuples per
 // page as fit. Page layout: u16 tuple count, then back-to-back encoded
 // tuples. A tuple larger than a page is an error (the workloads never
-// produce one; erroring beats silent corruption).
+// produce one; erroring beats silent corruption). Page-write failures —
+// injected faults, temp-space exhaustion — are sticky: the first one is
+// returned from the Write or Close that hit it and from every call after.
 type TupleWriter struct {
 	file   *File
 	buf    []byte
 	count  int
 	tuples int64
 	starts []int64 // index of the first tuple on each written page
+	err    error   // first page-write failure; poisons the writer
 }
 
 // NewTupleWriter starts writing at the end of f.
@@ -32,12 +35,17 @@ func (w *TupleWriter) PageStarts() []int64 {
 
 // Write appends one tuple, flushing a full page as needed.
 func (w *TupleWriter) Write(t types.Tuple) error {
+	if w.err != nil {
+		return w.err
+	}
 	sz := t.EncodedSize()
 	if 2+sz > w.file.pageSize {
 		return fmt.Errorf("storage: tuple of %d bytes exceeds page capacity %d", sz, w.file.pageSize-2)
 	}
 	if len(w.buf)+sz > w.file.pageSize {
-		w.flush()
+		if err := w.flush(); err != nil {
+			return err
+		}
 	}
 	w.buf = t.Encode(w.buf)
 	w.count++
@@ -45,20 +53,29 @@ func (w *TupleWriter) Write(t types.Tuple) error {
 	return nil
 }
 
-func (w *TupleWriter) flush() {
+func (w *TupleWriter) flush() error {
 	if w.count == 0 {
-		return
+		return nil
+	}
+	binary.BigEndian.PutUint16(w.buf[:2], uint16(w.count))
+	if _, err := w.file.AppendPage(w.buf); err != nil {
+		w.err = err
+		return err
 	}
 	w.starts = append(w.starts, w.tuples-int64(w.count))
-	binary.BigEndian.PutUint16(w.buf[:2], uint16(w.count))
-	w.file.AppendPage(w.buf)
 	w.buf = w.buf[:2]
 	w.count = 0
+	return nil
 }
 
-// Close flushes the final partial page. The writer must not be used after.
-func (w *TupleWriter) Close() {
-	w.flush()
+// Close flushes the final partial page. A non-nil error means the file is
+// missing pages and must not be used; the caller owns removing it. The
+// writer must not be used after Close.
+func (w *TupleWriter) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.flush()
 }
 
 // TuplesWritten returns the number of tuples written so far.
@@ -162,8 +179,7 @@ func WriteAll(f *File, tuples []types.Tuple) error {
 			return err
 		}
 	}
-	w.Close()
-	return nil
+	return w.Close()
 }
 
 // ReadAll reads every tuple from the file (test/tool helper).

@@ -173,12 +173,14 @@ func (c *Chunk) AppendEncoded(buf []byte) (int, error) {
 	}
 	pos := 4
 	for i := 0; i < n; i++ {
-		if pos >= len(buf) {
-			return 0, fmt.Errorf("types: truncated tuple at datum %d", i)
-		}
 		d, sz, err := decodeDatum(buf[pos:])
 		if err != nil {
-			return 0, err
+			// Roll back the columns already extended so a decode failure
+			// cannot leave the chunk ragged (columns of unequal length).
+			for j := 0; j < i; j++ {
+				c.cols[j] = c.cols[j][:c.n]
+			}
+			return 0, fmt.Errorf("types: datum %d: %w", i, err)
 		}
 		c.cols[i] = append(c.cols[i], d)
 		pos += sz

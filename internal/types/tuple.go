@@ -84,6 +84,9 @@ func (t Tuple) Encode(buf []byte) []byte {
 // (DecodeTuple) and the batch path (Chunk.AppendEncoded) decode through
 // here, so the two cannot drift apart.
 func decodeDatum(buf []byte) (Datum, int, error) {
+	if len(buf) == 0 {
+		return Null, 0, fmt.Errorf("types: empty datum")
+	}
 	kind := Kind(buf[0])
 	pos := 1
 	switch kind {
@@ -110,7 +113,7 @@ func decodeDatum(buf []byte) (Datum, int, error) {
 		}
 		l := int(binary.BigEndian.Uint32(buf[pos : pos+4]))
 		pos += 4
-		if pos+l > len(buf) {
+		if l < 0 || l > len(buf)-pos {
 			return Null, 0, fmt.Errorf("types: truncated string payload")
 		}
 		return NewString(string(buf[pos : pos+l])), pos + l, nil
@@ -126,6 +129,11 @@ func DecodeTuple(buf []byte) (Tuple, int, error) {
 		return nil, 0, fmt.Errorf("types: short tuple header (%d bytes)", len(buf))
 	}
 	n := int(binary.BigEndian.Uint32(buf[:4]))
+	// Every datum takes at least its kind byte, so a valid arity is bounded
+	// by the remaining bytes — reject corrupt headers before allocating.
+	if n < 0 || n > len(buf)-4 {
+		return nil, 0, fmt.Errorf("types: tuple arity %d exceeds %d remaining bytes", uint32(n), len(buf)-4)
+	}
 	pos := 4
 	t := make(Tuple, n)
 	for i := 0; i < n; i++ {

@@ -21,8 +21,8 @@ func TestBuildTPCHStructure(t *testing.T) {
 	if err := BuildTPCH(cat, cfg); err != nil {
 		t.Fatal(err)
 	}
-	ps := cat.MustTable("partsupp")
-	li := cat.MustTable("lineitem")
+	ps := mustTable(cat, "partsupp")
+	li := mustTable(cat, "lineitem")
 	if ps.Stats.NumRows != 200 {
 		t.Fatalf("partsupp rows = %d", ps.Stats.NumRows)
 	}
@@ -55,7 +55,7 @@ func TestTPCHDeterministic(t *testing.T) {
 		if err := BuildTPCH(cat, cfg); err != nil {
 			t.Fatal(err)
 		}
-		rows, err := storage.ReadAll(cat.MustTable("lineitem").File())
+		rows, err := storage.ReadAll(mustTable(cat, "lineitem").File())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,4 +221,14 @@ func TestMissingTablesErr(t *testing.T) {
 	if _, err := ScalabilityQuery(cat, 2); err == nil {
 		t.Fatal("scalability query on empty catalog should error")
 	}
+}
+
+// mustTable fetches a table the test fixture itself created; a lookup
+// failure is a fixture bug, not a condition under test.
+func mustTable(c *catalog.Catalog, name string) *catalog.Table {
+	tb, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return tb
 }

@@ -31,7 +31,7 @@ func abortAfter(n int) func() error {
 func TestSRSAbortInterruptsOpen(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	rows := shuffled(genRows(20_000, 10, rng), rng)
-	cfg, d := smallCfg(4) // tiny memory: the abort lands in the spill loop
+	cfg, d := smallCfg(t, 4) // tiny memory: the abort lands in the spill loop
 	cfg.Abort = abortAfter(3)
 	s, err := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
 	if err != nil {
@@ -54,7 +54,7 @@ func TestSRSAbortInterruptsOpen(t *testing.T) {
 func TestMRSAbortInterruptsCollect(t *testing.T) {
 	rng := rand.New(rand.NewSource(32))
 	rows := genRows(20_000, 2, rng) // two oversized segments
-	cfg, d := smallCfg(4)
+	cfg, d := smallCfg(t, 4)
 	cfg.Parallelism = 1
 	cfg.SpillParallelism = 1
 	cfg.Abort = abortAfter(3)
@@ -93,7 +93,7 @@ func TestMRSAbortInterruptsCollect(t *testing.T) {
 func TestMRSAbortWithParallelSpill(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
 	rows := genRows(20_000, 2, rng)
-	cfg, d := smallCfg(4)
+	cfg, d := smallCfg(t, 4)
 	cfg.Parallelism = 2
 	cfg.SpillParallelism = 2
 	cfg.Abort = abortAfter(10)
@@ -130,7 +130,7 @@ func TestMRSAbortWithParallelSpill(t *testing.T) {
 func TestNilAbortSortsNormally(t *testing.T) {
 	rng := rand.New(rand.NewSource(34))
 	rows := shuffled(genRows(500, 10, rng), rng)
-	cfg, _ := smallCfg(1000)
+	cfg, _ := smallCfg(t, 1000)
 	s, err := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
 	if err != nil {
 		t.Fatal(err)

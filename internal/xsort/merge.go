@@ -134,7 +134,10 @@ func mergeGroup(ns storage.TempSpace, prefix string, group []*storage.File, ky *
 			return nil, comparisons, err
 		}
 	}
-	w.Close()
+	if err := w.Close(); err != nil {
+		ns.Remove(merged.Name())
+		return nil, comparisons, err
+	}
 	for _, g := range group {
 		ns.Remove(g.Name())
 	}
@@ -173,6 +176,7 @@ func reduceRuns(cfg Config, ns storage.TempSpace, runs []*storage.File, ky *keye
 					defer wg.Done()
 					sem <- struct{}{}
 					defer func() { <-sem }()
+					defer recoverWorker(&errs[g])
 					next[g], counts[g], errs[g] = reduceOneGroup(cfg, ns, runs, g, ky)
 				}(g)
 			}

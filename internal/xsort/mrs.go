@@ -145,6 +145,7 @@ type segment struct {
 	memBytes int64
 	tally    sortTally
 	done     chan struct{} // non-nil iff sorted asynchronously
+	err      error         // worker panic during the async sort, if any
 	spilled  bool
 	sp       *spillState
 
@@ -338,9 +339,22 @@ func (m *MRS) emit() (types.Tuple, bool, error) {
 func (m *MRS) adopt(seg *segment) error {
 	if seg.done != nil {
 		<-seg.done
+		if seg.err != nil {
+			return seg.err
+		}
 		seg.tally.addTo(&m.stats)
 	}
 	if seg.spilled {
+		// seg is already off the queue and not yet the emission head, so
+		// nothing downstream owns its arena: if adoption does not complete —
+		// an error, or a panic unwinding toward the cursor's containment —
+		// the arena must be released here or its runs outlive Close.
+		adopted := false
+		defer func() {
+			if !adopted {
+				m.releaseSpill(seg.sp)
+			}
+		}()
 		runs, err := m.segmentRuns(seg.sp)
 		if err == nil {
 			runs, err = reduceRuns(m.cfg, seg.sp.arena, runs, seg.ky, &m.stats)
@@ -350,11 +364,9 @@ func (m *MRS) adopt(seg *segment) error {
 			seg.merging, err = newRunMerger(runs, seg.ky, &m.stats.Comparisons)
 		}
 		if err != nil {
-			// seg is already off the queue: releasing its arena here drops
-			// any surviving runs, or they would outlive Close.
-			m.releaseSpill(seg.sp)
 			return err
 		}
+		adopted = true
 	}
 	m.cur = seg
 	return nil
@@ -404,6 +416,7 @@ func (m *MRS) segmentRuns(sp *spillState) ([]*storage.File, error) {
 		groups[g] = res
 		go func(jobs []*flushJob, res *groupRes) {
 			defer close(res.done)
+			defer recoverWorker(&res.err)
 			files := make([]*storage.File, 0, len(jobs))
 			for _, j := range jobs {
 				<-j.done
@@ -645,6 +658,7 @@ func (m *MRS) flush(c *segCollector) error {
 	arena, prefix, ky, rf := c.sp.arena, m.cfg.TempPrefix, c.ky, m.rf
 	go func() {
 		defer close(job.done)
+		defer recoverWorker(&job.err)
 		var order []int32
 		order, job.tally = formOrder(job.buf, ky, rf)
 		job.file, job.err = writeRun(arena, prefix, job.buf, order)
@@ -674,8 +688,9 @@ func (m *MRS) finish(c *segCollector) (*segment, error) {
 	if m.par > 1 {
 		seg.done = make(chan struct{})
 		go func() {
+			defer close(seg.done)
+			defer recoverWorker(&seg.err)
 			seg.order, seg.tally = formOrder(seg.buf, seg.ky, m.rf)
-			close(seg.done)
 		}()
 	} else {
 		var tally sortTally

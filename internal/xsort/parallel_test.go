@@ -28,7 +28,7 @@ func TestMRSParallelMatchesSerial(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			run := func(par int) ([]types.Tuple, *SortStats, storage.IOStats) {
-				cfg, d := smallCfg(tc.blocks)
+				cfg, d := smallCfg(t, tc.blocks)
 				cfg.Parallelism = par
 				m, err := NewMRS(iter.FromSlice(tc.rows), sortSchema,
 					sortord.New("c1", "c2"), sortord.New("c1"), cfg)
@@ -92,7 +92,7 @@ func TestMRSParallelPipelining(t *testing.T) {
 	segSize := n / segments
 	rows := genRows(n, segments, rng)
 	ci := &countingIter{inner: iter.FromSlice(rows)}
-	cfg, d := smallCfg(64)
+	cfg, d := smallCfg(t, 64)
 	cfg.Parallelism = par
 	m, err := NewMRS(ci, sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
 	if err != nil {
@@ -137,7 +137,7 @@ func TestMRSParallelPipelining(t *testing.T) {
 func TestMRSParallelCleanup(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	rows := genRows(6000, 3, rng) // 3 big segments
-	cfg, d := smallCfg(8)         // tiny memory: all segments spill
+	cfg, d := smallCfg(t, 8)      // tiny memory: all segments spill
 	cfg.Parallelism = 4
 	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
 	if err != nil {
@@ -169,7 +169,7 @@ func TestEncodedAndComparatorKeysAgree(t *testing.T) {
 
 	t.Run("srs", func(t *testing.T) {
 		run := func(mode KeyMode) ([]types.Tuple, *SortStats) {
-			cfg, _ := smallCfg(8)
+			cfg, _ := smallCfg(t, 8)
 			cfg.Keys = mode
 			// Pin the comparison sort: this test's contract is that the key
 			// REPRESENTATION is invisible, so both arms must spend their
@@ -199,7 +199,7 @@ func TestEncodedAndComparatorKeysAgree(t *testing.T) {
 
 	t.Run("mrs", func(t *testing.T) {
 		run := func(mode KeyMode) ([]types.Tuple, *SortStats) {
-			cfg, _ := smallCfg(16)
+			cfg, _ := smallCfg(t, 16)
 			cfg.Keys = mode
 			cfg.Parallelism = 1
 			cfg.RunFormation = RunFormCompare // see the srs arm
@@ -246,7 +246,7 @@ func TestUnencodableKeyFallsBackToComparator(t *testing.T) {
 		types.NewTuple(types.NewInt(2), types.Null),
 	}
 	for _, mode := range []KeyMode{KeyEncoded, KeyComparator} {
-		cfg, _ := smallCfg(16)
+		cfg, _ := smallCfg(t, 16)
 		cfg.Keys = mode
 		s, err := NewSRS(iter.FromSlice(rows), schema, sortord.New("k", "n"), cfg)
 		if err != nil {
@@ -256,7 +256,7 @@ func TestUnencodableKeyFallsBackToComparator(t *testing.T) {
 		if err != nil || len(out) != 3 || out[0][0].Int() != 1 {
 			t.Fatalf("mode %d: SRS out=%v err=%v", mode, out, err)
 		}
-		cfg2, _ := smallCfg(16)
+		cfg2, _ := smallCfg(t, 16)
 		cfg2.Keys = mode
 		m, err := NewMRS(iter.FromSlice(rows), schema, sortord.New("n", "k"), sortord.New("n"), cfg2)
 		if err != nil {
@@ -273,7 +273,7 @@ func TestUnencodableKeyFallsBackToComparator(t *testing.T) {
 // to GOMAXPROCS; spill parallelism inherits the resolved segment
 // parallelism unless set explicitly.
 func TestMRSParallelismValidation(t *testing.T) {
-	cfg, _ := smallCfg(4)
+	cfg, _ := smallCfg(t, 4)
 	cfg.Parallelism = -1
 	if _, err := NewMRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), sortord.Empty, cfg); err == nil {
 		t.Fatal("negative parallelism should error")
@@ -306,7 +306,7 @@ func TestMRSParallelismValidation(t *testing.T) {
 func TestMRSSpillParallelismOverride(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	rows := genRows(6000, 3, rng)
-	cfg, d := smallCfg(8)
+	cfg, d := smallCfg(t, 8)
 	cfg.Parallelism = 4
 	cfg.SpillParallelism = 1
 	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)

@@ -128,7 +128,7 @@ func TestParseRunFormation(t *testing.T) {
 	if _, err := ParseRunFormation("bogus"); err == nil {
 		t.Error("bogus mode should error")
 	}
-	cfg, _ := smallCfg(4)
+	cfg, _ := smallCfg(t, 4)
 	cfg.RunFormation = RunFormation(9)
 	if _, err := NewSRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), cfg); err == nil {
 		t.Error("out-of-range RunFormation should fail validation")
@@ -177,7 +177,7 @@ func TestRunFormationModesAgree(t *testing.T) {
 			io    storage.IOStats
 		}
 		runMRS := func(rf RunFormation) result {
-			cfg, d := smallCfg(blocks)
+			cfg, d := smallCfg(t, blocks)
 			cfg.Parallelism = par
 			cfg.RunFormation = rf
 			m, err := NewMRS(iter.FromSlice(rows), sortSchema, target, sortord.New("c1"), cfg)
@@ -191,7 +191,7 @@ func TestRunFormationModesAgree(t *testing.T) {
 			return result{out, *m.Stats(), d.Stats()}
 		}
 		runSRS := func(rf RunFormation) result {
-			cfg, d := smallCfg(blocks)
+			cfg, d := smallCfg(t, blocks)
 			cfg.RunFormation = rf
 			s, err := NewSRS(iter.FromSlice(shuffledRows), sortSchema, target, cfg)
 			if err != nil {
@@ -243,7 +243,7 @@ func TestRunFormationModesAgree(t *testing.T) {
 func TestRadixFallsBackOnComparatorKeys(t *testing.T) {
 	rng := rand.New(rand.NewSource(53))
 	rows := genRows(2000, 10, rng)
-	cfg, _ := smallCfg(8)
+	cfg, _ := smallCfg(t, 8)
 	cfg.Keys = KeyComparator
 	cfg.RunFormation = RunFormRadix
 	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)

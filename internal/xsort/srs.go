@@ -187,10 +187,13 @@ func (s *SRS) open() error {
 	w := storage.NewTupleWriter(runFile)
 	var lastOut keyed
 
-	finishRun := func() {
-		w.Close()
+	finishRun := func() error {
+		if err := w.Close(); err != nil {
+			return err
+		}
 		s.runs = append(s.runs, runFile)
 		s.stats.RunsGenerated++
+		return nil
 	}
 
 	for {
@@ -203,7 +206,9 @@ func (s *SRS) open() error {
 		e := h.peek()
 		if e.tag != currentRun {
 			// Current run exhausted: start the next one.
-			finishRun()
+			if err := finishRun(); err != nil {
+				return err
+			}
 			currentRun++
 			runFile = s.newTemp()
 			w = storage.NewTupleWriter(runFile)
@@ -233,7 +238,9 @@ func (s *SRS) open() error {
 			}
 		}
 	}
-	finishRun()
+	if err := finishRun(); err != nil {
+		return err
+	}
 
 	// Phase 3: reduce runs to fan-in and set up the final merge. Groups
 	// within a pass merge concurrently under SpillParallelism.

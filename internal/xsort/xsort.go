@@ -298,13 +298,34 @@ func writeRun(ns storage.TempSpace, prefix string, buf []keyed, order []int32) (
 	w := storage.NewTupleWriter(f)
 	for _, idx := range order {
 		if err := w.Write(buf[idx].t); err != nil {
-			w.Close()
 			ns.Remove(f.Name())
 			return nil, err
 		}
 	}
-	w.Close()
+	if err := w.Close(); err != nil {
+		ns.Remove(f.Name())
+		return nil, err
+	}
 	return f, nil
+}
+
+// recoverWorker converts a panic on a sort worker goroutine into an error at
+// *dst. Worker pools run run formation, segment sorts and group merges off
+// the consumer goroutine, where an unrecovered panic — a bug, or an injected
+// panic fault — would kill the process before any cursor boundary could
+// contain it; with this deferred on every worker it instead propagates as
+// the sort's first error through the normal abort plumbing.
+func recoverWorker(dst *error) {
+	if r := recover(); r != nil {
+		// Keep the chain when the panic value is an error, so sentinels
+		// (e.g. an injected storage fault in panic mode) stay matchable
+		// with errors.Is once the job error reaches the cursor.
+		if err, ok := r.(error); ok {
+			*dst = fmt.Errorf("xsort: worker panic: %w", err)
+		} else {
+			*dst = fmt.Errorf("xsort: worker panic: %v", r)
+		}
+	}
 }
 
 // NewSorted is a convenience that fully sorts the input under order o and

@@ -81,15 +81,21 @@ func multiset(rows []types.Tuple) map[string]int {
 	return m
 }
 
-func smallCfg(blocks int) (Config, *storage.Disk) {
+// smallCfg builds a sort config over a fresh tiny-paged disk. Every test
+// that sorts through it inherits the teardown leak check: whatever the test
+// did — drain, early close, abort, induced failure — no temp file or spill
+// arena may survive it.
+func smallCfg(t testing.TB, blocks int) (Config, *storage.Disk) {
+	t.Helper()
 	d := storage.NewDisk(512)
+	t.Cleanup(func() { storage.AssertNoLeaks(t, d) })
 	return Config{Disk: d, MemoryBlocks: blocks}, d
 }
 
 func TestSRSInMemoryNoIO(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	rows := shuffled(genRows(100, 10, rng), rng)
-	cfg, d := smallCfg(1000) // plenty of memory
+	cfg, d := smallCfg(t, 1000) // plenty of memory
 	s, err := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +119,7 @@ func TestSRSInMemoryNoIO(t *testing.T) {
 func TestSRSSpillsAndMerges(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	rows := shuffled(genRows(3000, 10, rng), rng)
-	cfg, d := smallCfg(4) // tiny memory: force many runs and merge passes
+	cfg, d := smallCfg(t, 4) // tiny memory: force many runs and merge passes
 	s, err := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +152,7 @@ func TestSRSSortedInputStillDoesIO(t *testing.T) {
 	sort.SliceStable(rows, func(i, j int) bool {
 		return types.MustKeySpec(sortSchema, sortord.New("c1", "c2")).Compare(rows[i], rows[j]) < 0
 	})
-	cfg, d := smallCfg(4)
+	cfg, d := smallCfg(t, 4)
 	s, _ := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
 	out, err := iter.Drain(s)
 	if err != nil {
@@ -165,7 +171,7 @@ func TestSRSBlockingBehaviour(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	rows := shuffled(genRows(1000, 10, rng), rng)
 	ci := &countingIter{inner: iter.FromSlice(rows)}
-	cfg, _ := smallCfg(4)
+	cfg, _ := smallCfg(t, 4)
 	s, _ := NewSRS(ci, sortSchema, sortord.New("c1", "c2"), cfg)
 	if err := s.Open(); err != nil {
 		t.Fatal(err)
@@ -177,7 +183,7 @@ func TestSRSBlockingBehaviour(t *testing.T) {
 }
 
 func TestSRSEmptyInputAndErrors(t *testing.T) {
-	cfg, _ := smallCfg(4)
+	cfg, _ := smallCfg(t, 4)
 	s, err := NewSRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -203,7 +209,7 @@ func TestSRSEmptyInputAndErrors(t *testing.T) {
 func TestMRSPipelinedNoIO(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	rows := genRows(2000, 50, rng) // sorted on c1, 40 tuples per segment
-	cfg, d := smallCfg(64)
+	cfg, d := smallCfg(t, 64)
 	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -231,7 +237,7 @@ func TestMRSEarlyOutput(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	rows := genRows(10_000, 100, rng)
 	ci := &countingIter{inner: iter.FromSlice(rows)}
-	cfg, _ := smallCfg(64)
+	cfg, _ := smallCfg(t, 64)
 	// Parallelism 1 pins the paper's strictly demand-driven reading; the
 	// bounded-lookahead guarantee of the parallel path is covered in
 	// parallel_test.go.
@@ -255,7 +261,7 @@ func TestMRSEarlyOutput(t *testing.T) {
 func TestMRSSpilledSegment(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	rows := genRows(4000, 2, rng) // 2 segments of 2000 tuples each
-	cfg, d := smallCfg(8)         // tiny memory: segments must spill
+	cfg, d := smallCfg(t, 8)      // tiny memory: segments must spill
 	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -279,7 +285,7 @@ func TestMRSSpilledSegment(t *testing.T) {
 func TestMRSPassthrough(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	rows := genRows(100, 10, rng)
-	cfg, d := smallCfg(4)
+	cfg, d := smallCfg(t, 4)
 	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1"), sortord.New("c1"), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -302,7 +308,7 @@ func TestMRSPassthrough(t *testing.T) {
 func TestMRSSinglSegmentDegeneratesToFullSort(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	rows := shuffled(genRows(2000, 10, rng), rng)
-	cfg, _ := smallCfg(4)
+	cfg, _ := smallCfg(t, 4)
 	// ε known order: whole input is one segment.
 	m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.Empty, cfg)
 	if err != nil {
@@ -322,7 +328,7 @@ func TestMRSSinglSegmentDegeneratesToFullSort(t *testing.T) {
 }
 
 func TestMRSValidation(t *testing.T) {
-	cfg, _ := smallCfg(4)
+	cfg, _ := smallCfg(t, 4)
 	if _, err := NewMRS(iter.FromSlice(nil), sortSchema, sortord.New("c1"), sortord.New("c2"), cfg); err == nil {
 		t.Fatal("non-prefix given order should error")
 	}
@@ -345,12 +351,12 @@ func TestMRSValidation(t *testing.T) {
 func TestMRSFewerComparisonsThanSRS(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	rows := genRows(5000, 100, rng) // sorted on c1
-	cfg1, _ := smallCfg(16)
+	cfg1, _ := smallCfg(t, 16)
 	srs, _ := NewSRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg1)
 	if _, err := iter.Drain(srs); err != nil {
 		t.Fatal(err)
 	}
-	cfg2, _ := smallCfg(16)
+	cfg2, _ := smallCfg(t, 16)
 	mrs, _ := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg2)
 	if _, err := iter.Drain(mrs); err != nil {
 		t.Fatal(err)
@@ -388,7 +394,7 @@ func TestQuickSRSAndMRSAgreeWithReference(t *testing.T) {
 		ref := append([]types.Tuple(nil), rows...)
 		sort.SliceStable(ref, func(i, j int) bool { return ks.Compare(ref[i], ref[j]) < 0 })
 
-		c1, _ := smallCfg(blocks)
+		c1, _ := smallCfg(t, blocks)
 		srs, err := NewSRS(iter.FromSlice(rows), sortSchema, target, c1)
 		if err != nil {
 			return false
@@ -397,7 +403,7 @@ func TestQuickSRSAndMRSAgreeWithReference(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		c2, _ := smallCfg(blocks)
+		c2, _ := smallCfg(t, blocks)
 		mrs, err := NewMRS(iter.FromSlice(rows), sortSchema, target, sortord.New("c1"), c2)
 		if err != nil {
 			return false
@@ -424,7 +430,7 @@ func TestQuickSRSAndMRSAgreeWithReference(t *testing.T) {
 func TestMRSRunCleanupOnClose(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	rows := genRows(4000, 2, rng)
-	cfg, d := smallCfg(8)
+	cfg, d := smallCfg(t, 8)
 	m, _ := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
 	if err := m.Open(); err != nil {
 		t.Fatal(err)
@@ -449,7 +455,7 @@ func TestMRSRunCleanupOnClose(t *testing.T) {
 func TestNewSortedHelper(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	rows := shuffled(genRows(300, 5, rng), rng)
-	cfg, _ := smallCfg(64)
+	cfg, _ := smallCfg(t, 64)
 	out, stats, err := NewSorted(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), cfg)
 	if err != nil {
 		t.Fatal(err)

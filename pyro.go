@@ -33,6 +33,7 @@ package pyro
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"pyro/internal/catalog"
 	"pyro/internal/core"
@@ -149,6 +150,13 @@ type Config struct {
 	// 1 disables batching entirely and runs the exact legacy
 	// row-at-a-time path. Per-query override: WithExecBatchSize.
 	ExecBatchSize int
+	// QueryTimeout bounds every query's wall-clock lifetime, measured from
+	// the Query call (0 = unlimited). It rides the same abort path as
+	// context cancellation — polled inside sort and spill loops, while
+	// queued at the admission gate, and while blocked on a sort-memory
+	// grant — and surfaces as context.DeadlineExceeded from Cursor.Err.
+	// WithDeadline tightens it per query.
+	QueryTimeout time.Duration
 	// PlanCacheSize bounds the database's plan cache, which lets repeated
 	// Optimize calls and WithRowTarget re-optimizations of the same query
 	// shape skip the optimizer: entries are keyed by (logical query
@@ -506,6 +514,12 @@ type IOStats = storage.IOStats
 
 // IOStats returns the disk's cumulative I/O counters.
 func (db *Database) IOStats() IOStats { return db.disk.Stats() }
+
+// Disk exposes the database's simulated block device. Chaos tooling uses
+// the handle to install fault plans and temp-space quotas
+// (storage.Disk.SetFaultPlan, SetTempQuotaPages) and to audit for leaked
+// temp files and spill arenas; production paths never need it.
+func (db *Database) Disk() *storage.Disk { return db.disk }
 
 // ResetIOStats zeroes the disk's I/O counters (call before a measured run).
 func (db *Database) ResetIOStats() { db.disk.ResetStats() }

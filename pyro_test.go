@@ -3,6 +3,8 @@ package pyro
 import (
 	"strings"
 	"testing"
+
+	"pyro/internal/storage"
 )
 
 // openTestDB loads a small two-table database exercising clustering,
@@ -10,6 +12,7 @@ import (
 func openTestDB(t *testing.T) *Database {
 	t.Helper()
 	db := Open(Config{SortMemoryBlocks: 64})
+	t.Cleanup(func() { storage.AssertNoLeaks(t, db.disk) })
 	var orders, items [][]any
 	for i := 0; i < 200; i++ {
 		orders = append(orders, []any{int64(i), int64(i % 10), "status-" + string(rune('A'+i%3))})

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"pyro/internal/storage"
 )
 
 // servingDB builds a database with a deliberately small sort budget, a big
@@ -17,6 +19,7 @@ func servingDB(t testing.TB, extra Config) *Database {
 		cfg.SortMemoryBlocks = 16
 	}
 	db := Open(cfg)
+	t.Cleanup(func() { storage.AssertNoLeaks(t, db.disk) })
 	const n, segSize = 20_000, 10_000
 	rows := make([][]any, n)
 	for i := 0; i < n; i++ {
