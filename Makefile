@@ -13,7 +13,7 @@ ABBENCH = 'RunFormation|SortKeys|TimeToFirstRow|TopKPlanned|Throughput'
 # so the slack only absorbs float formatting, not machine variance.
 TOLERANCE ?= 2
 
-.PHONY: build test race race-serve chaos bench bench-ab bench-gate bench-baseline fmt vet ci
+.PHONY: build test race race-serve chaos bench bench-ab bench-gate bench-baseline fmt vet lint-pyro ci
 
 build:
 	$(GO) build ./...
@@ -87,4 +87,12 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt test race race-serve chaos bench bench-ab bench-gate
+# pyro's own static-analysis suite (internal/lint, cmd/pyro-lint): arena
+# release discipline, abort polling, %w error wrapping, I/O-ledger routing
+# and counter determinism, proved over the whole module with zero
+# pyro:nolint suppressions allowed. Stdlib-only — needs nothing beyond
+# the Go toolchain.
+lint-pyro:
+	$(GO) run ./cmd/pyro-lint -max-suppressions 0 ./...
+
+ci: build vet fmt lint-pyro test race race-serve chaos bench bench-ab bench-gate

@@ -24,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -265,7 +266,7 @@ func main() {
 		os.Exit(1)
 	}
 	base, err := parse(f, false)
-	_ = f.Close() // read-only file
+	err = errors.Join(err, f.Close())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pyro-abdiff:", err)
 		os.Exit(1)

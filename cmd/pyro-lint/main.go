@@ -1,0 +1,86 @@
+// Command pyro-lint runs pyro's custom static-analysis suite — the
+// analyzers in internal/lint that prove the engine's cross-cutting
+// invariants (arena release discipline, abort polling, error wrapping,
+// I/O ledger routing, counter determinism) at compile time.
+//
+// Usage:
+//
+//	pyro-lint [-list] [-analyzers name,name] [-max-suppressions n] [packages]
+//
+// With no packages, ./... is checked. The exit status is non-zero if any
+// diagnostic survives, any annotation is malformed or stale, or the
+// number of pyro:nolint suppressions exceeds -max-suppressions (the CI
+// gate runs with -max-suppressions 0; the repo carries none).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pyro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	maxSuppressions := flag.Int("max-suppressions", -1, "fail if more than this many pyro:nolint suppressions exist (-1: no limit)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *names != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*names, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "pyro-lint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyro-lint:", err)
+		os.Exit(2)
+	}
+	res, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pyro-lint:", err)
+		os.Exit(2)
+	}
+
+	for _, d := range res.Invalid {
+		fmt.Println(d)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Println(d)
+	}
+	for _, d := range res.Suppressed {
+		fmt.Printf("%s [suppressed by pyro:nolint]\n", d)
+	}
+
+	failed := res.Failed()
+	if *maxSuppressions >= 0 && len(res.Nolints) > *maxSuppressions {
+		fmt.Fprintf(os.Stderr, "pyro-lint: %d pyro:nolint suppression(s), limit is %d\n", len(res.Nolints), *maxSuppressions)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("pyro-lint: %d package(s) clean under %d analyzer(s), %d suppression(s)\n",
+		len(pkgs), len(analyzers), len(res.Nolints))
+}

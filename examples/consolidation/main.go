@@ -70,12 +70,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cur.Close()
 	var n int
 	for cur.Next() {
 		n++
 	}
 	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if err := cur.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("consolidated rows: %d, page I/Os: %d\n", n, cur.Stats().IO.Total())

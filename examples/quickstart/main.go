@@ -53,7 +53,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cur.Close()
 	var n int
 	var first []any
 	for cur.Next() {
@@ -63,6 +62,9 @@ func main() {
 		n++
 	}
 	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if err := cur.Close(); err != nil {
 		log.Fatal(err)
 	}
 	st := cur.Stats()

@@ -87,7 +87,7 @@ func main() {
 		if err := cur.Err(); err != nil {
 			log.Fatal(err)
 		}
-		cur.Close()
+		must(cur.Close())
 		st := cur.Stats()
 		fmt.Printf("--- %s\nestimated cost %.0f, %d result rows, %d page I/Os (%d for sort runs), first row after %v\n%s\n",
 			v.name, plan.EstimatedCost(), n, st.IO.Total(), st.IO.RunTotal(), st.TimeToFirstRow, plan.Explain())

@@ -85,7 +85,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cur.Close()
 	var sample string
 	var n int
 	for cur.Next() {
@@ -100,6 +99,9 @@ func main() {
 		n++
 	}
 	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if err := cur.Close(); err != nil {
 		log.Fatal(err)
 	}
 	st := cur.Stats()

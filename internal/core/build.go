@@ -75,7 +75,16 @@ func Build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 	if cfg.ExecBatchSize <= 0 {
 		cfg.ExecBatchSize = types.DefaultChunkCapacity
 	}
-	return build(p, cfg)
+	root, err := build(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Sort enforcers receive the abort hook through xsort.Config.Abort;
+	// every other operator whose tuple loops can outlive a Next call
+	// (filters, joins, aggregates, dedup) polls the same hook through its
+	// own strided guard.
+	exec.InstallAbort(root, cfg.SortAbort)
+	return root, nil
 }
 
 func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {

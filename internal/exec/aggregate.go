@@ -185,6 +185,8 @@ type GroupAggregate struct {
 	// a rowAdapter over it when batching is on (the aggregate retains its
 	// lookahead, so it needs owned rows either way).
 	in iter.Iterator
+
+	guard iter.Guard // strided abort poll for the group-fold loop
 }
 
 // NewGroupAggregate builds a sort-based aggregate over contiguous groups.
@@ -226,6 +228,10 @@ func (g *GroupAggregate) Children() []Operator { return []Operator{g.child} }
 func (g *GroupAggregate) GroupCols() []string { return g.groupCols }
 
 // Open opens the input and primes the lookahead.
+// SetAbort installs the abort hook the group-fold loop polls: one giant
+// group is folded inside a single Next call.
+func (g *GroupAggregate) SetAbort(poll func() error) { g.guard = iter.NewGuard(poll) }
+
 func (g *GroupAggregate) Open() error {
 	g.opened = true
 	if err := g.in.Open(); err != nil {
@@ -273,6 +279,9 @@ func (g *GroupAggregate) Next() (types.Tuple, bool, error) {
 	}
 	fold(first)
 	for {
+		if err := g.guard.Check(); err != nil {
+			return nil, false, err
+		}
 		t, ok, err := g.in.Next()
 		if err != nil {
 			return nil, false, err
@@ -316,6 +325,7 @@ type HashAggregate struct {
 	results []types.Tuple
 	pos     int
 	batch   int
+	guard   iter.Guard // strided abort poll for the ingest loops
 }
 
 // NewHashAggregate builds a hash aggregate; input order is irrelevant.
@@ -353,6 +363,10 @@ func (h *HashAggregate) SetExecBatch(n int) { h.batch = n }
 // folds chunk row views directly (consuming any selection) and clones a
 // tuple only for each group's first-seen representative — one allocation
 // per group instead of one per input row.
+// SetAbort installs the abort hook the ingest loops poll: the hash
+// aggregate drains its whole input inside Open.
+func (h *HashAggregate) SetAbort(poll func() error) { h.guard = iter.NewGuard(poll) }
+
 func (h *HashAggregate) Open() error {
 	if err := h.child.Open(); err != nil {
 		return err
@@ -400,6 +414,9 @@ func (h *HashAggregate) Open() error {
 		defer types.PutChunk(c)
 		var view types.Tuple
 		for {
+			if err := h.guard.Check(); err != nil {
+				return err
+			}
 			if err := child.NextChunk(c); err != nil {
 				return err
 			}
@@ -414,6 +431,9 @@ func (h *HashAggregate) Open() error {
 		}
 	} else {
 		for {
+			if err := h.guard.Check(); err != nil {
+				return err
+			}
 			t, ok, err := h.child.Next()
 			if err != nil {
 				return err

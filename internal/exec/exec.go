@@ -56,6 +56,32 @@ func Drain(op Operator) ([]types.Tuple, error) {
 	return iter.Drain(op)
 }
 
+// Aborter is implemented by operators whose tuple loops poll an abort
+// hook. The cursor checks the context between Next calls, but an operator
+// can consume its entire input inside one call — a filter rejecting every
+// row, a hash-join build, a nested-loops spool — so those inner loops
+// carry their own strided iter.Guard, exactly like the sort and spill
+// loops in internal/xsort.
+type Aborter interface {
+	// SetAbort installs the poll function (ctx.Err from the cursor). Must
+	// be called before Open; nil leaves the operator non-aborting.
+	SetAbort(poll func() error)
+}
+
+// InstallAbort walks the tree and installs poll on every operator that
+// polls an abort guard in its tuple loops. Sort enforcers are not wired
+// here — they receive the same hook through xsort.Config.Abort.
+func InstallAbort(root Operator, poll func() error) {
+	if poll == nil {
+		return
+	}
+	Walk(root, func(op Operator) {
+		if a, ok := op.(Aborter); ok {
+			a.SetAbort(poll)
+		}
+	})
+}
+
 // Children returns the operator's direct inputs, left to right, or nil for
 // a leaf. Every operator in this package implements the underlying
 // Children() method; operators from outside (test doubles) are treated as

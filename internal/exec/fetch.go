@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pyro/internal/catalog"
+	"pyro/internal/iter"
 	"pyro/internal/storage"
 	"pyro/internal/types"
 )
@@ -31,6 +32,7 @@ type Fetch struct {
 	queuePos int
 	fetches  int64
 	ks       types.KeySpec // table-side key spec (for in-page scan)
+	guard    iter.Guard    // strided abort poll for the fetch loop
 }
 
 // NewFetch builds a deferred-fetch operator. childKeyCols names the child
@@ -73,6 +75,9 @@ func (f *Fetch) Fetches() int64 { return f.fetches }
 // tap (nil taps nothing). Must be called before Open.
 func (f *Fetch) SetIOTap(t *storage.Tap) { f.tap = t }
 
+// SetAbort installs the abort hook the fetch loop polls.
+func (f *Fetch) SetAbort(poll func() error) { f.guard = iter.NewGuard(poll) }
+
 // Open opens the child and binds the (tapped) heap file.
 func (f *Fetch) Open() error {
 	f.queue, f.queuePos, f.fetches = nil, 0, 0
@@ -83,6 +88,9 @@ func (f *Fetch) Open() error {
 // Next fetches the heap row(s) for the next child tuple.
 func (f *Fetch) Next() (types.Tuple, bool, error) {
 	for {
+		if err := f.guard.Check(); err != nil {
+			return nil, false, err
+		}
 		if f.queuePos < len(f.queue) {
 			t := f.queue[f.queuePos]
 			f.queuePos++

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"pyro/internal/expr"
+	"pyro/internal/iter"
 	"pyro/internal/types"
 )
 
@@ -13,6 +14,7 @@ type Filter struct {
 	in      int64
 	out     int64
 	scratch types.Tuple // batch-path row view, reused across rows
+	guard   iter.Guard  // strided abort poll for the reject-all drain
 }
 
 // NewFilter compiles pred against the child schema.
@@ -41,12 +43,20 @@ func (f *Filter) Selectivity() float64 {
 	return float64(f.out) / float64(f.in)
 }
 
+// SetAbort installs the abort hook the filter loops poll: a filter that
+// rejects every row consumes its whole input inside one Next call, so the
+// loop must poll rather than rely on the cursor's between-Next check.
+func (f *Filter) SetAbort(poll func() error) { f.guard = iter.NewGuard(poll) }
+
 // Open opens the child.
 func (f *Filter) Open() error { return f.child.Open() }
 
 // Next returns the next qualifying tuple.
 func (f *Filter) Next() (types.Tuple, bool, error) {
 	for {
+		if err := f.guard.Check(); err != nil {
+			return nil, false, err
+		}
 		t, ok, err := f.child.Next()
 		if err != nil || !ok {
 			return nil, false, err
@@ -70,6 +80,9 @@ func (f *Filter) CanChunk() bool { return ChunkCapable(f.child) }
 func (f *Filter) NextChunk(c *types.Chunk) error {
 	child := f.child.(ChunkOperator)
 	for {
+		if err := f.guard.Check(); err != nil {
+			return err
+		}
 		if err := child.NextChunk(c); err != nil {
 			return err
 		}

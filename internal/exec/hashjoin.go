@@ -32,6 +32,8 @@ type HashJoin struct {
 	// rowAdapter over it when batching is on (build tuples are retained in
 	// the table, so they must be owned either way).
 	buildIn iter.Iterator
+
+	guard iter.Guard // strided abort poll for the build and probe loops
 }
 
 // NewHashJoin builds a hash join; keys are positional pairs as in merge
@@ -102,6 +104,11 @@ func (h *HashJoin) hashKey(t types.Tuple, ords []int) (string, bool) {
 	return string(h.keyBuf), true
 }
 
+// SetAbort installs the abort hook the build and probe loops poll: the
+// build drains the whole right input inside Open, and a probe phase with
+// no matches drains the left inside one Next call.
+func (h *HashJoin) SetAbort(poll func() error) { h.guard = iter.NewGuard(poll) }
+
 // Open builds the hash table from the right input.
 func (h *HashJoin) Open() error {
 	if err := h.left.Open(); err != nil {
@@ -112,6 +119,9 @@ func (h *HashJoin) Open() error {
 	}
 	h.table = make(map[string][]types.Tuple)
 	for {
+		if err := h.guard.Check(); err != nil {
+			return err
+		}
 		t, ok, err := h.buildIn.Next()
 		if err != nil {
 			return err
@@ -132,6 +142,9 @@ func (h *HashJoin) Open() error {
 // Next probes the next left tuple.
 func (h *HashJoin) Next() (types.Tuple, bool, error) {
 	for {
+		if err := h.guard.Check(); err != nil {
+			return nil, false, err
+		}
 		if h.outPos < len(h.outQueue) {
 			t := h.outQueue[h.outPos]
 			h.outPos++

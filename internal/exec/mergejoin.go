@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"pyro/internal/iter"
 	"pyro/internal/sortord"
 	"pyro/internal/types"
 )
@@ -63,6 +64,7 @@ type MergeJoin struct {
 	rowsOut      int64
 	leftWidth    int
 	rightWidth   int
+	guard        iter.Guard // strided abort poll for the advance loop
 }
 
 // NewMergeJoin builds a merge join. leftKey and rightKey must be the same
@@ -208,9 +210,16 @@ func (m *MergeJoin) padRight(rt types.Tuple) types.Tuple {
 	return out
 }
 
+// SetAbort installs the abort hook the advance loop polls: with disjoint
+// key ranges the join can drain both inputs inside one Next call.
+func (m *MergeJoin) SetAbort(poll func() error) { m.guard = iter.NewGuard(poll) }
+
 // Next returns the next joined tuple.
 func (m *MergeJoin) Next() (types.Tuple, bool, error) {
 	for {
+		if err := m.guard.Check(); err != nil {
+			return nil, false, err
+		}
 		if m.outPos < len(m.outQueue) {
 			t := m.outQueue[m.outPos]
 			m.outPos++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pyro/internal/expr"
+	"pyro/internal/iter"
 	"pyro/internal/storage"
 	"pyro/internal/types"
 )
@@ -36,6 +37,7 @@ type NLJoin struct {
 	outPos     int
 	leftDone   bool
 	rightWidth int
+	guard      iter.Guard // strided abort poll for spool, join and pad loops
 }
 
 // NewNLJoin builds a block nested-loops join with an arbitrary predicate
@@ -75,6 +77,10 @@ func (n *NLJoin) Children() []Operator { return []Operator{n.left, n.right} }
 // tap (nil taps nothing). Must be called before Open.
 func (n *NLJoin) SetIOTap(t *storage.Tap) { n.tap = t }
 
+// SetAbort installs the abort hook the spool, join and pad loops poll:
+// Open drains the whole inner input into the spool before the first row.
+func (n *NLJoin) SetAbort(poll func() error) { n.guard = iter.NewGuard(poll) }
+
 // Open spools the inner input to a temp file.
 func (n *NLJoin) Open() error {
 	if err := n.left.Open(); err != nil {
@@ -86,6 +92,9 @@ func (n *NLJoin) Open() error {
 	n.spool = n.disk.CreateTemp("nljoin", storage.KindRun).Tapped(n.tap)
 	w := storage.NewTupleWriter(n.spool)
 	for {
+		if err := n.guard.Check(); err != nil {
+			return err
+		}
 		t, ok, err := n.right.Next()
 		if err != nil {
 			return err
@@ -135,6 +144,9 @@ func (n *NLJoin) loadBlock() error {
 // inner is read once per outer block.
 func (n *NLJoin) Next() (types.Tuple, bool, error) {
 	for {
+		if err := n.guard.Check(); err != nil {
+			return nil, false, err
+		}
 		if n.outPos < len(n.outQueue) {
 			t := n.outQueue[n.outPos]
 			n.outPos++
@@ -189,6 +201,9 @@ func (n *NLJoin) padUnmatched() error {
 	matched := make([]bool, len(n.block))
 	r := storage.NewTupleReader(n.spool)
 	for {
+		if err := n.guard.Check(); err != nil {
+			return err
+		}
 		rt, ok, err := r.Next()
 		if err != nil {
 			return err

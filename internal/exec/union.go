@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"pyro/internal/iter"
 	"pyro/internal/sortord"
 	"pyro/internal/types"
 )
@@ -21,6 +22,7 @@ type MergeUnion struct {
 	lt, rt       types.Tuple
 	lDone, rDone bool
 	lastOut      types.Tuple
+	guard        iter.Guard // strided abort poll for the merge loop
 }
 
 // NewMergeUnion builds a merge union over inputs sorted on order. Schemas
@@ -79,9 +81,16 @@ func (u *MergeUnion) pull(op Operator) (types.Tuple, bool, error) {
 	return t, false, nil
 }
 
+// SetAbort installs the abort hook the merge loop polls: with dedup on,
+// a long run of duplicates is consumed inside one Next call.
+func (u *MergeUnion) SetAbort(poll func() error) { u.guard = iter.NewGuard(poll) }
+
 // Next returns the next tuple in the shared order.
 func (u *MergeUnion) Next() (types.Tuple, bool, error) {
 	for {
+		if err := u.guard.Check(); err != nil {
+			return nil, false, err
+		}
 		var t types.Tuple
 		switch {
 		case u.lDone && u.rDone:
@@ -230,6 +239,7 @@ type Dedup struct {
 	child   Operator
 	last    types.Tuple
 	scratch types.Tuple // batch-path row view, reused across rows
+	guard   iter.Guard  // strided abort poll for the duplicate-skip loops
 }
 
 // NewDedup builds a duplicate eliminator over (assumed) sorted input.
@@ -247,9 +257,16 @@ func (d *Dedup) Open() error {
 	return d.child.Open()
 }
 
+// SetAbort installs the abort hook the duplicate-skip loops poll: a long
+// run of duplicates is consumed inside one Next call.
+func (d *Dedup) SetAbort(poll func() error) { d.guard = iter.NewGuard(poll) }
+
 // Next returns the next distinct tuple.
 func (d *Dedup) Next() (types.Tuple, bool, error) {
 	for {
+		if err := d.guard.Check(); err != nil {
+			return nil, false, err
+		}
 		t, ok, err := d.child.Next()
 		if err != nil || !ok {
 			return nil, false, err
@@ -271,6 +288,9 @@ func (d *Dedup) CanChunk() bool { return ChunkCapable(d.child) }
 func (d *Dedup) NextChunk(c *types.Chunk) error {
 	child := d.child.(ChunkOperator)
 	for {
+		if err := d.guard.Check(); err != nil {
+			return err
+		}
 		if err := child.NextChunk(c); err != nil {
 			return err
 		}

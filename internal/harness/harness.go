@@ -10,6 +10,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -127,8 +128,7 @@ func measure(disk *storage.Disk, op exec.Operator) (runStats, error) {
 	for {
 		_, ok, err := op.Next()
 		if err != nil {
-			_ = op.Close() // the Next error is the one to report
-			return runStats{}, err
+			return runStats{}, errors.Join(err, op.Close())
 		}
 		if !ok {
 			break

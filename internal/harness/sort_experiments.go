@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -93,10 +94,9 @@ func RunA2(w io.Writer, scale Scale) error {
 	const sortBlocks = 64
 	checkpoints := []float64{0.01, 0.25, 0.5, 0.75, 1.0}
 
-	run := func(useMRS bool) ([]time.Duration, error) {
+	run := func(useMRS bool) (marks []time.Duration, err error) {
 		var op exec.Operator
 		scan := exec.NewTableScan(tb)
-		var err error
 		if useMRS {
 			op, err = exec.NewSortMRS(scan, target, sortord.New("c1"), mkSortConfig(disk, sortBlocks, scale))
 		} else {
@@ -109,8 +109,8 @@ func RunA2(w io.Writer, scale Scale) error {
 		if err := op.Open(); err != nil {
 			return nil, err
 		}
-		defer func() { _ = op.Close() }()
-		marks := make([]time.Duration, len(checkpoints))
+		defer func() { err = errors.Join(err, op.Close()) }()
+		marks = make([]time.Duration, len(checkpoints))
 		next := 0
 		var n int64
 		for {
@@ -130,7 +130,7 @@ func RunA2(w io.Writer, scale Scale) error {
 		if n != rows {
 			return nil, fmt.Errorf("A2: produced %d of %d rows", n, rows)
 		}
-		return marks, nil
+		return marks, err
 	}
 
 	srsMarks, err := run(false)

@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+// TestAbortPoll drives the analyzer over a fixture living at the scoped
+// import-path suffix internal/xsort: polling loops and condition-bounded
+// loops pass, non-polling unbounded loops and channel ranges are flagged,
+// //pyro:bounded(reason) exempts, and a poll inside a nested closure does
+// not count.
+func TestAbortPoll(t *testing.T) {
+	res := runFixture(t, []*Analyzer{AbortPoll}, "./internal/xsort")
+	if want := 3; len(res.Diagnostics) != want {
+		t.Errorf("got %d diagnostics, want %d", len(res.Diagnostics), want)
+	}
+}
+
+// TestAbortPollScope checks the analyzer ignores packages outside
+// internal/xsort and internal/exec: the arena fixture is silent under it.
+func TestAbortPollScope(t *testing.T) {
+	pkgs := loadFixture(t, "./arena")
+	res, err := Run(pkgs, []*Analyzer{AbortPoll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("abortpoll fired outside its scope: %s", d)
+	}
+}

@@ -1,0 +1,25 @@
+package lint
+
+// All returns the full pyro analyzer suite in deterministic (name) order.
+// cmd/pyro-lint runs exactly this set, and the repo-wide meta-test
+// (meta_test.go) asserts the whole module is clean under it with zero
+// suppressions.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AbortPoll,
+		ArenaRelease,
+		Determinism,
+		ErrWrap,
+		TapCharge,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMalformedAnnotations loads a fixture whose pyro annotations are all
+// broken — empty reason, unknown kind, nolint without an analyzer — and
+// checks each surfaces as an invalid-annotation diagnostic instead of
+// being silently inert.
+func TestMalformedAnnotations(t *testing.T) {
+	pkgs := loadFixture(t, "./badannot")
+	res, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("unexpected analyzer diagnostics: %v", res.Diagnostics)
+	}
+	wantInvalid := []string{
+		"requires a non-empty reason",
+		`unknown pyro annotation kind "fearless"`,
+		"must name an analyzer",
+	}
+	if got, want := len(res.Invalid), len(wantInvalid); got != want {
+		t.Fatalf("invalid annotations: got %d, want %d: %v", got, want, res.Invalid)
+	}
+	for _, substr := range wantInvalid {
+		found := false
+		for _, d := range res.Invalid {
+			if strings.Contains(d.Message, substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no invalid-annotation diagnostic containing %q in %v", substr, res.Invalid)
+		}
+	}
+	if !res.Failed() {
+		t.Error("malformed annotations must fail the gate")
+	}
+}
+
+// TestParseAnnotationBody pins the annotation grammar.
+func TestParseAnnotationBody(t *testing.T) {
+	cases := []struct {
+		body     string
+		kind     string
+		analyzer string
+		reason   string
+		wantErr  string
+	}{
+		{body: "bounded(heap sift is O(log n))", kind: "bounded", reason: "heap sift is O(log n)"},
+		{body: "unordered(drain only)", kind: "unordered", reason: "drain only"},
+		{body: "nolint:errwrap(justified)", kind: "nolint", analyzer: "errwrap", reason: "justified"},
+		{body: "bounded()", wantErr: "non-empty reason"},
+		{body: "bounded( )", wantErr: "non-empty reason"},
+		{body: "bounded", wantErr: "malformed"},
+		{body: "nolint:(why)", wantErr: "must name an analyzer"},
+		{body: "mystery(why)", wantErr: "unknown pyro annotation kind"},
+	}
+	for _, tc := range cases {
+		ann, err := parseAnnotationBody(tc.body)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("parseAnnotationBody(%q): err %v, want containing %q", tc.body, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseAnnotationBody(%q): %v", tc.body, err)
+			continue
+		}
+		if ann.Kind != tc.kind || ann.Analyzer != tc.analyzer || ann.Reason != tc.reason {
+			t.Errorf("parseAnnotationBody(%q) = {%q %q %q}, want {%q %q %q}",
+				tc.body, ann.Kind, ann.Analyzer, ann.Reason, tc.kind, tc.analyzer, tc.reason)
+		}
+	}
+}

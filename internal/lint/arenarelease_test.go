@@ -1,0 +1,15 @@
+package lint
+
+import "testing"
+
+// TestArenaRelease drives the analyzer over the fixture package, which
+// includes a reconstruction of the PR 8 MRS adopt leak (inline-only
+// Release with a fallible call in between) alongside the accepted shapes:
+// plain defer, defer guarded by an ownership flag, and every form of
+// ownership transfer.
+func TestArenaRelease(t *testing.T) {
+	res := runFixture(t, []*Analyzer{ArenaRelease}, "./arena")
+	if want := 5; len(res.Diagnostics) != want {
+		t.Errorf("got %d diagnostics, want %d", len(res.Diagnostics), want)
+	}
+}

@@ -1,0 +1,22 @@
+package lint
+
+import "testing"
+
+// TestDeterminism drives the analyzer over a fixture at the scoped suffix
+// internal/cost: time.Now/time.Since, a math/rand import and a bare map
+// range are flagged; the annotated collect-sort-range shape passes.
+func TestDeterminism(t *testing.T) {
+	res := runFixture(t, []*Analyzer{Determinism}, "./internal/cost")
+	if want := 4; len(res.Diagnostics) != want {
+		t.Errorf("got %d diagnostics, want %d", len(res.Diagnostics), want)
+	}
+}
+
+// TestDeterminismScope checks wall-clock and map ranges outside the
+// scoped packages stay legal: the harness and cursor layers measure time.
+func TestDeterminismScope(t *testing.T) {
+	res := runFixture(t, []*Analyzer{Determinism}, "./freeclock")
+	for _, d := range res.Diagnostics {
+		t.Errorf("determinism fired outside its scope: %s", d)
+	}
+}

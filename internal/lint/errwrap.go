@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// ErrWrap enforces the error-propagation contract PR 8 threaded through
+// the engine: sentinel errors (storage.ErrInjectedFault, ErrNoTempSpace,
+// context.Canceled/DeadlineExceeded) must survive from the storage layer
+// to the cursor so errors.Is keeps working, and cleanup errors must not
+// vanish.
+//
+// Two rules, repo-wide on non-test files:
+//
+//  1. fmt.Errorf with an error-typed argument must use %w (or errors.Join)
+//     — formatting an error with %v/%s severs the Unwrap chain and breaks
+//     every errors.Is test downstream.
+//
+//  2. The error of a Close or Release call (any method with the canonical
+//     `func(...) error` cleanup signature) may not be silently discarded:
+//     not as a bare statement, not as `_ =`, and not as a bare `defer` —
+//     a Close failure is a leaked resource or a poisoned spill arena and
+//     must be handled or joined into the function's error (see
+//     iter.Drain).
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "wrap error causes with %w so sentinels survive to the cursor, and never " +
+		"silently discard Close/Release errors",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	for _, file := range pass.Files() {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, stmt)
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if name, ok := discardedCleanup(pass, call); ok {
+						pass.Reportf(stmt.Pos(), "error from %s is silently discarded: handle it or join it into the function's error", name)
+					}
+				}
+			case *ast.DeferStmt:
+				if name, ok := discardedCleanup(pass, stmt.Call); ok {
+					pass.Reportf(stmt.Pos(), "deferred %s discards its error: use `defer func() { err = errors.Join(err, x.%s()) }()` or handle it in the closure", name, shortName(name))
+				}
+			case *ast.GoStmt:
+				if name, ok := discardedCleanup(pass, stmt.Call); ok {
+					pass.Reportf(stmt.Pos(), "error from %s is discarded by the go statement", name)
+				}
+			case *ast.AssignStmt:
+				checkBlankCleanup(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error-typed
+// argument without a %w verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo()
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Name() != "Errorf" || pkgPathOf(obj) != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(strings.ReplaceAll(format, "%%", ""), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		argTV, ok := info.Types[arg]
+		if !ok || !isErrorType(argTV.Type) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w: the cause is severed from the Unwrap chain and sentinel checks (errors.Is) downstream stop working")
+		return
+	}
+}
+
+// discardedCleanup reports whether call is a Close/Release invocation with
+// the `func(...) error` cleanup signature whose result the surrounding
+// statement drops, returning a display name for the diagnostic.
+func discardedCleanup(pass *Pass, call *ast.CallExpr) (string, bool) {
+	info := pass.TypesInfo()
+	_, name, ok := methodCall(info, call, "Close", "Release")
+	if !ok || !returnsOnlyError(info, call) {
+		return "", false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + name, true
+		}
+	}
+	return name, true
+}
+
+// checkBlankCleanup flags `_ = x.Close()` — an explicit discard is still a
+// discard on production paths.
+func checkBlankCleanup(pass *Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+		return
+	}
+	id, ok := stmt.Lhs[0].(*ast.Ident)
+	if !ok || id.Name != "_" {
+		return
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if name, ok := discardedCleanup(pass, call); ok {
+		pass.Reportf(stmt.Pos(), "error from %s is explicitly discarded: handle it or join it into the function's error (see iter.Drain)", name)
+	}
+}
+
+// shortName returns the method part of a dotted display name.
+func shortName(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

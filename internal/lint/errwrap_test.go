@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+// TestErrWrap drives the analyzer over its fixture: %w wrapping versus a
+// severed %v, and every discard shape for a `func() error` cleanup method
+// (bare statement, blank assignment, bare defer, go statement) against
+// the accepted handled/joined forms and the void-Release exemption.
+func TestErrWrap(t *testing.T) {
+	res := runFixture(t, []*Analyzer{ErrWrap}, "./errwrapfix")
+	if want := 5; len(res.Diagnostics) != want {
+		t.Errorf("got %d diagnostics, want %d", len(res.Diagnostics), want)
+	}
+}

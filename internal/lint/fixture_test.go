@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads patterns from the fixture module at testdata/src. The
+// module is real, compilable Go (module pyrofix) whose fake
+// internal/storage and internal/iter packages satisfy the analyzers'
+// name-plus-path-suffix type matching.
+func loadFixture(t *testing.T, patterns ...string) []*Package {
+	t.Helper()
+	pkgs, err := Load("testdata/src", patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %v matched no packages", patterns)
+	}
+	return pkgs
+}
+
+// runFixture runs the analyzers over the fixture patterns and compares
+// every reported diagnostic — surviving and invalid-annotation alike —
+// against the fixtures' want comments (analysistest-style: a line
+// comment of the form "// want" followed by backquoted regexps): each
+// want must be matched by a diagnostic on its line, and each diagnostic
+// must be claimed by a want.
+func runFixture(t *testing.T, analyzers []*Analyzer, patterns ...string) *Result {
+	t.Helper()
+	pkgs := loadFixture(t, patterns...)
+	res, err := Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %v: %v", patterns, err)
+	}
+	diags := append(append([]Diagnostic{}, res.Diagnostics...), res.Invalid...)
+	checkWant(t, pkgs, diags)
+	return res
+}
+
+// wantExpectation is one backquoted regexp of one want comment.
+type wantExpectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantPatternRe = regexp.MustCompile("`([^`]+)`")
+
+// collectWants parses the want comments of the loaded root packages.
+func collectWants(t *testing.T, pkgs []*Package) []*wantExpectation {
+	t.Helper()
+	var wants []*wantExpectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					matches := wantPatternRe.FindAllStringSubmatch(text, -1)
+					if len(matches) == 0 {
+						t.Errorf("%s: want comment carries no backquoted regexp", pos)
+						continue
+					}
+					for _, m := range matches {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, m[1], err)
+							continue
+						}
+						wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWant matches diagnostics against want expectations one-to-one.
+func checkWant(t *testing.T, pkgs []*Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

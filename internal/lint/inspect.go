@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walkStack traverses the tree rooted at root, invoking fn with each node
+// and the stack of its ancestors (outermost first, not including n). If fn
+// returns false the node's children are skipped.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if !descend {
+			// ast.Inspect still expects balanced push/pop only when we
+			// descend; returning false skips both children and the nil
+			// pop call for this node.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeObject resolves the object a call expression invokes: the method
+// or function named by a selector, or the function named by a bare
+// identifier. Returns nil for indirect calls through non-identifiers.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	case *ast.Ident:
+		return info.Uses[fun]
+	}
+	return nil
+}
+
+// methodCall reports whether call invokes a method (or invocable field)
+// with one of the given names via a selector, returning the receiver
+// expression's type.
+func methodCall(info *types.Info, call *ast.CallExpr, names ...string) (recv types.Type, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return nil, "", false
+	}
+	tv, found := info.Types[sel.X]
+	if !found {
+		// Not an expression receiver (package-qualified call).
+		return nil, "", false
+	}
+	return tv.Type, sel.Sel.Name, true
+}
+
+// returnsOnlyError reports whether the call's callee has the canonical
+// cleanup signature `func(...) error` — exactly one result, of type error.
+func returnsOnlyError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	results := sig.Results()
+	if results.Len() != 1 {
+		return false
+	}
+	return isErrorType(results.At(0).Type())
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is (or implements) the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+// hasAncestor reports whether any node in stack satisfies pred.
+func hasAncestor(stack []ast.Node, pred func(ast.Node) bool) bool {
+	for _, n := range stack {
+		if pred(n) {
+			return true
+		}
+	}
+	return false
+}

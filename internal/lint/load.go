@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one loaded, parsed and type-checked package ready for
+// analysis. Only non-test files are loaded: the invariants the suite
+// encodes govern production paths (tests may discard Close errors, spin
+// bounded loops and iterate maps freely).
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	annotations []*Annotation
+	badAnnots   []Diagnostic
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go tool in dir, parses every matched
+// package's non-test files and type-checks them against gc export data, so
+// analyzers see full types.Info without any dependency beyond the Go
+// toolchain. Matched packages are returned in deterministic (import path)
+// order; their transitive dependencies are loaded as export data only.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Standard,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v in %s: %w\n%s", patterns, dir, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var roots []*listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			listed := p
+			roots = append(roots, &listed)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, root := range roots {
+		pkg, err := typeCheck(fset, imp, root)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheck parses and type-checks one listed package.
+func typeCheck(fset *token.FileSet, imp types.Importer, listed *listedPackage) (*Package, error) {
+	pkg := &Package{
+		Path: listed.ImportPath,
+		Name: listed.Name,
+		Dir:  listed.Dir,
+		Fset: fset,
+	}
+	for _, name := range listed.GoFiles {
+		file, err := parser.ParseFile(fset, filepath.Join(listed.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		pkg.Files = append(pkg.Files, file)
+		anns, bad := parseAnnotations(fset, file)
+		pkg.annotations = append(pkg.annotations, anns...)
+		pkg.badAnnots = append(pkg.badAnnots, bad...)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	typed, err := conf.Check(listed.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", listed.ImportPath, err)
+	}
+	pkg.Types = typed
+	return pkg, nil
+}
+
+// exportImporter resolves imports from the gc export data files `go list
+// -export` recorded, which the build cache guarantees exist for every
+// dependency of a successfully listed package. One underlying gc importer
+// is shared across the whole load so every package that imports, say,
+// "fmt" sees the identical *types.Package and type identity holds across
+// the analyzed packages.
+type exportImporter struct {
+	gc types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) exportImporter {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data recorded for %q", path)
+		}
+		return os.Open(file)
+	})
+	return exportImporter{gc: gc}
+}
+
+func (e exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.Import(path)
+}

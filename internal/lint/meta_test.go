@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestRepoClean is the repo-wide gate in test form: the whole module must
+// be clean under the full analyzer suite with zero pyro:nolint
+// suppressions — the same bar `make lint-pyro` (-max-suppressions 0)
+// enforces. Adding a suppression anywhere in the repo fails this test
+// until the underlying violation is fixed, which pins the suppression
+// count at zero without relying on CI configuration.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide load and type-check is not short")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate this file to find the repo root")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(thisFile)))
+
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading the repo: %v", err)
+	}
+	res, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("running the suite: %v", err)
+	}
+	for _, d := range res.Invalid {
+		t.Errorf("invalid annotation: %s", d)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("violation: %s", d)
+	}
+	for _, d := range res.Suppressed {
+		t.Errorf("suppressed violation (the repo carries zero suppressions): %s", d)
+	}
+	for _, ann := range res.Nolints {
+		t.Errorf("%s:%d: pyro:nolint suppression present (budget is zero): //pyro:nolint:%s(%s)",
+			ann.File, ann.Line, ann.Analyzer, ann.Reason)
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNolintSuppression exercises the suppression mechanism end to end:
+// a justified //pyro:nolint:errwrap(reason) moves the finding from
+// Diagnostics to Suppressed while still counting in Nolints (the budget
+// the zero-suppression gate enforces), a nolint on a clean line is stale,
+// and a nolint naming an unknown analyzer is invalid.
+func TestNolintSuppression(t *testing.T) {
+	pkgs := loadFixture(t, "./nolintfix")
+	res, err := Run(pkgs, []*Analyzer{ErrWrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := len(res.Suppressed), 1; got != want {
+		t.Errorf("suppressed: got %d, want %d: %v", got, want, res.Suppressed)
+	}
+	if got, want := len(res.Diagnostics), 1; got != want {
+		t.Errorf("surviving diagnostics: got %d, want %d: %v", got, want, res.Diagnostics)
+	}
+	if got, want := len(res.Nolints), 3; got != want {
+		t.Errorf("nolint count: got %d, want %d", got, want)
+	}
+	if !res.Failed() {
+		t.Error("run with a surviving diagnostic must fail the gate")
+	}
+
+	wantInvalid := []string{
+		"stale pyro:nolint:errwrap",
+		`unknown analyzer "nosuchcheck"`,
+	}
+	if got, want := len(res.Invalid), len(wantInvalid); got != want {
+		t.Fatalf("invalid annotations: got %d, want %d: %v", got, want, res.Invalid)
+	}
+	for _, substr := range wantInvalid {
+		found := false
+		for _, d := range res.Invalid {
+			if strings.Contains(d.Message, substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no invalid-annotation diagnostic containing %q in %v", substr, res.Invalid)
+		}
+	}
+}

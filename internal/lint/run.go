@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Result is the outcome of running a set of analyzers over a set of
+// packages.
+type Result struct {
+	// Diagnostics are the surviving findings, sorted by position. A clean
+	// run has none.
+	Diagnostics []Diagnostic
+	// Suppressed are findings removed by a matching pyro:nolint
+	// annotation. They are kept visible so the suppression count can be
+	// audited: the repo-wide meta-test pins it at zero.
+	Suppressed []Diagnostic
+	// Nolints are all pyro:nolint annotations seen, whether or not they
+	// matched a finding. The zero-suppression gate counts these, so a
+	// stale nolint cannot hide in a file whose finding was since fixed.
+	Nolints []*Annotation
+	// Invalid are malformed or stale annotations, reported as
+	// diagnostics under the "annotation" analyzer name.
+	Invalid []Diagnostic
+}
+
+// Failed reports whether the run should fail a gate: any surviving
+// diagnostic or invalid annotation.
+func (r *Result) Failed() bool {
+	return len(r.Diagnostics) > 0 || len(r.Invalid) > 0
+}
+
+// Run applies every analyzer to every package, resolves pyro:nolint
+// suppressions, and validates annotations: nolint must name a known
+// analyzer and match a finding, and bounded/unordered annotations must
+// have been consumed by their analyzer (when it ran) or they are stale.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	res := &Result{}
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		res.Invalid = append(res.Invalid, pkg.badAnnots...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			name := a.Name
+			pass.Reportf = func(pos token.Pos, format string, args ...any) {
+				raw = append(raw, Diagnostic{
+					Analyzer: name,
+					Position: pkg.Fset.Position(pos),
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	// Resolve suppressions: a nolint annotation for the diagnostic's
+	// analyzer on the diagnostic's line (or the line above) removes it.
+	for _, d := range raw {
+		if ann := matchNolint(pkgs, d); ann != nil {
+			ann.used = true
+			res.Suppressed = append(res.Suppressed, d)
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+
+	// Annotation hygiene: count every nolint, flag unknown analyzer names
+	// and stale bounded/unordered annotations nothing consumed.
+	for _, pkg := range pkgs {
+		for _, ann := range pkg.annotations {
+			switch ann.Kind {
+			case "nolint":
+				res.Nolints = append(res.Nolints, ann)
+				if !known[ann.Analyzer] {
+					res.Invalid = append(res.Invalid, annotationDiag(pkg, ann,
+						"pyro:nolint names unknown analyzer %q", ann.Analyzer))
+				} else if !ann.used {
+					res.Invalid = append(res.Invalid, annotationDiag(pkg, ann,
+						"stale pyro:nolint:%s: no %s finding on this line — delete it", ann.Analyzer, ann.Analyzer))
+				}
+			case "bounded":
+				if known["abortpoll"] && !ann.used {
+					res.Invalid = append(res.Invalid, annotationDiag(pkg, ann,
+						"stale pyro:bounded: not attached to an unbounded loop — delete it"))
+				}
+			case "unordered":
+				if known["determinism"] && !ann.used {
+					res.Invalid = append(res.Invalid, annotationDiag(pkg, ann,
+						"stale pyro:unordered: not attached to a map range in a determinism-scoped package — delete it"))
+				}
+			}
+		}
+	}
+
+	sortDiags(res.Diagnostics)
+	sortDiags(res.Suppressed)
+	sortDiags(res.Invalid)
+	return res, nil
+}
+
+func matchNolint(pkgs []*Package, d Diagnostic) *Annotation {
+	for _, pkg := range pkgs {
+		for _, ann := range pkg.annotations {
+			if ann.Kind != "nolint" || ann.Analyzer != d.Analyzer || ann.File != d.Position.Filename {
+				continue
+			}
+			if ann.Line == d.Position.Line || ann.Line == d.Position.Line-1 {
+				return ann
+			}
+		}
+	}
+	return nil
+}
+
+func annotationDiag(pkg *Package, ann *Annotation, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Analyzer: "annotation",
+		Position: pkg.Fset.Position(ann.Pos),
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

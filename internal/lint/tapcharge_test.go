@@ -1,0 +1,22 @@
+package lint
+
+import "testing"
+
+// TestTapCharge drives the analyzer over a fixture at the engine suffix
+// internal/exec: os.Create/os.ReadFile and os.File.Write are flagged,
+// storage-routed spills and non-file os calls (os.Getenv) pass.
+func TestTapCharge(t *testing.T) {
+	res := runFixture(t, []*Analyzer{TapCharge}, "./internal/exec")
+	if want := 3; len(res.Diagnostics) != want {
+		t.Errorf("got %d diagnostics, want %d", len(res.Diagnostics), want)
+	}
+}
+
+// TestTapChargeExemptsStorage checks the boundary package itself may use
+// the os file API: it is the layer that charges the ledger.
+func TestTapChargeExemptsStorage(t *testing.T) {
+	res := runFixture(t, []*Analyzer{TapCharge}, "./internal/storage")
+	for _, d := range res.Diagnostics {
+		t.Errorf("tapcharge fired inside the exempt storage package: %s", d)
+	}
+}

@@ -1,0 +1,89 @@
+// Package arena exercises the arenarelease analyzer. Each function is one
+// self-contained case; `want` comments pin the expected diagnostics.
+package arena
+
+import "pyrofix/internal/storage"
+
+// adoptLeak reconstructs the MRS adopt leak the PR 8 fault sweep caught
+// dynamically: the only Release is inline, so the early return on pump
+// failure (or a panic inside pump) leaks the arena's temp files.
+func adoptLeak(d *storage.Disk, pump func() error) error {
+	a := d.NewArena("segment") // want `arena Release is not deferred`
+	if err := pump(); err != nil {
+		return err // the arena is still live here
+	}
+	a.Release()
+	return nil
+}
+
+// adoptFixed is the shape the analyzer accepts — the PR 8 fix: release in
+// a defer, guarded by an ownership flag because the happy path hands the
+// arena off.
+func adoptFixed(d *storage.Disk, pump func() error, handoff func(*storage.SpillArena)) error {
+	a := d.NewArena("segment")
+	owned := true
+	defer func() {
+		if owned {
+			a.Release()
+		}
+	}()
+	if err := pump(); err != nil {
+		return err
+	}
+	owned = false
+	handoff(a)
+	return nil
+}
+
+// inlineOnly releases on the straight-line path only: still flagged,
+// because any panic between creation and Release leaks.
+func inlineOnly(d *storage.Disk) {
+	a := d.NewArena("tmp") // want `arena Release is not deferred`
+	a.Release()
+}
+
+// discarded throws the arena away at birth.
+func discarded(d *storage.Disk) {
+	d.NewArena("scratch") // want `result of Disk.NewArena is discarded`
+}
+
+// discardedBlank is the same leak spelled with the blank identifier.
+func discardedBlank(d *storage.Disk) {
+	_ = d.NewArenaTapped("scratch", nil) // want `result of Disk.NewArenaTapped is discarded`
+}
+
+// neverReleased binds the arena but neither releases nor hands it off.
+func neverReleased(d *storage.Disk) {
+	a := d.NewArena("scratch") // want `arena is never released and never escapes`
+	if a == nil {
+		return
+	}
+}
+
+// deferredRelease is the canonical clean shape.
+func deferredRelease(d *storage.Disk, fill func(*storage.SpillArena) error) error {
+	a := d.NewArena("spill")
+	defer a.Release()
+	return fill(a)
+}
+
+// returned transfers ownership to the caller at birth.
+func returned(d *storage.Disk) *storage.SpillArena {
+	return d.NewArena("handoff")
+}
+
+// runSet owns an arena across calls; its lifecycle releases it.
+type runSet struct {
+	arena *storage.SpillArena
+}
+
+// stored transfers ownership into a structure.
+func stored(d *storage.Disk, rs *runSet) {
+	rs.arena = d.NewArenaTapped("spool", nil)
+}
+
+// passed transfers ownership to another function.
+func passed(d *storage.Disk, adopt func(*storage.SpillArena)) {
+	a := d.NewArena("adopted")
+	adopt(a)
+}

@@ -1,0 +1,28 @@
+// Package badannot carries malformed pyro annotations: the loader turns
+// each into an "annotation" diagnostic so a typo fails the gate instead
+// of leaving the annotation silently inert.
+package badannot
+
+// emptyReason omits the mandatory reason.
+func emptyReason() {
+	//pyro:bounded()
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}
+
+// unknownKind is not a recognized annotation kind.
+func unknownKind() {
+	//pyro:fearless(the loop is fine)
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}
+
+// missingAnalyzer omits the analyzer name from a nolint.
+func missingAnalyzer() {
+	//pyro:nolint:(some reason)
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}

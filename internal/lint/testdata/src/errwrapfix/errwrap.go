@@ -1,0 +1,79 @@
+// Package errwrapfix exercises the errwrap analyzer: %w wrapping and the
+// no-silent-discard rule for Close/Release cleanup errors.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Closer has the canonical `func() error` cleanup signature.
+type Closer struct{}
+
+// Close reports cleanup failure.
+func (*Closer) Close() error { return nil }
+
+// Releaser has a void Release, like storage.SpillArena: not a cleanup
+// signature the analyzer tracks, so discarding it is fine.
+type Releaser struct{}
+
+// Release frees without an error.
+func (*Releaser) Release() {}
+
+// wrapped is clean: the cause stays on the Unwrap chain.
+func wrapped(err error) error {
+	return fmt.Errorf("open run file: %w", err)
+}
+
+// severed formats the cause away: errors.Is stops working downstream.
+func severed(err error) error {
+	return fmt.Errorf("open run file: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+// formatted is clean: no error-typed argument (and %% is not a verb).
+func formatted(n int) error {
+	return fmt.Errorf("bad fan-in %d (over 100%% of budget)", n)
+}
+
+// discardedStmt drops the cleanup error on the floor.
+func discardedStmt(c *Closer) {
+	c.Close() // want `error from c.Close is silently discarded`
+}
+
+// discardedBlank discards explicitly: still a discard on production paths.
+func discardedBlank(c *Closer) {
+	_ = c.Close() // want `error from c.Close is explicitly discarded`
+}
+
+// discardedDefer is the classic bare defer.
+func discardedDefer(c *Closer) error {
+	defer c.Close() // want `deferred c.Close discards its error`
+	return nil
+}
+
+// discardedGo loses the error with the goroutine.
+func discardedGo(c *Closer) {
+	go c.Close() // want `error from c.Close is discarded by the go statement`
+}
+
+// handled is clean: the error is checked.
+func handled(c *Closer) error {
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("close run file: %w", err)
+	}
+	return nil
+}
+
+// joined is the clean deferred shape: the cleanup error joins the
+// function's error.
+func joined(c *Closer) (err error) {
+	defer func() { err = errors.Join(err, c.Close()) }()
+	return nil
+}
+
+// voidRelease is clean: Release returns nothing, there is no error to
+// discard.
+func voidRelease(r *Releaser) {
+	defer r.Release()
+	r.Release()
+}

@@ -1,0 +1,20 @@
+// Package freeclock uses wall-clock and map iteration outside the
+// determinism scope: the analyzer must not fire here — the harness and
+// cursor layers measure time legitimately.
+package freeclock
+
+import "time"
+
+// Stamp returns the current time.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Sum folds a map in iteration order; fine outside the scoped packages.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

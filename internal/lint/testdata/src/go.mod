@@ -1,0 +1,3 @@
+module pyrofix
+
+go 1.24

@@ -1,0 +1,40 @@
+// Package exec exercises the tapcharge analyzer. The fixture lives at the
+// scoped import-path suffix internal/exec, an engine package where direct
+// os file I/O bypasses the IOStats ledger and per-query taps.
+package exec
+
+import (
+	"os"
+
+	"pyrofix/internal/storage"
+)
+
+// spoolToFile bypasses the ledger twice: the open and the write are both
+// invisible to IOStats, the taps, the bench gate and the fault plane.
+func spoolToFile(path string, page []byte) error {
+	f, err := os.Create(path) // want `direct file I/O \(os\.Create\)`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(page); err != nil { // want `direct os\.File\.Write`
+		return err
+	}
+	return f.Close()
+}
+
+// readPages reads a file wholesale without charging anything.
+func readPages(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `direct file I/O \(os\.ReadFile\)`
+}
+
+// spoolToArena is the clean path: pages move through the storage layer,
+// which charges the ledger and the query's tap.
+func spoolToArena(d *storage.Disk) {
+	a := d.NewArena("spool")
+	defer a.Release()
+}
+
+// envRead is clean: os.Getenv is not file I/O.
+func envRead() string {
+	return os.Getenv("PYRO_TRACE")
+}

@@ -1,0 +1,21 @@
+// Package iter is a fixture double for pyro's iterator package: the Guard
+// type the abortpoll analyzer recognizes by name and import-path suffix.
+package iter
+
+// Guard is a strided abort-poll guard.
+type Guard struct {
+	poll func() error
+}
+
+// NewGuard returns a guard over poll.
+func NewGuard(poll func() error) Guard {
+	return Guard{poll: poll}
+}
+
+// Check polls the abort hook.
+func (g *Guard) Check() error {
+	if g.poll == nil {
+		return nil
+	}
+	return g.poll()
+}

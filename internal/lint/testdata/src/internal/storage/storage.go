@@ -1,0 +1,38 @@
+// Package storage is a fixture double for pyro's storage layer: just
+// enough surface (Disk, SpillArena, Tap) for the analyzers' type-based
+// matching, which identifies types by name plus import-path suffix. It is
+// also the tapcharge clean case: the storage package is the I/O boundary
+// and may use the os file API freely.
+package storage
+
+import "os"
+
+// Disk stands in for the simulated block device.
+type Disk struct{}
+
+// SpillArena stands in for a spill arena. Release returns nothing, like
+// the real arena, so discarding it never trips errwrap.
+type SpillArena struct{}
+
+// Release frees the arena's pages.
+func (*SpillArena) Release() {}
+
+// Tap stands in for a per-query I/O tap.
+type Tap struct{}
+
+// NewArena creates an arena charging the device ledger.
+func (*Disk) NewArena(name string) *SpillArena {
+	_ = name
+	return &SpillArena{}
+}
+
+// NewArenaTapped creates an arena charging a per-query tap as well.
+func (*Disk) NewArenaTapped(name string, tap *Tap) *SpillArena {
+	_, _ = name, tap
+	return &SpillArena{}
+}
+
+// Dump writes a debug snapshot; direct os I/O is legitimate here.
+func (*Disk) Dump(path string) error {
+	return os.WriteFile(path, []byte("disk"), 0o644)
+}

@@ -1,0 +1,101 @@
+// Package xsort exercises the abortpoll analyzer. The fixture lives at
+// the scoped import-path suffix internal/xsort, where every unbounded
+// loop must poll the abort guard or carry //pyro:bounded(reason).
+package xsort
+
+import "pyrofix/internal/iter"
+
+// Config mirrors the real sort config's abort hook.
+type Config struct {
+	Abort func() error
+}
+
+// drainPolling is clean: the unbounded loop polls the guard every
+// iteration.
+func drainPolling(next func() (int, bool), poll func() error) error {
+	g := iter.NewGuard(poll)
+	for {
+		if err := g.Check(); err != nil {
+			return err
+		}
+		if _, ok := next(); !ok {
+			return nil
+		}
+	}
+}
+
+// drainNoPoll is the violation: an input-sized loop with no poll, so a
+// cancellation cannot reach it until the input is exhausted.
+func drainNoPoll(next func() (int, bool)) int {
+	n := 0
+	for { // want `unbounded loop does not poll the abort guard`
+		if _, ok := next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// drainAbortHook is clean: invoking the abort hook directly is a poll.
+func drainAbortHook(cfg Config, next func() (int, bool)) error {
+	for {
+		if err := cfg.Abort(); err != nil {
+			return err
+		}
+		if _, ok := next(); !ok {
+			return nil
+		}
+	}
+}
+
+// siftBounded is clean via annotation: the loop does bounded work.
+func siftBounded(heap []int, i int) {
+	//pyro:bounded(descends one heap level per iteration)
+	for {
+		l := 2*i + 1
+		if l >= len(heap) {
+			return
+		}
+		i = l
+	}
+}
+
+// drainChannel ranges over a channel without polling: unbounded, since
+// the channel can deliver an input-sized stream.
+func drainChannel(ch chan int) int {
+	n := 0
+	for range ch { // want `unbounded loop does not poll the abort guard`
+		n++
+	}
+	return n
+}
+
+// drainSlice is clean: ranging over a slice is bounded by its length.
+func drainSlice(items []int) int {
+	n := 0
+	for range items {
+		n++
+	}
+	return n
+}
+
+// countBounded is clean: the condition clause bounds the loop.
+func countBounded(items []int) int {
+	n := 0
+	for i := 0; i < len(items); i++ {
+		n++
+	}
+	return n
+}
+
+// closurePoll shows a poll hiding inside a nested function literal: it
+// does not satisfy the rule, because nothing guarantees the closure runs.
+func closurePoll(g *iter.Guard, next func() (int, bool)) {
+	for { // want `unbounded loop does not poll the abort guard`
+		check := func() error { return g.Check() }
+		_ = check
+		if _, ok := next(); !ok {
+			return
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package nolintfix exercises the pyro:nolint suppression mechanism: a
+// justified suppression moves the finding to Result.Suppressed (and still
+// counts toward the suppression budget), a nolint on a clean line is
+// flagged as stale, and a nolint naming an unknown analyzer is invalid.
+package nolintfix
+
+import "fmt"
+
+// suppressed carries a justified suppression.
+func suppressed(err error) error {
+	//pyro:nolint:errwrap(fixture: demonstrating suppression)
+	return fmt.Errorf("sealed: %v", err)
+}
+
+// unsuppressed is the same violation without the annotation.
+func unsuppressed(err error) error {
+	return fmt.Errorf("sealed: %v", err)
+}
+
+// stale suppresses a line with no finding: the driver flags the
+// annotation itself.
+func stale(err error) error {
+	//pyro:nolint:errwrap(fixture: nothing to suppress here)
+	return fmt.Errorf("sealed: %w", err)
+}
+
+// unknownAnalyzer names an analyzer that does not exist.
+func unknownAnalyzer(err error) error {
+	//pyro:nolint:nosuchcheck(fixture: unknown analyzer)
+	return fmt.Errorf("sealed: %w", err)
+}

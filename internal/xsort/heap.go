@@ -110,6 +110,7 @@ func (h *runHeap) siftUp(i int) {
 
 func (h *runHeap) siftDown(i int) {
 	n := len(h.heap)
+	//pyro:bounded(heap sift descends one level per iteration: at most log2(len(heap)) steps)
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i

@@ -55,6 +55,7 @@ func (m *runMerger) less(i, j int) bool {
 
 func (m *runMerger) siftDown(i int) {
 	n := len(m.cursors)
+	//pyro:bounded(heap sift descends one level per iteration: at most log2(fan-in) steps)
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i

@@ -269,6 +269,7 @@ func (m *MRS) Next() (types.Tuple, bool, error) {
 	if m.pumpErr != nil {
 		return nil, false, m.pumpErr
 	}
+	//pyro:bounded(each iteration emits a tuple or retires/adopts one segment, and emit/pump poll the abort guard internally)
 	for {
 		// Serve from the segment at the head of the pipeline.
 		if m.cur != nil {

@@ -32,6 +32,7 @@ package pyro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -487,8 +488,7 @@ func (db *Database) Execute(p *Plan) (*Rows, error) {
 		out.Data = append(out.Data, cur.Row())
 	}
 	if err := cur.Err(); err != nil {
-		_ = cur.Close() // the drain error is the one to report
-		return nil, err
+		return nil, errors.Join(err, cur.Close())
 	}
 	return out, cur.Close()
 }
