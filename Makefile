@@ -8,7 +8,7 @@ ABCOUNT ?= 1
 ABTIME ?= 1x
 # The A/B benchmark set: every arm that reports the deterministic work
 # counters (comparisons, radix passes, page I/O) bench-gate diffs.
-ABBENCH = 'RunFormation|SortKeys|TimeToFirstRow|TopKPlanned|Throughput'
+ABBENCH = 'RunFormation|SortKeys|TimeToFirstRow|TopKPlanned|Throughput|EntryLayout'
 # bench-gate tolerance in percent. The gated counters are deterministic,
 # so the slack only absorbs float formatting, not machine variance.
 TOLERANCE ?= 2

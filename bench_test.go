@@ -121,13 +121,17 @@ func reportCursorCounters(b *testing.B, db *Database, plan *Plan, pull int, opts
 		b.Fatal(err)
 	}
 	st := cur.Stats()
-	var comps, radix int64
+	var comps, radix, skips, pages int64
 	for _, s := range st.Sorts {
 		comps += s.Comparisons
 		radix += s.RadixPasses
+		skips += s.MergeBucketSkips
+		pages += s.FlatRunPages
 	}
 	b.ReportMetric(float64(comps), "comparisons/op")
 	b.ReportMetric(float64(radix), "radix-passes/op")
+	b.ReportMetric(float64(skips), "merge-bucket-skips/op")
+	b.ReportMetric(float64(pages), "flat-run-pages/op")
 	b.ReportMetric(float64(st.IO.PageReads+st.IO.PageWrites), "io-pages/op")
 	b.ReportMetric(float64(st.IO.RunPageReads+st.IO.RunPageWrites), "run-pages/op")
 }
@@ -140,6 +144,8 @@ func reportSortCounters(b *testing.B, st xsort.SortStats, io storage.IOStats) {
 	b.Helper()
 	b.ReportMetric(float64(st.Comparisons), "comparisons/op")
 	b.ReportMetric(float64(st.RadixPasses), "radix-passes/op")
+	b.ReportMetric(float64(st.MergeBucketSkips), "merge-bucket-skips/op")
+	b.ReportMetric(float64(st.FlatRunPages), "flat-run-pages/op")
 	b.ReportMetric(float64(io.PageReads+io.PageWrites), "io-pages/op")
 	b.ReportMetric(float64(io.RunPageReads+io.RunPageWrites), "run-pages/op")
 }
@@ -912,4 +918,76 @@ func BenchmarkMergeJoinExec(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSpilledMergeEntryLayout is the fixed-width-entry A/B: the same
+// spilled sort under the three spill layouts. flat is the shipping
+// configuration (fixed-width entry runs, radix-aware cascade merge);
+// flat-heap isolates the cascade by merging identical entry runs with a
+// plain comparison heap; tuple is the legacy payload-only format. Output
+// order is byte-identical across arms (the golden tests pin it); the gated
+// counters show the trade — comparisons/op drops on flat versus both
+// ablations, flat-run-pages/op and the page counters carry the entry-file
+// I/O the flat layouts pay for it.
+func BenchmarkSpilledMergeEntryLayout(b *testing.B) {
+	srsRows := keyBenchRows(50_000, 100)
+	mrsRows := keyBenchRows(50_000, 4)
+	layouts := []struct {
+		name string
+		lay  xsort.EntryLayout
+	}{{"flat", xsort.LayoutFlat}, {"flat-heap", xsort.LayoutFlatHeap}, {"tuple", xsort.LayoutTuple}}
+
+	b.Run("srs", func(b *testing.B) {
+		for _, arm := range layouts {
+			b.Run(arm.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var st xsort.SortStats
+				var io storage.IOStats
+				for i := 0; i < b.N; i++ {
+					d := storage.NewDisk(0)
+					s, err := xsort.NewSRS(iter.FromSlice(srsRows), sortBenchSchema,
+						sortord.New("c3", "c2", "c1"),
+						xsort.Config{Disk: d, MemoryBlocks: 256, EntryLayout: arm.lay})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := iter.Drain(s); err != nil {
+						b.Fatal(err)
+					}
+					if s.Stats().RunsGenerated == 0 {
+						b.Fatal("workload must spill")
+					}
+					st, io = *s.Stats(), d.Stats()
+				}
+				reportSortCounters(b, st, io)
+			})
+		}
+	})
+
+	b.Run("mrs", func(b *testing.B) {
+		for _, arm := range layouts {
+			b.Run(arm.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var st xsort.SortStats
+				var io storage.IOStats
+				for i := 0; i < b.N; i++ {
+					d := storage.NewDisk(0)
+					m, err := xsort.NewMRS(iter.FromSlice(mrsRows), sortBenchSchema,
+						sortord.New("c1", "c3", "c2"), sortord.New("c1"),
+						xsort.Config{Disk: d, MemoryBlocks: 64, Parallelism: 1, SpillParallelism: 1, EntryLayout: arm.lay})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := iter.Drain(m); err != nil {
+						b.Fatal(err)
+					}
+					if m.Stats().SpilledSegs == 0 {
+						b.Fatal("workload must spill")
+					}
+					st, io = *m.Stats(), d.Stats()
+				}
+				reportSortCounters(b, st, io)
+			})
+		}
+	})
 }

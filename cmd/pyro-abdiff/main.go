@@ -36,10 +36,12 @@ import (
 // gateMetrics are the units the -baseline gate compares. Everything else
 // (ns/op, B/op, latency percentiles) is informational only.
 var gateMetrics = map[string]bool{
-	"comparisons/op":  true,
-	"radix-passes/op": true,
-	"io-pages/op":     true,
-	"run-pages/op":    true,
+	"comparisons/op":        true,
+	"radix-passes/op":       true,
+	"merge-bucket-skips/op": true,
+	"flat-run-pages/op":     true,
+	"io-pages/op":           true,
+	"run-pages/op":          true,
 	// Throughput arms report the exact drained row count; row and chunk
 	// executor paths must agree on it bit for bit.
 	"rows/op": true,

@@ -41,6 +41,11 @@ type BuildConfig struct {
 	// package comment for the one caveat (SRS emission order of tuples
 	// with duplicate full sort keys).
 	SortRunFormation xsort.RunFormation
+	// SortEntryLayout selects the spill-run representation: flat
+	// fixed-width entry runs merged radix-aware (default), flat runs under
+	// a comparison heap, or the legacy tuple-only format. Invisible in the
+	// result rows; changes spill I/O shape and merge comparison counts.
+	SortEntryLayout xsort.EntryLayout
 	// IOTap, when non-nil, receives a copy of every I/O charge this plan's
 	// operators cause — scans, deferred fetches, nested-loops spools, and
 	// sort spill arenas all charge it alongside the device ledger. The
@@ -104,6 +109,7 @@ func build(p *Plan, cfg BuildConfig) (exec.Operator, error) {
 		SpillParallelism: cfg.SortSpillParallelism,
 		Keys:             cfg.SortKeys,
 		RunFormation:     cfg.SortRunFormation,
+		EntryLayout:      cfg.SortEntryLayout,
 		Abort:            cfg.SortAbort,
 		Tap:              cfg.IOTap,
 		BatchSize:        cfg.ExecBatchSize,

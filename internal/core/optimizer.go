@@ -187,6 +187,43 @@ func scaleBudget(k, outRows, inRows int64) int64 {
 	return scaled
 }
 
+// mergeSideBudget translates a row budget through one side of a merge join
+// at key granularity instead of raw row ratio: a consumer that stops after
+// k of the join's outRows rows has advanced past about k·D_out/outRows
+// distinct join keys, and the side will have been pulled through that many
+// of its own key groups — keys·sideRows/D_side rows. Under uniform per-key
+// multiplicities this reduces to scaleBudget's row ratio; when the sides'
+// multiplicities differ (one side near-unique, the other heavily
+// duplicated — the correlated-key case) the row ratio over-budgets the
+// duplicated side and starves the unique one, and the key-granularity
+// split prices each side by what the merge actually consumes. Degenerate
+// distinct or row estimates fall back to the row-ratio scaling.
+func mergeSideBudget(k int64, props logical.Props, joinKey []string, side logical.Props, sideKey []string) int64 {
+	if k <= 0 {
+		return 0
+	}
+	dOut := props.DistinctOn(joinKey)
+	dSide := side.DistinctOn(sideKey)
+	if dOut <= 0 || dSide <= 0 || props.Rows <= 0 || side.Rows <= 0 {
+		return scaleBudget(k, props.Rows, side.Rows)
+	}
+	if k >= props.Rows {
+		return side.Rows
+	}
+	keys := (k*dOut + props.Rows - 1) / props.Rows
+	if keys < 1 {
+		keys = 1
+	}
+	rows := (keys*side.Rows + dSide - 1) / dSide
+	if rows < 1 {
+		rows = 1
+	}
+	if rows > side.Rows {
+		rows = side.Rows
+	}
+	return rows
+}
+
 // blocksFor estimates B(e) for a plan node's actual schema width.
 func (opt *Optimizer) blocksFor(rows int64, width int) int64 {
 	if rows == 0 {
@@ -751,8 +788,9 @@ func (opt *Optimizer) joinCandidates(j *logical.Join, required sortord.Order, bu
 
 // mergeJoinPlan builds one merge-join candidate for permutation p (left
 // names), wrapping residual predicates in a Filter. A merge join streams
-// both inputs, so the budget scales through to each side by its
-// cardinality.
+// both inputs, so the budget scales through to each side — split at join
+// key granularity (mergeSideBudget), so sides with asymmetric per-key
+// multiplicities are each budgeted by what the merge actually pulls.
 func (opt *Optimizer) mergeJoinPlan(j *logical.Join, p sortord.Order, props logical.Props, budget int64) (*Plan, error) {
 	rightKey := make(sortord.Order, len(p))
 	for i, a := range p {
@@ -762,11 +800,11 @@ func (opt *Optimizer) mergeJoinPlan(j *logical.Join, p sortord.Order, props logi
 		}
 		rightKey[i] = r
 	}
-	lp, err := opt.bestPlan(j.Left, p, scaleBudget(budget, props.Rows, j.Left.Props().Rows))
+	lp, err := opt.bestPlan(j.Left, p, mergeSideBudget(budget, props, p, j.Left.Props(), p))
 	if err != nil {
 		return nil, err
 	}
-	rp, err := opt.bestPlan(j.Right, rightKey, scaleBudget(budget, props.Rows, j.Right.Props().Rows))
+	rp, err := opt.bestPlan(j.Right, rightKey, mergeSideBudget(budget, props, p, j.Right.Props(), rightKey))
 	if err != nil {
 		return nil, err
 	}

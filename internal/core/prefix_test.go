@@ -151,3 +151,43 @@ func mustOptimizeWith(t *testing.T, root logical.Node, opts Options, muts ...fun
 	}
 	return mustOptimize(t, root, opts)
 }
+
+// TestMergeSideBudget pins the key-granularity budget split of merge-join
+// inputs. The correlated-key scenario: a near-unique narrow side joins a
+// wide side whose key domain is ten times larger, so only a tenth of the
+// wide side's keys ever match. The row-ratio split (scaleBudget) budgets
+// the wide side by its share of output rows — 500 rows here — but a
+// consumer stopping after 100 of the join's 10k output rows advances past
+// just 10 join keys, which is 10 narrow rows and 50 wide rows at the
+// sides' own key densities.
+func TestMergeSideBudget(t *testing.T) {
+	key := []string{"k"}
+	out := logical.Props{Rows: 10_000, Distinct: map[string]int64{"k": 1_000}}
+	narrow := logical.Props{Rows: 1_000, Distinct: map[string]int64{"k": 1_000}}
+	wide := logical.Props{Rows: 50_000, Distinct: map[string]int64{"k": 10_000}}
+
+	if got := mergeSideBudget(100, out, key, narrow, key); got != 10 {
+		t.Fatalf("narrow side budget = %d, want 10 (10 keys x 1 row/key)", got)
+	}
+	if got := mergeSideBudget(100, out, key, wide, key); got != 50 {
+		t.Fatalf("wide side budget = %d, want 50 (10 keys x 5 rows/key)", got)
+	}
+	// The row-ratio split would have over-budgeted the wide side 10x.
+	if rr := scaleBudget(100, out.Rows, wide.Rows); rr != 500 {
+		t.Fatalf("row-ratio baseline moved: %d, want 500", rr)
+	}
+
+	// No budget propagates as no budget; a budget at or past the output
+	// cardinality degrades to the whole side.
+	if got := mergeSideBudget(0, out, key, wide, key); got != 0 {
+		t.Fatalf("zero budget = %d, want 0", got)
+	}
+	if got := mergeSideBudget(10_000, out, key, wide, key); got != wide.Rows {
+		t.Fatalf("full-drain budget = %d, want all %d side rows", got, wide.Rows)
+	}
+	// Unknown output stats degrade to the conservative unique-key
+	// assumption, which reproduces the row-ratio value here.
+	if got := mergeSideBudget(100, logical.Props{Rows: 10_000}, key, wide, key); got != 500 {
+		t.Fatalf("stat-less output budget = %d, want row-ratio 500", got)
+	}
+}

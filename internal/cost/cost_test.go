@@ -22,8 +22,18 @@ func TestFullSortInMemory(t *testing.T) {
 	}
 }
 
-func TestFullSortExternalFormula(t *testing.T) {
+// paperModel zeroes the spill-layout refinement knobs so FullSort reduces
+// to the paper's bare B·(2p + 1); the layout terms are pinned separately in
+// TestSpillLayoutPricing.
+func paperModel() Model {
 	m := DefaultModel()
+	m.SpillEntryFrac = 0
+	m.KeyEncodeWeight = 0
+	return m
+}
+
+func TestFullSortExternalFormula(t *testing.T) {
+	m := paperModel()
 	// B = 50000, M = 10000: one merge pass => B*(2*1+1) = 150000, of which
 	// the final pipelined merge read (B) streams and the passes (2B) block.
 	if got := m.FullSort(2_000_000, 50_000); got.Total != 150_000 {
@@ -176,8 +186,8 @@ func TestPrefixTopKSortFlip(t *testing.T) {
 }
 
 func TestFullSortSpillParallelism(t *testing.T) {
-	serial := DefaultModel()
-	par := DefaultModel()
+	serial := paperModel()
+	par := paperModel()
 	par.SpillParallelism = 4
 
 	// In-memory sorts are CPU-bound: spill pricing must not touch them.
@@ -193,7 +203,7 @@ func TestFullSortSpillParallelism(t *testing.T) {
 		t.Fatalf("parallel external sort = %f, want 75000", got.Total)
 	}
 	// The final merge stays whole: cost never drops below one full read.
-	huge := DefaultModel()
+	huge := paperModel()
 	huge.SpillParallelism = 1 << 20
 	if got := huge.FullSort(2_000_000, 50_000); got.Total < 50_000 {
 		t.Fatalf("cost %f fell below the final-merge read", got.Total)
@@ -204,7 +214,7 @@ func TestFullSortSpillParallelism(t *testing.T) {
 		t.Fatalf("spilling partial sort did not get cheaper: serial %f, parallel %f", s.Total, p.Total)
 	}
 	// A zero (unset) parallelism prices serially, like 1.
-	unset := DefaultModel()
+	unset := paperModel()
 	unset.SpillParallelism = 0
 	if unset.FullSort(2_000_000, 50_000).Total != 150_000 {
 		t.Fatal("unset spill parallelism must price serially")
@@ -225,12 +235,12 @@ func TestSpillPricingFlipsPlanChoice(t *testing.T) {
 		return m.HashJoinCost(rows, rows, 20_000, 20_000).Total
 	}
 
-	serial := DefaultModel()
+	serial := paperModel()
 	if sortPlan(serial) <= hashPlan(serial) {
 		t.Fatalf("serial pricing: sort plan %f should lose to hash plan %f",
 			sortPlan(serial), hashPlan(serial))
 	}
-	par := DefaultModel()
+	par := paperModel()
 	par.SpillParallelism = 4
 	if sortPlan(par) >= hashPlan(par) {
 		t.Fatalf("parallel pricing: sort plan %f should beat hash plan %f — no flip",
@@ -309,5 +319,47 @@ func TestSortCheaperWithPartialPrefixRealScenario(t *testing.T) {
 	partial := m.PartialSort(rows, blocks, 10_000, 1)
 	if partial.Total >= full.Total/10 {
 		t.Fatalf("partial (%f) should be at least 10x cheaper than full (%f)", partial.Total, full.Total)
+	}
+}
+
+// TestSpillLayoutPricing pins the layout-aware spill refinement: the flat
+// entry layouts inflate every spill transfer by the entry-file fraction,
+// the tuple layout instead pays a per-tuple key re-encode on every merge
+// read, and with both knobs zeroed the branches collapse to the same paper
+// formula.
+func TestSpillLayoutPricing(t *testing.T) {
+	rows, blocks := int64(2_000_000), int64(50_000)
+
+	flat := DefaultModel()
+	tuple := DefaultModel()
+	tuple.TupleSpillLayout = true
+
+	// Flat: one pass, B·(1+f)·(2 + 1) with f = 0.2 ⇒ 60000·3 = 180000.
+	if got := flat.FullSort(rows, blocks); got.Total != 180_000 {
+		t.Fatalf("flat external sort = %f, want 180000", got.Total)
+	}
+	// Tuple: bare I/O B·3 = 150000 plus the per-pass key work — rows ·
+	// KeyEncodeWeight on the reduction pass and again on the final merge
+	// read: 2·2M·2e-5 = 80.
+	if got := tuple.FullSort(rows, blocks); got.Total != 150_080 {
+		t.Fatalf("tuple external sort = %f, want 150080", got.Total)
+	}
+	// The tuple surcharge blocks with its pass and streams with the final
+	// merge, exactly like the I/O it rides on.
+	if got := tuple.FullSort(rows, blocks); got.Startup != 100_040 {
+		t.Fatalf("tuple external sort startup = %f, want 100040", got.Startup)
+	}
+	// In-memory sorts never touch either knob.
+	if flat.FullSort(1000, 100) != tuple.FullSort(1000, 100) {
+		t.Fatal("entry layout must not reprice in-memory sorts")
+	}
+	// Zeroed knobs: both layouts price identically at the paper formula.
+	pf, pt := paperModel(), paperModel()
+	pt.TupleSpillLayout = true
+	if pf.FullSort(rows, blocks) != pt.FullSort(rows, blocks) {
+		t.Fatal("zeroed refinement knobs must collapse the layouts")
+	}
+	if pf.FullSort(rows, blocks).Total != 150_000 {
+		t.Fatal("zeroed knobs must recover B·(2p+1)")
 	}
 }

@@ -263,6 +263,34 @@ func (g *Governor) Acquire(want int, tap *storage.Tap, abort func() error) (*Gra
 	}
 }
 
+// ExpectedGrant predicts what Acquire(want, ...) would be granted under
+// the pool's current contention, without taking anything: the ask capped
+// at the fair share among the current claimants plus this one. The
+// optimizer feeds the prediction into the cost model's M so plan choice
+// anticipates contention-induced spilling — a sort that will only be
+// granted a quarter of its ask should be priced as the external sort it
+// becomes, not the in-memory sort it would be alone. The prediction
+// mirrors Acquire's sizing, not its waiting: an exhausted pool still
+// predicts the fair share, because that is what the query eventually runs
+// with once reclaim and releases make room.
+func (g *Governor) ExpectedGrant(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	if want > g.cfg.TotalBlocks {
+		want = g.cfg.TotalBlocks
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := len(g.grants) + g.waiters + 1
+	if n > 1 {
+		if fair := g.fairShare(n); want > fair {
+			want = fair
+		}
+	}
+	return want
+}
+
 // fairShare is the per-query share of the pool among n claimants, floored
 // at the minimum useful grant and capped at the pool.
 func (g *Governor) fairShare(n int) int {

@@ -4,12 +4,14 @@ import "testing"
 
 // TestArenaRelease drives the analyzer over the fixture package, which
 // includes a reconstruction of the PR 8 MRS adopt leak (inline-only
-// Release with a fallible call in between) alongside the accepted shapes:
-// plain defer, defer guarded by an ownership flag, and every form of
-// ownership transfer.
+// Release with a fallible call in between) and the flat-run writer shape
+// (one arena backing a payload file and an entry file, with a fallible
+// entry-writer Close between creation and Release) alongside the accepted
+// shapes: plain defer, defer guarded by an ownership flag, and every form
+// of ownership transfer.
 func TestArenaRelease(t *testing.T) {
 	res := runFixture(t, []*Analyzer{ArenaRelease}, "./arena")
-	if want := 5; len(res.Diagnostics) != want {
+	if want := 6; len(res.Diagnostics) != want {
 		t.Errorf("got %d diagnostics, want %d", len(res.Diagnostics), want)
 	}
 }

@@ -3,11 +3,12 @@ package lint
 import "testing"
 
 // TestTapCharge drives the analyzer over a fixture at the engine suffix
-// internal/exec: os.Create/os.ReadFile and os.File.Write are flagged,
-// storage-routed spills and non-file os calls (os.Getenv) pass.
+// internal/exec: os.Create/os.ReadFile, os.File.Write and a flat-run
+// entry spool via os.WriteFile are flagged; storage-routed spills and
+// non-file os calls (os.Getenv) pass.
 func TestTapCharge(t *testing.T) {
 	res := runFixture(t, []*Analyzer{TapCharge}, "./internal/exec")
-	if want := 3; len(res.Diagnostics) != want {
+	if want := 4; len(res.Diagnostics) != want {
 		t.Errorf("got %d diagnostics, want %d", len(res.Diagnostics), want)
 	}
 }

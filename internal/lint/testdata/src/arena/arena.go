@@ -87,3 +87,42 @@ func passed(d *storage.Disk, adopt func(*storage.SpillArena)) {
 	a := d.NewArena("adopted")
 	adopt(a)
 }
+
+// flatRunLeak mirrors the flat-run spill writer: one arena backs both the
+// payload tuple file and the fixed-width entry file, and both writers'
+// Closes are fallible (a final partial page still has to flush).
+// Releasing inline after both closes leaks both run files when either
+// flush fails.
+func flatRunLeak(d *storage.Disk, closePayload, closeEntries func() error) error {
+	a := d.NewArenaTapped("flat-run", nil) // want `arena Release is not deferred`
+	if err := closePayload(); err != nil {
+		return err
+	}
+	if err := closeEntries(); err != nil {
+		return err // payload AND entry files stay on disk
+	}
+	a.Release()
+	return nil
+}
+
+// flatRunFixed is the accepted shape of the same writer: the deferred,
+// flag-guarded Release covers every early return across both files, and
+// ownership moves to the run set only once both closes succeed.
+func flatRunFixed(d *storage.Disk, closePayload, closeEntries func() error, adopt func(*storage.SpillArena)) error {
+	a := d.NewArenaTapped("flat-run", nil)
+	owned := true
+	defer func() {
+		if owned {
+			a.Release()
+		}
+	}()
+	if err := closePayload(); err != nil {
+		return err
+	}
+	if err := closeEntries(); err != nil {
+		return err
+	}
+	owned = false
+	adopt(a)
+	return nil
+}

@@ -38,3 +38,11 @@ func spoolToArena(d *storage.Disk) {
 func envRead() string {
 	return os.Getenv("PYRO_TRACE")
 }
+
+// spoolEntriesDirect writes the entry half of a flat spill run straight
+// through os: the pages never reach the tap, the FlatRunPages counter or
+// the fault plane, so the run looks free to the bench gate and is
+// invisible to the chaos sweep.
+func spoolEntriesDirect(path string, entries []byte) error {
+	return os.WriteFile(path, entries, 0o600) // want `direct file I/O \(os\.WriteFile\)`
+}

@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorruptRun reports an entry file and its payload tuple file falling
+// out of lockstep — they must hold the same record count by construction.
+var ErrCorruptRun = errors.New("storage: entry and payload run files out of lockstep")
+
+// EntryWriter appends fixed-size sort entries to a file, packing as many as
+// fit per page. Page layout: u16 entry count, then count back-to-back
+// records of exactly entrySize bytes — no per-record framing, so a page is
+// one memcpy-able flat array and a reader slices records out arithmetically.
+// This is the entry half of xsort's flat spill-run format (the tuple
+// payloads ride in a TupleWriter file alongside); transfers charge the
+// file's ledger and tap like any other page I/O, and write failures —
+// injected faults, temp-quota ENOSPC — are sticky exactly as in
+// TupleWriter.
+type EntryWriter struct {
+	file      *File
+	entrySize int
+	perPage   int
+	buf       []byte
+	count     int
+	entries   int64
+	pages     int64
+	err       error // first page-write failure; poisons the writer
+}
+
+// NewEntryWriter starts writing entrySize-byte records at the end of f.
+// entrySize must leave room for at least one record per page.
+func NewEntryWriter(f *File, entrySize int) *EntryWriter {
+	perPage := (f.pageSize - 2) / entrySize
+	if entrySize <= 0 || perPage < 1 {
+		panic(fmt.Sprintf("storage: entry size %d does not fit page size %d", entrySize, f.pageSize))
+	}
+	return &EntryWriter{file: f, entrySize: entrySize, perPage: perPage, buf: make([]byte, 2, f.pageSize)}
+}
+
+// Write appends one record, flushing a full page as needed. The record must
+// be exactly entrySize bytes.
+func (w *EntryWriter) Write(entry []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(entry) != w.entrySize {
+		w.err = fmt.Errorf("storage: entry of %d bytes in a %d-byte entry file", len(entry), w.entrySize)
+		return w.err
+	}
+	if w.count == w.perPage {
+		if err := w.flush(); err != nil {
+			return err
+		}
+	}
+	w.buf = append(w.buf, entry...)
+	w.count++
+	w.entries++
+	return nil
+}
+
+func (w *EntryWriter) flush() error {
+	if w.count == 0 {
+		return nil
+	}
+	binary.BigEndian.PutUint16(w.buf[:2], uint16(w.count))
+	if _, err := w.file.AppendPage(w.buf); err != nil {
+		w.err = err
+		return err
+	}
+	w.pages++
+	w.buf = w.buf[:2]
+	w.count = 0
+	return nil
+}
+
+// Close flushes the final partial page. A non-nil error means the file is
+// missing pages and must not be used; the caller owns removing it.
+func (w *EntryWriter) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.flush()
+}
+
+// EntriesWritten returns the number of records written so far.
+func (w *EntryWriter) EntriesWritten() int64 { return w.entries }
+
+// PagesWritten returns the number of entry pages flushed so far (complete
+// after Close) — the quantity xsort surfaces as SortStats.FlatRunPages.
+func (w *EntryWriter) PagesWritten() int64 { return w.pages }
+
+// EntryReader scans an entry file sequentially. Each page read charges one
+// block read, mirroring TupleReader's accounting.
+type EntryReader struct {
+	file      *File
+	entrySize int
+	page      int
+	data      []byte
+	pos       int
+	left      int
+}
+
+// NewEntryReader positions a reader of entrySize-byte records at the start
+// of f.
+func NewEntryReader(f *File, entrySize int) *EntryReader {
+	if entrySize <= 0 {
+		panic(fmt.Sprintf("storage: non-positive entry size %d", entrySize))
+	}
+	return &EntryReader{file: f, entrySize: entrySize}
+}
+
+// Next returns the next record, or ok=false at end of file. The returned
+// slice aliases the page buffer and is valid until the next Next call that
+// crosses a page; callers that hold records across reads must copy.
+func (r *EntryReader) Next() ([]byte, bool, error) {
+	for r.left == 0 {
+		if r.page >= r.file.NumPages() {
+			return nil, false, nil
+		}
+		data, err := r.file.ReadPage(r.page)
+		if err != nil {
+			return nil, false, err
+		}
+		r.page++
+		if len(data) < 2 {
+			return nil, false, fmt.Errorf("storage: malformed entry page in %q", r.file.Name())
+		}
+		r.data = data
+		r.left = int(binary.BigEndian.Uint16(data[:2]))
+		r.pos = 2
+	}
+	if r.pos+r.entrySize > len(r.data) {
+		return nil, false, fmt.Errorf("storage: truncated entry in %q page %d", r.file.Name(), r.page-1)
+	}
+	e := r.data[r.pos : r.pos+r.entrySize : r.pos+r.entrySize]
+	r.pos += r.entrySize
+	r.left--
+	return e, true, nil
+}

@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func makeEntry(size int, ord uint32) []byte {
+	e := make([]byte, size)
+	for i := range e {
+		e[i] = byte(ord) + byte(i)
+	}
+	binary.BigEndian.PutUint32(e[size-4:], ord)
+	return e
+}
+
+func TestEntryWriterReaderRoundTrip(t *testing.T) {
+	const entrySize = 24
+	d := NewDisk(256) // (256-2)/24 = 10 entries per page
+	f := d.Create("ent", KindRun)
+	w := NewEntryWriter(f, entrySize)
+	const n = 105 // 10 full pages + one partial
+	for i := 0; i < n; i++ {
+		if err := w.Write(makeEntry(entrySize, uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.EntriesWritten() != n {
+		t.Fatalf("EntriesWritten = %d, want %d", w.EntriesWritten(), n)
+	}
+	if w.PagesWritten() != 11 || f.NumPages() != 11 {
+		t.Fatalf("pages = %d/%d, want 11 (10 full + 1 partial)", w.PagesWritten(), f.NumPages())
+	}
+	r := NewEntryReader(f, entrySize)
+	for i := 0; i < n; i++ {
+		e, ok, err := r.Next()
+		if err != nil || !ok {
+			t.Fatalf("entry %d: ok=%v err=%v", i, ok, err)
+		}
+		if len(e) != entrySize {
+			t.Fatalf("entry %d: len %d, want %d", i, len(e), entrySize)
+		}
+		if got := binary.BigEndian.Uint32(e[entrySize-4:]); got != uint32(i) {
+			t.Fatalf("entry %d: ordinal %d", i, got)
+		}
+		// The returned slice must be capacity-capped: appending to it must
+		// not scribble over the following entry in the page buffer.
+		_ = append(e, 0xFF)
+	}
+	if _, ok, err := r.Next(); ok || err != nil {
+		t.Fatalf("EOF: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestEntryWriterSizeContract(t *testing.T) {
+	d := NewDisk(256)
+	w := NewEntryWriter(d.Create("ent", KindRun), 16)
+	if err := w.Write(make([]byte, 15)); err == nil {
+		t.Fatal("short entry accepted")
+	}
+	// The size error is sticky: the writer is poisoned, like TupleWriter.
+	if err := w.Write(make([]byte, 16)); err == nil {
+		t.Fatal("write after error accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("entry larger than a page must panic at construction")
+		}
+	}()
+	NewEntryWriter(d.Create("big", KindRun), 255)
+}
+
+// TestEntryFileFaultInjection: entry pages move through File.AppendPage /
+// ReadPage, so the fault plane, quota and I/O ledger see them exactly like
+// tuple run pages — no side channel.
+func TestEntryFileFaultInjection(t *testing.T) {
+	const entrySize = 24
+	write := func(d *Disk, n int) (*File, error) {
+		f := d.Create("ent", KindRun)
+		w := NewEntryWriter(f, entrySize)
+		for i := 0; i < n; i++ {
+			if err := w.Write(makeEntry(entrySize, uint32(i))); err != nil {
+				return nil, err
+			}
+		}
+		return f, w.Close()
+	}
+
+	d := NewDisk(256)
+	d.SetFaultPlan(NewFaultPlan(FaultRule{Class: FaultClass{OpWrite, KindRun}, At: 3}))
+	if _, err := write(d, 105); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("third entry-page write should fault: %v", err)
+	}
+
+	d = NewDisk(256)
+	f, err := write(d, 105)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	if before.RunPageWrites != 11 {
+		t.Fatalf("ledger saw %d run-page writes, want 11", before.RunPageWrites)
+	}
+	d.SetFaultPlan(NewFaultPlan(FaultRule{Class: FaultClass{OpRead, KindRun}, At: 2}))
+	r := NewEntryReader(f, entrySize)
+	var rerr error
+	for {
+		_, ok, err := r.Next()
+		if err != nil {
+			rerr = err
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if !errors.Is(rerr, ErrInjectedFault) {
+		t.Fatalf("second entry-page read should fault: %v", rerr)
+	}
+}
+
+func TestEntryFileQuota(t *testing.T) {
+	d := NewDisk(256)
+	d.SetTempQuotaPages(2)
+	w := NewEntryWriter(d.Create("ent", KindRun), 24)
+	var err error
+	for i := 0; i < 105 && err == nil; i++ {
+		err = w.Write(makeEntry(24, uint32(i)))
+	}
+	if err == nil {
+		err = w.Close()
+	}
+	if !errors.Is(err, ErrNoTempSpace) {
+		t.Fatalf("quota should refuse the third entry page: %v", err)
+	}
+}

@@ -1,0 +1,259 @@
+package xsort
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pyro/internal/storage"
+	"pyro/internal/types"
+)
+
+// Fixed-width sort entries (the DuckDB SortLayout shape). A spill run is no
+// longer just a file of re-encoded tuple pages: in the flat layouts every
+// run carries a second file of fixed-size entries, one per tuple, each
+//
+//	[ width bytes: normalized-key prefix, zero-padded ][ 1 byte: tie flag ][ int32 row id ]
+//
+// where the prefix is the first `width` bytes of the tuple's encoded sort
+// key past the keyer's shared-prefix skip, and the tie flag records whether
+// the full key was longer than width (truncated). Two entries whose
+// prefixes differ are ordered by one bytes.Compare of width bytes — no
+// tuple decode, no key re-encode; a prefix tie needs the overflow "blob"
+// (the full key, re-encoded from the payload tuple on demand) if and only
+// if BOTH entries are truncated — keys.Codec.AppendFixed documents why the
+// mixed case cannot tie. The row id is the tuple's ordinal within its run,
+// making every entry self-identifying on disk.
+//
+// Merges read the entry file and the payload tuple file in lockstep, so
+// the merge's hot loop touches only flat entry pages; the payload page of
+// the winning cursor is consulted once per emitted tuple (and for the rare
+// blob tie-break). Merged output runs copy the winning entry's prefix and
+// flag verbatim — a key is encoded exactly once per sort, at input
+// collection, no matter how many merge passes rewrite it.
+
+// EntryLayout selects the spill-run representation and the merge algorithm
+// over it. Output order is byte-identical across all three layouts for any
+// input whose sort keys are duplicate-free, and LayoutFlat/LayoutFlatHeap
+// are byte-identical to each other unconditionally (both order full-key
+// ties by run ordinal); layouts differ in spill I/O shape (flat runs add
+// entry pages but never re-encode keys) and in merge comparison counts.
+type EntryLayout uint8
+
+const (
+	// LayoutFlat (the default) writes flat fixed-width entry runs and
+	// merges them radix-aware: run heads are partitioned by the leading
+	// prefix byte and only the lowest live bucket is heap-ordered, so runs
+	// whose head buckets differ — the common case for low-overlap runs —
+	// cost zero comparisons until their buckets activate
+	// (SortStats.MergeBucketSkips counts the parked advances).
+	LayoutFlat EntryLayout = iota
+	// LayoutFlatHeap writes the same flat entry runs but merges them with
+	// the plain comparison heap — the merge-phase ablation: identical
+	// output bytes and I/O to LayoutFlat, more comparisons.
+	LayoutFlatHeap
+	// LayoutTuple is the legacy layout: runs are re-encoded tuple pages
+	// only, merged by re-wrapping each tuple's key as it comes off disk.
+	// Kept for ablation and as the structural fallback for comparator-mode
+	// sorts (no encoded key, nothing to truncate).
+	LayoutTuple
+)
+
+// String returns the CLI spelling of the layout.
+func (l EntryLayout) String() string {
+	switch l {
+	case LayoutFlat:
+		return "flat"
+	case LayoutFlatHeap:
+		return "flat-heap"
+	case LayoutTuple:
+		return "tuple"
+	}
+	return fmt.Sprintf("EntryLayout(%d)", uint8(l))
+}
+
+// ParseEntryLayout parses the CLI spelling ("" means the default).
+func ParseEntryLayout(s string) (EntryLayout, error) {
+	switch s {
+	case "", "flat":
+		return LayoutFlat, nil
+	case "flat-heap":
+		return LayoutFlatHeap, nil
+	case "tuple":
+		return LayoutTuple, nil
+	}
+	return 0, fmt.Errorf("xsort: unknown entry layout %q (want flat, flat-heap or tuple)", s)
+}
+
+// entryOverhead is the per-entry bytes past the key prefix: the tie flag
+// and the int32 row id.
+const entryOverhead = 5
+
+// entryLayout is one sort's resolved spill-entry geometry. The zero value
+// (mode LayoutTuple via resolveLayout) means tuple-page runs with no entry
+// files.
+type entryLayout struct {
+	mode  EntryLayout
+	width int // fixed key-prefix bytes per entry
+	size  int // width + entryOverhead
+}
+
+// flat reports whether runs carry entry files.
+func (l entryLayout) flat() bool { return l.mode != LayoutTuple }
+
+// resolveLayout fixes a sort's entry geometry at construction. prefixCols
+// is the number of leading key columns every key the sort compares is known
+// to share (MRS's `given` prefix; 0 for SRS): the fixed width is sized for
+// the suffix columns the entries actually discriminate on. Comparator-mode
+// sorts have no encoded keys and degrade to the tuple layout, as does a
+// page size too small to hold even one minimal entry per page.
+func resolveLayout(cfg Config, ky *keyer, prefixCols int) entryLayout {
+	if cfg.EntryLayout == LayoutTuple || !ky.encoded() {
+		return entryLayout{mode: LayoutTuple}
+	}
+	width := ky.codec.FixedWidthHint(prefixCols)
+	if max := cfg.Disk.PageSize() - 2 - entryOverhead; width > max {
+		width = max
+	}
+	if width < 1 {
+		return entryLayout{mode: LayoutTuple}
+	}
+	return entryLayout{mode: cfg.EntryLayout, width: width, size: width + entryOverhead}
+}
+
+// spillRun is one sorted run on disk: the payload tuple file, plus — in the
+// flat layouts — the entry file merged in lockstep with it.
+type spillRun struct {
+	payload *storage.File
+	entries *storage.File // nil in LayoutTuple
+}
+
+// remove drops the run's files from its namespace.
+func (r spillRun) remove(ns storage.TempSpace) {
+	ns.Remove(r.payload.Name())
+	if r.entries != nil {
+		ns.Remove(r.entries.Name())
+	}
+}
+
+// payloadFiles projects the tuple files of runs — the inputs of the legacy
+// tuple-layout merge.
+func payloadFiles(runs []spillRun) []*storage.File {
+	files := make([]*storage.File, len(runs))
+	for i, r := range runs {
+		files[i] = r.payload
+	}
+	return files
+}
+
+// runWriter streams one sorted run to disk: every tuple goes to the payload
+// file and, in the flat layouts, its fixed-width entry goes to the entry
+// file. Streaming matters: SRS's replacement selection and merge outputs
+// don't know a run's length up front, so the run format cannot require it.
+// Both files live in the caller's spill arena under the usual fault/tap/
+// quota plane; on error the caller either abandons the writer or releases
+// the whole arena.
+type runWriter struct {
+	ns      storage.TempSpace
+	lay     entryLayout
+	skip    int
+	run     spillRun
+	payload *storage.TupleWriter
+	entries *storage.EntryWriter // nil in LayoutTuple
+	buf     []byte               // entry scratch, lay.size bytes
+	rowid   uint32
+}
+
+// newRunWriter opens a fresh run in ns. skip is the writer's keyer skip:
+// entry prefixes are taken from the key past it, matching what the
+// segment's merges will compare.
+func newRunWriter(ns storage.TempSpace, prefix string, lay entryLayout, skip int) *runWriter {
+	w := &runWriter{ns: ns, lay: lay, skip: skip}
+	w.run.payload = ns.CreateTemp(prefix, storage.KindRun)
+	w.payload = storage.NewTupleWriter(w.run.payload)
+	if lay.flat() {
+		w.run.entries = ns.CreateTemp(prefix+"-ent", storage.KindRun)
+		w.entries = storage.NewEntryWriter(w.run.entries, lay.size)
+		w.buf = make([]byte, lay.size)
+	}
+	return w
+}
+
+// write appends one keyed tuple, deriving its entry from the already
+// encoded key — run formation never re-encodes.
+func (w *runWriter) write(kt keyed) error {
+	if err := w.payload.Write(kt.t); err != nil {
+		return err
+	}
+	if w.entries == nil {
+		return nil
+	}
+	suffix := kt.key[w.skip:]
+	w.fill(suffix[:min(len(suffix), w.lay.width)], len(suffix) > w.lay.width)
+	return w.entries.Write(w.buf)
+}
+
+// writeEntry appends one tuple whose entry prefix and tie flag are already
+// known — merge outputs pass the winning input entry through verbatim.
+func (w *runWriter) writeEntry(prefix []byte, truncated bool, t types.Tuple) error {
+	if err := w.payload.Write(t); err != nil {
+		return err
+	}
+	if w.entries == nil {
+		return nil
+	}
+	w.fill(prefix, truncated)
+	return w.entries.Write(w.buf)
+}
+
+// fill builds the next entry record in w.buf: prefix (zero-padded to
+// width), tie flag, row ordinal.
+func (w *runWriter) fill(prefix []byte, truncated bool) {
+	n := copy(w.buf[:w.lay.width], prefix)
+	for i := n; i < w.lay.width; i++ {
+		w.buf[i] = 0
+	}
+	flag := byte(0)
+	if truncated {
+		flag = 1
+	}
+	w.buf[w.lay.width] = flag
+	binary.BigEndian.PutUint32(w.buf[w.lay.width+1:], w.rowid)
+	w.rowid++
+}
+
+// close finishes the run, returning it and the entry pages it occupies
+// (SortStats.FlatRunPages). On error the run's files are already removed.
+func (w *runWriter) close() (spillRun, int64, error) {
+	if err := w.payload.Close(); err != nil {
+		w.abandon()
+		return spillRun{}, 0, err
+	}
+	if w.entries == nil {
+		return w.run, 0, nil
+	}
+	if err := w.entries.Close(); err != nil {
+		w.abandon()
+		return spillRun{}, 0, err
+	}
+	return w.run, w.entries.PagesWritten(), nil
+}
+
+// abandon removes the partially written run.
+func (w *runWriter) abandon() {
+	w.run.remove(w.ns)
+}
+
+// writeRun writes the tuples of a keyed buffer, in emission order, as one
+// run in ns — the sort's spill arena, so concurrent writers from different
+// segments or workers never share a namespace or a ledger mutex. It returns
+// the run and its entry-page count.
+func writeRun(ns storage.TempSpace, prefix string, buf []keyed, order []int32, lay entryLayout, skip int) (spillRun, int64, error) {
+	w := newRunWriter(ns, prefix, lay, skip)
+	for _, idx := range order {
+		if err := w.write(buf[idx]); err != nil {
+			w.abandon()
+			return spillRun{}, 0, err
+		}
+	}
+	return w.close()
+}

@@ -1,0 +1,124 @@
+package xsort
+
+import (
+	"fmt"
+	"testing"
+
+	"pyro/internal/iter"
+	"pyro/internal/sortord"
+	"pyro/internal/storage"
+	"pyro/internal/types"
+)
+
+// The flat-layout golden values pin the fixed-width entry path (PR 10) on
+// the same workload golden_test.go pins the tuple layout with. The output
+// checksum is goldenChecksum — the entry layout must be invisible in the
+// output — and runs/passes match the legacy constants, because run
+// boundaries are a property of replacement selection / segment batching,
+// not of the run file format. What changes is the currency: comparisons
+// drop (the radix cascade parks out-of-frontier cursors comparison-free;
+// MergeBucketSkips counts the parks), and I/O rises by the entry files
+// (FlatRunPages counts their pages — the price of memcpy-able merge keys).
+//
+// flat-heap is the ablation arm: same entry files, same I/O, same output,
+// but a plain comparison heap — its comparison counts isolate what the
+// cascade itself saves (34% on MRS, 43% on SRS here). Note SRS flat-heap
+// comparisons equal the tuple layout's exactly: the heap does identical
+// work on entries as on wrapped tuples. MRS flat-heap is +3 over the tuple
+// layout — the flat merge breaks full-key ties by run ordinal, which on
+// this workload costs three extra comparisons in segment merges.
+const (
+	flatMRSComparisons     = 58385
+	flatHeapMRSComparisons = 88569
+	flatMRSSkips           = 13475
+	flatMRSPages           = 534
+	flatMRSIOTotal         = 3798
+
+	flatSRSComparisons     = 56141
+	flatHeapSRSComparisons = 98977
+	flatSRSSkips           = 21278
+	flatSRSPages           = 1463
+	flatSRSIOTotal         = 7104
+)
+
+// TestGoldenFlatLayout pins the flat layouts at every parallelism: output
+// byte-identical to the tuple layout's golden checksum, identical run/pass
+// structure, and counter totals — comparisons, bucket skips, entry pages,
+// I/O — independent of Parallelism and SpillParallelism.
+func TestGoldenFlatLayout(t *testing.T) {
+	type want struct {
+		comparisons int64
+		skips       int64
+		pages       int64
+		io          int64
+	}
+	check := func(t *testing.T, st *SortStats, d *storage.Disk, out []types.Tuple, w want, runs, passes int) {
+		t.Helper()
+		if got := orderChecksum(out); got != goldenChecksum {
+			t.Errorf("output checksum = %#x, golden %#x", got, goldenChecksum)
+		}
+		if st.Comparisons != w.comparisons {
+			t.Errorf("Comparisons = %d, golden %d", st.Comparisons, w.comparisons)
+		}
+		if st.MergeBucketSkips != w.skips {
+			t.Errorf("MergeBucketSkips = %d, golden %d", st.MergeBucketSkips, w.skips)
+		}
+		if st.FlatRunPages != w.pages {
+			t.Errorf("FlatRunPages = %d, golden %d", st.FlatRunPages, w.pages)
+		}
+		if st.RunsGenerated != runs || st.MergePasses != passes {
+			t.Errorf("runs/passes = %d/%d, golden %d/%d", st.RunsGenerated, st.MergePasses, runs, passes)
+		}
+		io := d.Stats()
+		if io.Total() != w.io || io.RunTotal() != w.io {
+			t.Errorf("IO total/run = %d/%d, golden %d (all run-attributed)", io.Total(), io.RunTotal(), w.io)
+		}
+		for _, name := range d.FileNames() {
+			t.Errorf("run file %q leaked after Close", name)
+		}
+	}
+
+	cases := []struct {
+		lay      EntryLayout
+		mrs, srs want
+	}{
+		{LayoutFlat,
+			want{flatMRSComparisons, flatMRSSkips, flatMRSPages, flatMRSIOTotal},
+			want{flatSRSComparisons, flatSRSSkips, flatSRSPages, flatSRSIOTotal}},
+		{LayoutFlatHeap,
+			want{flatHeapMRSComparisons, 0, flatMRSPages, flatMRSIOTotal},
+			want{flatHeapSRSComparisons, 0, flatSRSPages, flatSRSIOTotal}},
+	}
+	for _, tc := range cases {
+		for _, par := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("mrs-%s-par%d", tc.lay, par), func(t *testing.T) {
+				d := storage.NewDisk(512)
+				m, err := NewMRS(iter.FromSlice(goldenRows()), sortSchema,
+					sortord.New("c1", "c2"), sortord.New("c1"),
+					Config{Disk: d, MemoryBlocks: 8, Parallelism: par, RunFormation: RunFormCompare, EntryLayout: tc.lay})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := iter.Drain(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(t, m.Stats(), d, out, tc.mrs, goldenMRSRuns, goldenMRSPasses)
+			})
+			t.Run(fmt.Sprintf("srs-%s-par%d", tc.lay, par), func(t *testing.T) {
+				d := storage.NewDisk(512)
+				s, err := NewSRS(iter.FromSlice(goldenShuffled()), sortSchema,
+					sortord.New("c1", "c2"),
+					Config{Disk: d, MemoryBlocks: 4, SpillParallelism: par, RunFormation: RunFormCompare, EntryLayout: tc.lay})
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := iter.Drain(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(t, s.Stats(), d, out, tc.srs, goldenSRSRuns, goldenSRSPasses)
+			})
+		}
+	}
+}

@@ -65,7 +65,7 @@ func TestGoldenSerialSpill(t *testing.T) {
 		d := storage.NewDisk(512)
 		m, err := NewMRS(iter.FromSlice(goldenRows()), sortSchema,
 			sortord.New("c1", "c2"), sortord.New("c1"),
-			Config{Disk: d, MemoryBlocks: 8, Parallelism: 1, RunFormation: RunFormCompare})
+			Config{Disk: d, MemoryBlocks: 8, Parallelism: 1, RunFormation: RunFormCompare, EntryLayout: LayoutTuple})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +99,7 @@ func TestGoldenSerialSpill(t *testing.T) {
 		d := storage.NewDisk(512)
 		s, err := NewSRS(iter.FromSlice(goldenShuffled()), sortSchema,
 			sortord.New("c1", "c2"),
-			Config{Disk: d, MemoryBlocks: 4, Parallelism: 1, RunFormation: RunFormCompare})
+			Config{Disk: d, MemoryBlocks: 4, Parallelism: 1, RunFormation: RunFormCompare, EntryLayout: LayoutTuple})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +135,7 @@ func TestGoldenParallelSpillAgrees(t *testing.T) {
 		d := storage.NewDisk(512)
 		m, err := NewMRS(iter.FromSlice(goldenRows()), sortSchema,
 			sortord.New("c1", "c2"), sortord.New("c1"),
-			Config{Disk: d, MemoryBlocks: 8, Parallelism: par, RunFormation: RunFormCompare})
+			Config{Disk: d, MemoryBlocks: 8, Parallelism: par, RunFormation: RunFormCompare, EntryLayout: LayoutTuple})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +164,7 @@ func TestGoldenParallelSpillAgrees(t *testing.T) {
 		d2 := storage.NewDisk(512)
 		s, err := NewSRS(iter.FromSlice(goldenShuffled()), sortSchema,
 			sortord.New("c1", "c2"),
-			Config{Disk: d2, MemoryBlocks: 4, SpillParallelism: par, RunFormation: RunFormCompare})
+			Config{Disk: d2, MemoryBlocks: 4, SpillParallelism: par, RunFormation: RunFormCompare, EntryLayout: LayoutTuple})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +196,7 @@ func TestGoldenRadixAgrees(t *testing.T) {
 			d := storage.NewDisk(512)
 			m, err := NewMRS(iter.FromSlice(goldenRows()), sortSchema,
 				sortord.New("c1", "c2"), sortord.New("c1"),
-				Config{Disk: d, MemoryBlocks: 8, Parallelism: par, RunFormation: rf})
+				Config{Disk: d, MemoryBlocks: 8, Parallelism: par, RunFormation: rf, EntryLayout: LayoutTuple})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -225,7 +225,7 @@ func TestGoldenRadixAgrees(t *testing.T) {
 			d2 := storage.NewDisk(512)
 			s, err := NewSRS(iter.FromSlice(goldenShuffled()), sortSchema,
 				sortord.New("c1", "c2"),
-				Config{Disk: d2, MemoryBlocks: 4, SpillParallelism: par, RunFormation: rf})
+				Config{Disk: d2, MemoryBlocks: 4, SpillParallelism: par, RunFormation: rf, EntryLayout: LayoutTuple})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -98,51 +98,93 @@ func (m *runMerger) next() (types.Tuple, bool, error) {
 	return out, true, nil
 }
 
+// mergeTally is the work done by one group merge, tallied locally so
+// concurrent group merges can publish once and the caller can fold counts
+// in deterministic group order.
+type mergeTally struct {
+	comparisons int64
+	bucketSkips int64
+	pages       int64 // entry pages written by the merged output run
+}
+
+func (t mergeTally) addTo(st *SortStats) {
+	st.Comparisons += t.comparisons
+	st.MergeBucketSkips += t.bucketSkips
+	st.FlatRunPages += t.pages
+}
+
 // mergeGroup merges a group of runs into one fresh run in ns, removing the
-// consumed inputs on success. The comparison count is returned rather than
+// consumed inputs on success. The work tally is returned rather than
 // accumulated so concurrent group merges can tally locally and the caller
 // can fold counts in deterministic group order. The keyer is cloned first:
-// merging re-encodes keys as tuples come off disk (keyer.wrap mutates
+// merging may re-encode keys as tuples come off disk (keyer.wrap mutates
 // scratch buffers), and group merges run concurrently. abort (nil = never)
 // is polled per merged tuple at the guard stride; it may be shared with
 // other concurrent merges, so each call takes its own Guard.
-func mergeGroup(ns storage.TempSpace, prefix string, group []*storage.File, ky *keyer, abort func() error) (*storage.File, int64, error) {
+//
+// In the flat layouts the output run's entries are copied from the winning
+// input entries (prefix and tie flag verbatim, fresh row ordinals): a key
+// is encoded once per sort no matter how many passes rewrite its run.
+func mergeGroup(ns storage.TempSpace, prefix string, group []spillRun, ky *keyer, lay entryLayout, abort func() error) (spillRun, mergeTally, error) {
 	ky = ky.clone()
 	guard := iter.NewGuard(abort)
-	var comparisons int64
-	merged := ns.CreateTemp(prefix, storage.KindRun)
-	w := storage.NewTupleWriter(merged)
-	m, err := newRunMerger(group, ky, &comparisons)
-	if err != nil {
-		ns.Remove(merged.Name())
-		return nil, comparisons, err
+	var tally mergeTally
+	w := newRunWriter(ns, prefix, lay, ky.skip)
+	fail := func(err error) (spillRun, mergeTally, error) {
+		w.abandon()
+		return spillRun{}, tally, err
 	}
-	for {
-		if err := guard.Check(); err != nil {
-			ns.Remove(merged.Name())
-			return nil, comparisons, err
-		}
-		t, ok, err := m.next()
+	if lay.flat() {
+		m, err := newFlatMerger(group, ky, lay, &tally.comparisons, &tally.bucketSkips)
 		if err != nil {
-			ns.Remove(merged.Name())
-			return nil, comparisons, err
+			return fail(err)
 		}
-		if !ok {
-			break
+		for {
+			if err := guard.Check(); err != nil {
+				return fail(err)
+			}
+			p, trunc, t, ok, err := m.nextEntry()
+			if err != nil {
+				return fail(err)
+			}
+			if !ok {
+				break
+			}
+			if err := w.writeEntry(p, trunc, t); err != nil {
+				return fail(err)
+			}
 		}
-		if err := w.Write(t); err != nil {
-			ns.Remove(merged.Name())
-			return nil, comparisons, err
+	} else {
+		m, err := newRunMerger(payloadFiles(group), ky, &tally.comparisons)
+		if err != nil {
+			return fail(err)
+		}
+		for {
+			if err := guard.Check(); err != nil {
+				return fail(err)
+			}
+			t, ok, err := m.next()
+			if err != nil {
+				return fail(err)
+			}
+			if !ok {
+				break
+			}
+			if err := w.write(keyed{t: t}); err != nil {
+				return fail(err)
+			}
 		}
 	}
-	if err := w.Close(); err != nil {
-		ns.Remove(merged.Name())
-		return nil, comparisons, err
+	merged, pages, err := w.close()
+	if err != nil {
+		// close already removed the partial output.
+		return spillRun{}, tally, err
 	}
+	tally.pages = pages
 	for _, g := range group {
-		ns.Remove(g.Name())
+		g.remove(ns)
 	}
-	return merged, comparisons, nil
+	return merged, tally, nil
 }
 
 // reduceRuns repeatedly merges groups of up to fanIn runs into larger runs
@@ -155,18 +197,18 @@ func mergeGroup(ns storage.TempSpace, prefix string, group []*storage.File, ky *
 // identical to the serial pass (consecutive runs, left to right) and each
 // group's comparison count folds into stats in group order, so comparison
 // and I/O totals match the serial path exactly.
-func reduceRuns(cfg Config, ns storage.TempSpace, runs []*storage.File, ky *keyer, stats *SortStats) ([]*storage.File, error) {
+func reduceRuns(cfg Config, ns storage.TempSpace, runs []spillRun, ky *keyer, lay entryLayout, stats *SortStats) ([]spillRun, error) {
 	fanIn := cfg.fanIn()
 	par := cfg.spillParallelism()
 	for len(runs) > fanIn {
 		stats.MergePasses++
 		nGroups := numGroups(fanIn, len(runs))
-		next := make([]*storage.File, nGroups)
-		counts := make([]int64, nGroups)
+		next := make([]spillRun, nGroups)
+		tallies := make([]mergeTally, nGroups)
 		errs := make([]error, nGroups)
 		if par <= 1 {
 			for g := 0; g < nGroups; g++ {
-				next[g], counts[g], errs[g] = reduceOneGroup(cfg, ns, runs, g, ky)
+				next[g], tallies[g], errs[g] = reduceOneGroup(cfg, ns, runs, g, ky, lay)
 			}
 		} else {
 			sem := make(chan struct{}, par)
@@ -178,13 +220,13 @@ func reduceRuns(cfg Config, ns storage.TempSpace, runs []*storage.File, ky *keye
 					sem <- struct{}{}
 					defer func() { <-sem }()
 					defer recoverWorker(&errs[g])
-					next[g], counts[g], errs[g] = reduceOneGroup(cfg, ns, runs, g, ky)
+					next[g], tallies[g], errs[g] = reduceOneGroup(cfg, ns, runs, g, ky, lay)
 				}(g)
 			}
 			wg.Wait()
 		}
 		for g := 0; g < nGroups; g++ {
-			stats.Comparisons += counts[g]
+			tallies[g].addTo(stats)
 			if errs[g] != nil {
 				return nil, errs[g]
 			}
@@ -214,11 +256,11 @@ func numGroups(fanIn, n int) int { return (n + fanIn - 1) / fanIn }
 
 // reduceOneGroup merges the g-th fan-in group of runs (a single-run group
 // passes through unmerged, as in the serial algorithm).
-func reduceOneGroup(cfg Config, ns storage.TempSpace, runs []*storage.File, g int, ky *keyer) (*storage.File, int64, error) {
+func reduceOneGroup(cfg Config, ns storage.TempSpace, runs []spillRun, g int, ky *keyer, lay entryLayout) (spillRun, mergeTally, error) {
 	lo, hi := groupBounds(g, cfg.fanIn(), len(runs))
 	group := runs[lo:hi]
 	if len(group) == 1 {
-		return group[0], 0, nil
+		return group[0], mergeTally{}, nil
 	}
-	return mergeGroup(ns, cfg.TempPrefix, group, ky, cfg.Abort)
+	return mergeGroup(ns, cfg.TempPrefix, group, ky, lay, cfg.Abort)
 }

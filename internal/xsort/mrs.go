@@ -65,6 +65,7 @@ type MRS struct {
 	par    int           // resolved segment-sort parallelism
 	spar   int           // resolved spill parallelism
 	rf     RunFormation
+	lay    entryLayout
 	stats  SortStats
 
 	// Input state.
@@ -112,9 +113,9 @@ type segCollector struct {
 type spillState struct {
 	arena  *storage.SpillArena
 	ky     *keyer
-	runs   []*storage.File // serial-mode formation runs
-	jobs   []*flushJob     // parallel-mode formation jobs, dispatch order
-	reaped int             // jobs whose buffers the consumer has returned to the budget
+	runs   []spillRun  // serial-mode formation runs
+	jobs   []*flushJob // parallel-mode formation jobs, dispatch order
+	reaped int         // jobs whose buffers the consumer has returned to the budget
 }
 
 // flushJob is one parallel run-formation unit: sort one memory batch of an
@@ -125,7 +126,8 @@ type flushJob struct {
 	buf      []keyed
 	memBytes int64
 	done     chan struct{}
-	file     *storage.File
+	run      spillRun
+	pages    int64 // entry pages the run occupies (flat layouts)
 	tally    sortTally
 	err      error
 }
@@ -150,7 +152,7 @@ type segment struct {
 	sp       *spillState
 
 	pos     int
-	merging *runMerger
+	merging merger
 }
 
 // pumpQuantum is how many input tuples one emitted tuple "buys" of
@@ -192,6 +194,7 @@ func NewMRS(input iter.Iterator, schema *types.Schema, target, given sortord.Ord
 	// rescan, and keep every key a complete target-order encoding — the
 	// shape a future radix-aware merge of segment runs needs.
 	suffixCmp := func(a, b types.Tuple) int { return ks.CompareSuffix(a, b, prefix) }
+	ky := newKeyer(cfg.Keys, codec, suffixCmp)
 	return &MRS{
 		input:       input,
 		schema:      schema,
@@ -199,11 +202,12 @@ func NewMRS(input iter.Iterator, schema *types.Schema, target, given sortord.Ord
 		given:       given.Clone(),
 		cfg:         cfg,
 		ks:          ks,
-		ky:          newKeyer(cfg.Keys, codec, suffixCmp),
+		ky:          ky,
 		prefix:      prefix,
 		par:         cfg.parallelism(),
 		spar:        cfg.spillParallelism(),
 		rf:          cfg.RunFormation,
+		lay:         resolveLayout(cfg, ky, prefix),
 		guard:       iter.NewGuard(cfg.Abort),
 		passthrough: prefix == target.Len(),
 	}, nil
@@ -358,11 +362,11 @@ func (m *MRS) adopt(seg *segment) error {
 		}()
 		runs, err := m.segmentRuns(seg.sp)
 		if err == nil {
-			runs, err = reduceRuns(m.cfg, seg.sp.arena, runs, seg.ky, &m.stats)
+			runs, err = reduceRuns(m.cfg, seg.sp.arena, runs, seg.ky, m.lay, &m.stats)
 		}
 		if err == nil {
 			seg.sp.runs = runs
-			seg.merging, err = newRunMerger(runs, seg.ky, &m.stats.Comparisons)
+			seg.merging, err = openMerger(runs, seg.ky, m.lay, &m.stats)
 		}
 		if err != nil {
 			return err
@@ -381,7 +385,7 @@ func (m *MRS) adopt(seg *segment) error {
 // remaining passes (rare) fall to reduceRuns afterwards. Comparison counts
 // fold in deterministic order — formation jobs first (dispatch order), then
 // merge groups (group order) — so totals equal the serial path's.
-func (m *MRS) segmentRuns(sp *spillState) ([]*storage.File, error) {
+func (m *MRS) segmentRuns(sp *spillState) ([]spillRun, error) {
 	if len(sp.jobs) == 0 {
 		return sp.runs, nil
 	}
@@ -391,9 +395,9 @@ func (m *MRS) segmentRuns(sp *spillState) ([]*storage.File, error) {
 		if err := m.harvestJobs(sp); err != nil {
 			return nil, err
 		}
-		runs := make([]*storage.File, len(sp.jobs))
+		runs := make([]spillRun, len(sp.jobs))
 		for i, j := range sp.jobs {
-			runs[i] = j.file
+			runs[i] = j.run
 		}
 		return runs, nil
 	}
@@ -403,10 +407,10 @@ func (m *MRS) segmentRuns(sp *spillState) ([]*storage.File, error) {
 	// Groups are consecutive in dispatch order — exactly the serial pass.
 	m.stats.MergePasses++
 	type groupRes struct {
-		out         *storage.File
-		comparisons int64
-		err         error
-		done        chan struct{}
+		out   spillRun
+		tally mergeTally
+		err   error
+		done  chan struct{}
 	}
 	nGroups := numGroups(fanIn, len(sp.jobs))
 	groups := make([]*groupRes, nGroups)
@@ -418,34 +422,34 @@ func (m *MRS) segmentRuns(sp *spillState) ([]*storage.File, error) {
 		go func(jobs []*flushJob, res *groupRes) {
 			defer close(res.done)
 			defer recoverWorker(&res.err)
-			files := make([]*storage.File, 0, len(jobs))
+			runs := make([]spillRun, 0, len(jobs))
 			for _, j := range jobs {
 				<-j.done
 				if j.err != nil {
 					res.err = j.err
 					return
 				}
-				files = append(files, j.file)
+				runs = append(runs, j.run)
 			}
-			if len(files) == 1 {
+			if len(runs) == 1 {
 				// Single-run group passes through, as in the serial pass.
-				res.out = files[0]
+				res.out = runs[0]
 				return
 			}
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res.out, res.comparisons, res.err = mergeGroup(sp.arena, m.cfg.TempPrefix, files, sp.ky, m.cfg.Abort)
+			res.out, res.tally, res.err = mergeGroup(sp.arena, m.cfg.TempPrefix, runs, sp.ky, m.lay, m.cfg.Abort)
 		}(sp.jobs[lo:hi], res)
 	}
 
-	// Fold formation comparisons in dispatch order, then group merges in
+	// Fold formation tallies in dispatch order, then group merges in
 	// group order; wait everything out even on error so the arena can be
 	// released without racing in-flight writers.
 	err := m.harvestJobs(sp)
-	runs := make([]*storage.File, 0, nGroups)
+	runs := make([]spillRun, 0, nGroups)
 	for _, res := range groups {
 		<-res.done
-		m.stats.Comparisons += res.comparisons
+		res.tally.addTo(&m.stats)
 		if res.err != nil && err == nil {
 			err = res.err
 		}
@@ -479,6 +483,7 @@ func (m *MRS) harvestJobs(sp *spillState) error {
 	for i := range sp.jobs {
 		j := m.reapJob(sp, i)
 		j.tally.addTo(&m.stats)
+		m.stats.FlatRunPages += j.pages
 		if j.err != nil && firstErr == nil {
 			firstErr = j.err
 		}
@@ -632,11 +637,12 @@ func (m *MRS) flush(c *segCollector) error {
 	if m.spar <= 1 {
 		order, tally := formOrder(c.buf, c.ky, m.rf)
 		tally.addTo(&m.stats)
-		f, err := writeRun(c.sp.arena, m.cfg.TempPrefix, c.buf, order)
+		run, pages, err := writeRun(c.sp.arena, m.cfg.TempPrefix, c.buf, order, m.lay, c.ky.skip)
 		if err != nil {
 			return err
 		}
-		c.sp.runs = append(c.sp.runs, f)
+		c.sp.runs = append(c.sp.runs, run)
+		m.stats.FlatRunPages += pages
 		m.stats.RunsGenerated++
 		m.stats.SpillRunsSerial++
 		c.buf = c.buf[:0]
@@ -656,13 +662,13 @@ func (m *MRS) flush(c *segCollector) error {
 	c.sp.jobs = append(c.sp.jobs, job)
 	m.stats.RunsGenerated++
 	m.stats.SpillRunsParallel++
-	arena, prefix, ky, rf := c.sp.arena, m.cfg.TempPrefix, c.ky, m.rf
+	arena, prefix, ky, rf, lay := c.sp.arena, m.cfg.TempPrefix, c.ky, m.rf, m.lay
 	go func() {
 		defer close(job.done)
 		defer recoverWorker(&job.err)
 		var order []int32
 		order, job.tally = formOrder(job.buf, ky, rf)
-		job.file, job.err = writeRun(arena, prefix, job.buf, order)
+		job.run, job.pages, job.err = writeRun(arena, prefix, job.buf, order, lay, ky.skip)
 		job.buf = nil // batch is on disk; release it before the consumer reaps
 	}()
 	// The batch's bytes stay in liveBytes until the job completes and is

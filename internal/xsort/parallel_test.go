@@ -174,8 +174,12 @@ func TestEncodedAndComparatorKeysAgree(t *testing.T) {
 			// Pin the comparison sort: this test's contract is that the key
 			// REPRESENTATION is invisible, so both arms must spend their
 			// work in the same currency. (Adaptive would radix-sort the
-			// encoded arm only and the stats would rightly diverge.)
+			// encoded arm only and the stats would rightly diverge.) The
+			// tuple layout is pinned for the same reason: comparator-mode
+			// keyers have no fixed-width encoding, so the flat layouts
+			// would silently fall back on one arm only.
 			cfg.RunFormation = RunFormCompare
+			cfg.EntryLayout = LayoutTuple
 			s, err := NewSRS(iter.FromSlice(shuffledRows), sortSchema, sortord.New("c1", "c2"), cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -203,6 +207,7 @@ func TestEncodedAndComparatorKeysAgree(t *testing.T) {
 			cfg.Keys = mode
 			cfg.Parallelism = 1
 			cfg.RunFormation = RunFormCompare // see the srs arm
+			cfg.EntryLayout = LayoutTuple     // ditto
 			m, err := NewMRS(iter.FromSlice(rows), sortSchema, sortord.New("c1", "c2"), sortord.New("c1"), cfg)
 			if err != nil {
 				t.Fatal(err)

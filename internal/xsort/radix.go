@@ -40,8 +40,13 @@ import "bytes"
 
 const (
 	// radixInsertionCutoff is the bucket size at or below which the sort
-	// switches to stable insertion on key suffixes.
-	radixInsertionCutoff = 24
+	// switches to stable insertion on key suffixes. Tuned by
+	// BenchmarkRadixInsertionCutoff over realistic key-length
+	// distributions: short numeric keys and composite keys are flat from 8
+	// through 32, but long text keys with shared prefixes degrade ~18%
+	// past 16 — each insertion comparison re-scans the bucket's shared
+	// suffix bytes that one cheap counting pass would have skipped once.
+	radixInsertionCutoff = 16
 	// adaptiveMinTuples is the buffer size below which RunFormAdaptive
 	// keeps the comparison sort: tiny buffers are dominated by the
 	// per-level bucket bookkeeping, not by comparisons.
@@ -100,6 +105,13 @@ func formOrder(buf []keyed, ky *keyer, rf RunFormation) ([]int32, sortTally) {
 // guarantees all keys share their first skip bytes and are at least skip
 // bytes long), returning the emission permutation and the work tally.
 func radixSortKeyed(buf []keyed, skip int) ([]int32, sortTally) {
+	return radixSortKeyedCutoff(buf, skip, radixInsertionCutoff)
+}
+
+// radixSortKeyedCutoff is radixSortKeyed with an explicit insertion-sort
+// cutoff; BenchmarkRadixInsertionCutoff sweeps it to keep the constant
+// honest against real key-length distributions.
+func radixSortKeyedCutoff(buf []keyed, skip, cutoff int) ([]int32, sortTally) {
 	order := make([]int32, len(buf))
 	for i := range order {
 		order[i] = int32(i)
@@ -107,19 +119,19 @@ func radixSortKeyed(buf []keyed, skip int) ([]int32, sortTally) {
 	var t sortTally
 	if len(buf) > 1 {
 		scratch := make([]int32, len(buf))
-		msdRadix(buf, order, scratch, 0, len(buf), skip, &t)
+		msdRadix(buf, order, scratch, 0, len(buf), skip, cutoff, &t)
 	}
 	return order, t
 }
 
 // msdRadix sorts order[lo:hi] — whose keys all agree on bytes [0, depth) —
 // by distributing on the byte at depth and recursing into each bucket.
-func msdRadix(buf []keyed, order, scratch []int32, lo, hi, depth int, t *sortTally) {
+func msdRadix(buf []keyed, order, scratch []int32, lo, hi, depth, cutoff int, t *sortTally) {
 	n := hi - lo
 	if n <= 1 {
 		return
 	}
-	if n <= radixInsertionCutoff {
+	if n <= cutoff {
 		insertionByKey(buf, order[lo:hi], depth, t)
 		return
 	}
@@ -153,7 +165,7 @@ func msdRadix(buf []keyed, order, scratch []int32, lo, hi, depth int, t *sortTal
 	start := lo + counts[0]
 	for b := 1; b < 257; b++ {
 		if counts[b] > 1 {
-			msdRadix(buf, order, scratch, start, start+counts[b], depth+1, t)
+			msdRadix(buf, order, scratch, start, start+counts[b], depth+1, cutoff, t)
 		}
 		start += counts[b]
 	}

@@ -47,8 +47,9 @@ type SRS struct {
 	memPos int
 	inMem  bool
 
-	merger *runMerger
-	runs   []*storage.File
+	merger merger
+	runs   []spillRun
+	lay    entryLayout
 	arena  *storage.SpillArena // lazily created spill namespace; owns all temps
 	src    *tupleSource        // keyed input collection (batched when configured)
 	opened bool
@@ -75,13 +76,15 @@ func NewSRS(input iter.Iterator, schema *types.Schema, o sortord.Order, cfg Conf
 	if cfg.TempPrefix == "" {
 		cfg.TempPrefix = "srs"
 	}
+	ky := newKeyer(cfg.Keys, codec, ks.Compare)
 	return &SRS{
 		input:  input,
 		schema: schema,
 		order:  o.Clone(),
 		cfg:    cfg,
 		ks:     ks,
-		ky:     newKeyer(cfg.Keys, codec, ks.Compare),
+		ky:     ky,
+		lay:    resolveLayout(cfg, ky, 0),
 	}, nil
 }
 
@@ -182,16 +185,19 @@ func (s *SRS) open() error {
 	// Phase 2: replacement selection. Pop the minimum of the current run,
 	// write it out, replace it with the next input tuple — tagged for the
 	// current run if it can still be emitted in order, else for the next.
+	// Runs stream through a runWriter: payload tuples plus, in the flat
+	// layouts, fixed-width entries derived from the already encoded keys.
 	currentRun := 0
-	runFile := s.newTemp()
-	w := storage.NewTupleWriter(runFile)
+	w := s.newRunWriter()
 	var lastOut keyed
 
 	finishRun := func() error {
-		if err := w.Close(); err != nil {
+		run, pages, err := w.close()
+		if err != nil {
 			return err
 		}
-		s.runs = append(s.runs, runFile)
+		s.runs = append(s.runs, run)
+		s.stats.FlatRunPages += pages
 		s.stats.RunsGenerated++
 		return nil
 	}
@@ -210,12 +216,11 @@ func (s *SRS) open() error {
 				return err
 			}
 			currentRun++
-			runFile = s.newTemp()
-			w = storage.NewTupleWriter(runFile)
+			w = s.newRunWriter()
 			lastOut = keyed{}
 		}
 		e = h.pop()
-		if err := w.Write(e.kt.t); err != nil {
+		if err := w.write(e.kt); err != nil {
 			return err
 		}
 		lastOut = e.kt
@@ -244,22 +249,22 @@ func (s *SRS) open() error {
 
 	// Phase 3: reduce runs to fan-in and set up the final merge. Groups
 	// within a pass merge concurrently under SpillParallelism.
-	runs, err := reduceRuns(s.cfg, s.arena, s.runs, s.ky, &s.stats)
+	runs, err := reduceRuns(s.cfg, s.arena, s.runs, s.ky, s.lay, &s.stats)
 	if err != nil {
 		return err
 	}
 	s.runs = runs
-	s.merger, err = newRunMerger(runs, s.ky, &s.stats.Comparisons)
+	s.merger, err = openMerger(runs, s.ky, s.lay, &s.stats)
 	return err
 }
 
-// newTemp creates a run file in the sort's spill arena (created on first
-// spill; an in-memory sort never allocates one).
-func (s *SRS) newTemp() *storage.File {
+// newRunWriter opens a streaming run writer in the sort's spill arena
+// (created on first spill; an in-memory sort never allocates one).
+func (s *SRS) newRunWriter() *runWriter {
 	if s.arena == nil {
 		s.arena = s.cfg.Disk.NewArenaTapped(s.cfg.Tap)
 	}
-	return s.arena.CreateTemp(s.cfg.TempPrefix, storage.KindRun)
+	return newRunWriter(s.arena, s.cfg.TempPrefix, s.lay, s.ky.skip)
 }
 
 // removeTemps releases the spill arena, dropping every run file this sort

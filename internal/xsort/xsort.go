@@ -83,6 +83,16 @@ type SortStats struct {
 	RadixPasses      int64
 	RadixBucketScans int64
 
+	// MergeBucketSkips counts, in the flat layouts' radix-aware merges,
+	// advanced run heads parked comparison-free because they left the merge
+	// frontier's leading-byte bucket — each one a run temporarily excluded
+	// from heap ordering entirely. FlatRunPages counts entry pages written
+	// for flat spill runs (formation and merge outputs; payload tuple pages
+	// stay under the I/O ledger as before). Both are deterministic at every
+	// parallelism and batch size, like every other counter here.
+	MergeBucketSkips int64
+	FlatRunPages     int64
+
 	// SpillRunsSerial and SpillRunsParallel split MRS spill-run formation
 	// by regime: runs sorted and written inline on the consumer goroutine
 	// (SpillParallelism 1, the paper's serial algorithm) versus runs formed
@@ -188,6 +198,12 @@ type Config struct {
 	// bit-identical for MRS, and for SRS up to the emission order of
 	// tuples with duplicate full sort keys (see the package comment).
 	RunFormation RunFormation
+	// EntryLayout selects the spill-run representation and merge algorithm:
+	// flat fixed-width entries with the radix-aware bucket merge (default),
+	// flat entries with the plain comparison heap (ablation), or the legacy
+	// re-encoded tuple runs (see entry.go). Comparator-mode sorts always
+	// use the tuple layout — there is no encoded key to lay out flat.
+	EntryLayout EntryLayout
 	// Parallelism bounds how many MRS in-memory segments may be sorted
 	// concurrently. 0 means runtime.GOMAXPROCS(0); 1 means fully serial,
 	// strictly demand-driven reading (the paper's original behaviour).
@@ -284,29 +300,13 @@ func (c Config) validate() error {
 	if c.RunFormation > RunFormRadix {
 		return fmt.Errorf("xsort: unknown RunFormation %d", c.RunFormation)
 	}
+	if c.EntryLayout > LayoutTuple {
+		return fmt.Errorf("xsort: unknown EntryLayout %d", c.EntryLayout)
+	}
 	if c.BatchSize < 0 {
 		return fmt.Errorf("xsort: BatchSize must be non-negative, got %d", c.BatchSize)
 	}
 	return nil
-}
-
-// writeRun writes the tuples of a keyed buffer to a fresh run file in ns —
-// the sort's spill arena, so concurrent writers from different segments or
-// workers never share a namespace or a ledger mutex.
-func writeRun(ns storage.TempSpace, prefix string, buf []keyed, order []int32) (*storage.File, error) {
-	f := ns.CreateTemp(prefix, storage.KindRun)
-	w := storage.NewTupleWriter(f)
-	for _, idx := range order {
-		if err := w.Write(buf[idx].t); err != nil {
-			ns.Remove(f.Name())
-			return nil, err
-		}
-	}
-	if err := w.Close(); err != nil {
-		ns.Remove(f.Name())
-		return nil, err
-	}
-	return f, nil
 }
 
 // recoverWorker converts a panic on a sort worker goroutine into an error at

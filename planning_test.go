@@ -288,3 +288,70 @@ func TestLimitZeroSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestContendedPoolFlipsPlanChoice pins the governor-aware cost model: the
+// optimizer prices sorts at the grant the sort-memory pool would issue
+// right now, so the same query flips plans under contention. Alone, the
+// pool's full 512 blocks hold the hash aggregate's group state and the
+// blocking Sort(HashAggregate) wins on full-drain cost; with another
+// cursor pinning the pool the expected grant halves, the modeled hash
+// aggregate spills its group state, and the optimizer switches to the
+// pipelined GroupAggregate(PartialSort) — whose per-segment memory it can
+// actually afford. Releasing the contention restores the original choice
+// (the two plans cache under different model keys, so neither pollutes
+// the other).
+func TestContendedPoolFlipsPlanChoice(t *testing.T) {
+	db := Open(Config{PageSize: 512, SortMemoryBlocks: 512})
+	rows := make([][]any, 50_000)
+	for i := range rows {
+		rows[i] = []any{int64(i / 500), int64((i * 7 % 10_000) / 100), int64(i)}
+	}
+	if err := db.CreateTable("big", []Column{
+		{Name: "g", Type: Int64},
+		{Name: "v", Type: Int64},
+		{Name: "pad", Type: Int64},
+	}, ClusterOn("g"), rows); err != nil {
+		t.Fatal(err)
+	}
+
+	alone, err := db.Optimize(groupedQuery(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(alone.Explain(), "HashAggregate") ||
+		strings.Contains(alone.Explain(), "partial") {
+		t.Fatalf("uncontended query should pick the blocking hash plan:\n%s", alone.Explain())
+	}
+
+	// Pin the pool: a concurrent sorting cursor holds a grant from Query
+	// until Close, so the optimizer now sees two claimants and expects a
+	// fair-share grant of 256 blocks.
+	holdPlan, err := db.Optimize(db.Scan("big").OrderBy("g", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold, err := db.Query(context.Background(), holdPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	contended, err := db.Optimize(groupedQuery(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(contended.Explain(), "partial") ||
+		strings.Contains(contended.Explain(), "HashAggregate") {
+		t.Fatalf("contended query should flip to the pipelined partial-sort plan:\n%s", contended.Explain())
+	}
+
+	if err := hold.Close(); err != nil {
+		t.Fatal(err)
+	}
+	released, err := db.Optimize(groupedQuery(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(released.Explain(), "HashAggregate") {
+		t.Fatalf("releasing contention should restore the hash plan:\n%s", released.Explain())
+	}
+}

@@ -117,6 +117,15 @@ type Config struct {
 	// key may emit in a different relative order under a full sort — that
 	// order was never guaranteed).
 	SortRunFormation RunFormation
+	// SortEntryLayout selects the spill-run representation of the sort
+	// enforcers: EntryLayoutFlat (default) spills fixed-width key-prefix
+	// entries alongside the payload tuples and merges them with the
+	// radix-aware cascade, EntryLayoutFlatHeap keeps the flat runs but
+	// merges with a plain comparison heap (the ablation arm), and
+	// EntryLayoutTuple is the legacy tuple-only spill format. Result rows
+	// and result order are identical in every mode; spill I/O shape and
+	// merge comparison counts differ.
+	SortEntryLayout EntryLayout
 
 	// GlobalSortMemoryBlocks is the database-wide sort-memory pool, in
 	// blocks, shared by all concurrently executing queries through the
@@ -175,6 +184,16 @@ const (
 	RunFormationAdaptive = xsort.RunFormAdaptive
 	RunFormationCompare  = xsort.RunFormCompare
 	RunFormationRadix    = xsort.RunFormRadix
+)
+
+// EntryLayout selects the sort enforcers' spill-run representation.
+type EntryLayout = xsort.EntryLayout
+
+// Sort entry layouts.
+const (
+	EntryLayoutFlat     = xsort.LayoutFlat
+	EntryLayoutFlatHeap = xsort.LayoutFlatHeap
+	EntryLayoutTuple    = xsort.LayoutTuple
 )
 
 // Database is a self-contained engine instance.
@@ -414,6 +433,17 @@ func (db *Database) Optimize(q *Query, opts ...OptimizeOption) (*Plan, error) {
 	options.Model = cost.DefaultModel()
 	options.Model.PageSize = db.cfg.PageSize
 	options.Model.MemoryBlocks = int64(db.cfg.SortMemoryBlocks)
+	// Governor-aware pricing: under contention the executor will not be
+	// granted the full static budget, so price sorts at the grant the pool
+	// would issue right now — fair share among live claimants. The model is
+	// part of the plan-cache key, so plans optimized under different
+	// contention levels cache separately and an uncontended replan is never
+	// served a contention-shaped plan (or vice versa).
+	if db.gov != nil {
+		if expect := db.gov.ExpectedGrant(db.cfg.SortMemoryBlocks); expect > 0 {
+			options.Model.MemoryBlocks = int64(expect)
+		}
+	}
 	// Price the spill parallelism execution will actually use, but only
 	// when it is explicitly configured: SortSpillParallelism, or the
 	// SortParallelism it inherits from when unset. 0 means GOMAXPROCS at
@@ -425,6 +455,12 @@ func (db *Database) Optimize(q *Query, opts ...OptimizeOption) (*Plan, error) {
 	if spillPar > 1 {
 		options.Model.SpillParallelism = spillPar
 	}
+	// Price the spill format execution will use: the legacy tuple layout
+	// re-encodes keys on every merge read, the flat layouts carry entry
+	// files instead (see cost.Model). Comparator-keyed sorts fall back to
+	// the tuple layout at runtime regardless, but the optimizer cannot see
+	// key shapes here and prices the configured intent.
+	options.Model.TupleSpillLayout = db.cfg.SortEntryLayout == EntryLayoutTuple
 	inner, stats, err := db.optimize(q.node, options)
 	if err != nil {
 		return nil, err
